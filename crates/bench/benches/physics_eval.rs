@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks of the physics substrate: per-probe device
+//! evaluation (the cost of every simulated `getCurrent`), ground-state
+//! search, thermal mixing, and full benchmark-diagram generation.
+//!
+//! These quantify the simulator's own speed — relevant because the
+//! extraction benchmarks evaluate the device once per probed pixel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qd_dataset::{generate, BenchmarkSpec};
+use qd_physics::{ChargeStateSolver, DeviceBuilder};
+use std::hint::black_box;
+
+fn bench_device_eval(c: &mut Criterion) {
+    let device = DeviceBuilder::double_dot().build_array().expect("device builds");
+    c.bench_function("physics/current_double_dot", |b| {
+        b.iter(|| black_box(device.current(black_box(&[40.0, 45.0]))));
+    });
+
+    let triple = DeviceBuilder::linear_array(3).build_array().expect("device builds");
+    c.bench_function("physics/current_triple_dot", |b| {
+        b.iter(|| black_box(triple.current(black_box(&[40.0, 45.0, 35.0]))));
+    });
+
+    let solver = ChargeStateSolver::default();
+    let model = device.capacitance_model();
+    c.bench_function("physics/ground_state", |b| {
+        b.iter(|| black_box(solver.ground_state(model, black_box(&[40.0, 45.0]))));
+    });
+    c.bench_function("physics/thermal_occupation", |b| {
+        b.iter(|| black_box(solver.thermal_occupation(model, black_box(&[40.0, 45.0]), 0.002)));
+    });
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physics/generate_benchmark");
+    group.sample_size(10);
+    for size in [63usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}x{size}")),
+            &size,
+            |b, &size| {
+                let spec = BenchmarkSpec::clean(1, size);
+                b.iter(|| black_box(generate(&spec)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_device_eval, bench_generation);
+criterion_main!(benches);

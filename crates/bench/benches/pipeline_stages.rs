@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of the fast-extraction pipeline stages:
+//! anchor preprocessing (§4.4), the two sweeps (§4.3.2) and the
+//! 2-piece-wise-linear fit (§4.3.3), each in isolation on CSD 6.
+//!
+//! Useful for spotting regressions in any single stage and for the
+//! ablation discussion in EXPERIMENTS.md (the fit is the only stage whose
+//! cost is independent of the diagram size).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastvg_core::anchors::{find_anchors, AnchorConfig};
+use fastvg_core::fit::{fit_transition_lines, SlopeBounds};
+use fastvg_core::sweep::{column_major_sweep, row_major_sweep, SweepConfig};
+use qd_dataset::paper_benchmark;
+use qd_instrument::{CsdSource, MeasurementSession};
+use std::hint::black_box;
+
+fn bench_stages(c: &mut Criterion) {
+    let bench = paper_benchmark(6).expect("benchmark generates");
+
+    c.bench_function("stages/anchors", |b| {
+        b.iter(|| {
+            let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+            black_box(find_anchors(&mut session, &AnchorConfig::default()).ok())
+        });
+    });
+
+    // Precompute anchors once for the sweep stage benchmarks.
+    let mut setup = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let anchors = find_anchors(&mut setup, &AnchorConfig::default()).expect("anchors on CSD 6");
+    let region = anchors.region().expect("valid region");
+
+    c.bench_function("stages/row_major_sweep", |b| {
+        b.iter(|| {
+            let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+            black_box(row_major_sweep(&mut session, region, &SweepConfig::default()))
+        });
+    });
+
+    c.bench_function("stages/column_major_sweep", |b| {
+        b.iter(|| {
+            let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+            black_box(column_major_sweep(&mut session, region, &SweepConfig::default()))
+        });
+    });
+
+    // Transition points for the fit benchmark.
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let rows = row_major_sweep(&mut session, region, &SweepConfig::default());
+    let cols = column_major_sweep(&mut session, region, &SweepConfig::default());
+    let points: Vec<_> = rows.points.iter().chain(&cols.points).copied().collect();
+    let filtered = fastvg_core::postprocess::postprocess(&points);
+
+    c.bench_function("stages/postprocess", |b| {
+        b.iter(|| black_box(fastvg_core::postprocess::postprocess(black_box(&points))));
+    });
+
+    c.bench_function("stages/two_segment_fit", |b| {
+        b.iter(|| {
+            black_box(fit_transition_lines(
+                anchors.a1,
+                anchors.a2,
+                black_box(&filtered),
+                &SlopeBounds::default(),
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_stages);
+criterion_main!(benches);

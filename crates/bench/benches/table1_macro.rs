@@ -1,0 +1,57 @@
+//! Criterion macro-benchmark behind **Table 1**: wall-clock *compute*
+//! cost of the two extraction methods per CSD size.
+//!
+//! The experimental runtime in Table 1 is dominated by dwell time
+//! (probes × 50 ms, accounted virtually by the harness binaries); this
+//! bench pins down the remaining algorithmic cost and confirms it is
+//! negligible against the dwell for both methods — i.e. the speedup
+//! really is the probe-count ratio.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastvg_core::baseline::HoughBaseline;
+use fastvg_core::extraction::FastExtractor;
+use qd_dataset::paper_benchmark;
+use qd_instrument::{CsdSource, MeasurementSession};
+use std::hint::black_box;
+
+fn bench_fast_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/fast_extraction");
+    for index in [3usize, 6, 12] {
+        let bench = paper_benchmark(index).expect("benchmark generates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("csd{index}_{0}x{0}", bench.spec.size)),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    let mut session =
+                        MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+                    black_box(FastExtractor::new().extract(&mut session).ok())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/hough_baseline");
+    group.sample_size(20);
+    for index in [3usize, 6, 12] {
+        let bench = paper_benchmark(index).expect("benchmark generates");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("csd{index}_{0}x{0}", bench.spec.size)),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    let mut session =
+                        MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+                    black_box(HoughBaseline::new().extract(&mut session).ok())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fast_extraction, bench_baseline);
+criterion_main!(benches);

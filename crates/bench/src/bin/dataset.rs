@@ -1,0 +1,74 @@
+//! Dataset tooling: export the benchmark suite to disk and render
+//! individual diagrams.
+//!
+//! ```sh
+//! cargo run --release -p fastvg-bench --bin dataset -- export /tmp/fastvg-suite
+//! cargo run --release -p fastvg-bench --bin dataset -- render 6
+//! cargo run --release -p fastvg-bench --bin dataset -- info
+//! ```
+//!
+//! The export directory contains `manifest.csv` (specs + ground truths),
+//! one `csd_XX.csv` per benchmark (qd-csd text format) and one
+//! `csd_XX.pgm` grayscale render — everything an external analysis stack
+//! needs to consume the suite without Rust.
+
+use qd_csd::render::{to_pgm, AsciiRenderer};
+use qd_dataset::{paper_benchmark, paper_suite, save_suite};
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("export") => {
+            let dir: PathBuf = args
+                .next()
+                .map(PathBuf::from)
+                .unwrap_or_else(|| std::env::temp_dir().join("fastvg-suite"));
+            let suite = paper_suite()?;
+            save_suite(&dir, &suite)?;
+            for b in &suite {
+                let pgm = to_pgm(&b.csd)?;
+                std::fs::write(dir.join(format!("csd_{:02}.pgm", b.spec.index)), pgm)?;
+            }
+            println!("exported 12 benchmarks (CSV + PGM + manifest) to {}", dir.display());
+        }
+        Some("render") => {
+            let index: usize = args
+                .next()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(6);
+            let bench = paper_benchmark(index)?;
+            println!(
+                "CSD {index} ({0}x{0}): slope_h {1:+.4}, slope_v {2:+.4}, alpha12 {3:.4}, alpha21 {4:.4}",
+                bench.spec.size,
+                bench.truth.slope_h,
+                bench.truth.slope_v,
+                bench.truth.alpha12,
+                bench.truth.alpha21
+            );
+            println!("{}", AsciiRenderer::new().max_width(120).render(&bench.csd));
+        }
+        Some("info") | None => {
+            println!("{:>3} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7} {:>7}",
+                "CSD", "size", "slope_h", "slope_v", "alpha12", "alpha21", "fast?", "base?");
+            for b in paper_suite()? {
+                println!(
+                    "{:>3} {:>9} {:>10.4} {:>10.4} {:>9.4} {:>9.4} {:>7} {:>7}",
+                    b.spec.index,
+                    format!("{0}x{0}", b.spec.size),
+                    b.truth.slope_h,
+                    b.truth.slope_v,
+                    b.truth.alpha12,
+                    b.truth.alpha21,
+                    b.spec.expect_fast_success,
+                    b.spec.expect_baseline_success
+                );
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`; use export | render | info");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Throwaway debugging harness (not part of the published experiment set).
+
+use fastvg_core::extraction::FastExtractor;
+use qd_csd::render::AsciiRenderer;
+use qd_csd::Pixel;
+use qd_dataset::paper_benchmark;
+use qd_instrument::{CsdSource, MeasurementSession};
+
+fn main() {
+    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let bench = paper_benchmark(idx).unwrap();
+    // Overlay the analytic truth lines on the diagram.
+    let grid = bench.csd.grid();
+    let (ix, iy) = bench
+        .device
+        .as_array()
+        .pair_line_intersection(0, &[0.0, 0.0])
+        .unwrap();
+    let (fx, fy) = grid.fractional_pixel_of(ix, iy);
+    println!("analytic intersection at pixel ({fx:.1}, {fy:.1})");
+    let mut truth_line_pixels = Vec::new();
+    let (w, h) = bench.csd.size();
+    for x in 0..w {
+        // Shallow line left of the intersection.
+        let y = fy + bench.truth.slope_h * (x as f64 - fx);
+        if (x as f64) < fx && y >= 0.0 && y < h as f64 {
+            truth_line_pixels.push(Pixel::new(x, y.round() as usize));
+        }
+    }
+    for y in 0..h {
+        // Steep line below the intersection.
+        let x = fx + (y as f64 - fy) / bench.truth.slope_v;
+        if (y as f64) < fy && x >= 0.0 && x < w as f64 {
+            truth_line_pixels.push(Pixel::new(x.round() as usize, y));
+        }
+    }
+    let (w, h) = bench.csd.size();
+    println!("benchmark {idx}: {w}x{h}");
+    println!(
+        "truth: slope_h {:+.4} slope_v {:+.4}",
+        bench.truth.slope_h, bench.truth.slope_v
+    );
+
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    match FastExtractor::new().extract(&mut session) {
+        Ok(r) => {
+            println!(
+                "extracted: slope_h {:+.4} slope_v {:+.4}  ({} probes)",
+                r.slope_h, r.slope_v, r.probes
+            );
+            println!("anchors: a1 {} a2 {} start {}", r.anchors.a1, r.anchors.a2, r.anchors.start);
+            println!(
+                "fit intersection ({:.1}, {:.1}) rms {:.2}",
+                r.fit.intersection.0, r.fit.intersection.1, r.fit.rms
+            );
+            let art = AsciiRenderer::new()
+                .max_width(110)
+                .with_overlays(truth_line_pixels, 'T')
+                .with_overlays(r.transition_points.clone(), 'o')
+                .with_overlay(r.anchors.a1, 'A')
+                .with_overlay(r.anchors.a2, 'B')
+                .render(&bench.csd);
+            println!("{art}");
+        }
+        Err(e) => {
+            println!("extraction failed: {e}");
+            let art = AsciiRenderer::new().max_width(110).render(&bench.csd);
+            println!("{art}");
+        }
+    }
+}

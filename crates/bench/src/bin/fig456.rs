@@ -1,0 +1,267 @@
+//! Regenerates the algorithm-internals figures of the paper:
+//!
+//! * **Figure 2** — an example double-dot CSD with its four charge-state
+//!   regions (`fig2`);
+//! * **Figure 4** — the critical triangular region confining both
+//!   transition lines, spanned by the two anchor points (`fig4`);
+//! * **Figure 5** — the row-major and column-major sweep traces on a
+//!   small grid, showing the shrinking triangle (`fig5`);
+//! * **Figure 6** — the post-processing stages: raw sweep points, the two
+//!   filtered sets, and the joined result (`fig6`).
+//!
+//! ```sh
+//! cargo run --release -p fastvg-bench --bin fig456 -- fig4
+//! cargo run --release -p fastvg-bench --bin fig456          # all of them
+//! ```
+
+use fastvg_core::anchors::{find_anchors, AnchorConfig};
+use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
+use fastvg_core::sweep::{column_major_sweep, row_major_sweep, SweepConfig, SweepKind};
+use qd_csd::render::AsciiRenderer;
+use qd_csd::{Csd, Pixel, VoltageGrid};
+use qd_dataset::paper_benchmark;
+use qd_instrument::{CsdSource, MeasurementSession};
+use qd_physics::DeviceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which: Option<String> = std::env::args().nth(1);
+    let all = which.is_none();
+    let is = |name: &str| all || which.as_deref() == Some(name);
+
+    if is("fig2") {
+        fig2()?;
+    }
+    if is("fig4") {
+        fig4()?;
+    }
+    if is("fig5") {
+        fig5()?;
+    }
+    if is("fig6") {
+        fig6()?;
+    }
+    if is("honeycomb") {
+        honeycomb()?;
+    }
+    Ok(())
+}
+
+/// Extra: the analytic honeycomb traced over a rendered diagram —
+/// validates that the two-line model the extraction assumes near the
+/// (0,0) corner is the local truth of the full cell structure.
+fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
+    use qd_physics::honeycomb::trace_honeycomb;
+    use qd_physics::ChargeStateSolver;
+
+    let device = DeviceBuilder::double_dot()
+        .mutual_capacitance(0.2)
+        .temperature(0.0015)
+        .build()?;
+    let (ix, iy) = device.as_array().pair_line_intersection(0, &[0.0, 0.0])?;
+    let window = (ix - 35.0, iy - 32.0, ix + 25.0, iy + 28.0);
+    let hc = trace_honeycomb(
+        device.capacitance_model(),
+        &ChargeStateSolver::default(),
+        window,
+        150,
+    )?;
+
+    let grid = VoltageGrid::new(window.0, window.1, 0.6, 100, 100)?;
+    let csd = Csd::from_fn(grid, |v1, v2| {
+        device.current(&[v1, v2]).expect("2-gate vector")
+    })?;
+    // Rasterize each analytic segment into overlay pixels.
+    let mut overlay = Vec::new();
+    for seg in &hc.segments {
+        let steps = (seg.length() / 0.6).ceil() as usize + 1;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let v1 = seg.start.0 + t * (seg.end.0 - seg.start.0);
+            let v2 = seg.start.1 + t * (seg.end.1 - seg.start.1);
+            if let Some(p) = grid.pixel_of(v1, v2) {
+                overlay.push(p);
+            }
+        }
+    }
+    let mut renderer = AsciiRenderer::new().max_width(100).with_overlays(overlay, '+');
+    for tp in &hc.triple_points {
+        if let Some(p) = grid.pixel_of(tp.0, tp.1) {
+            renderer = renderer.with_overlay(p, 'X');
+        }
+    }
+    println!("=== Honeycomb: analytic boundaries (+) and triple points (X) ===");
+    println!("{}", renderer.render(&csd));
+    println!(
+        "{} boundary segments, {} triple points in the window",
+        hc.segments.len(),
+        hc.triple_points.len()
+    );
+    for seg in &hc.segments {
+        println!(
+            "  {:?} -> {:?}: slope {}  length {:.1} V",
+            seg.from,
+            seg.to,
+            seg.slope().map(|m| format!("{m:+.3}")).unwrap_or_else(|| "vertical".into()),
+            seg.length()
+        );
+    }
+    Ok(())
+}
+
+/// Figure 2: an example double-dot CSD with labelled charge regions.
+fn fig2() -> Result<(), Box<dyn std::error::Error>> {
+    let device = DeviceBuilder::double_dot().temperature(0.0015).build()?;
+    let (ix, iy) = device.as_array().pair_line_intersection(0, &[0.0, 0.0])?;
+    let grid = VoltageGrid::new(ix - 35.0, iy - 32.0, 0.6, 100, 100)?;
+    let csd = Csd::from_fn(grid, |v1, v2| {
+        device.current(&[v1, v2]).expect("2-gate vector")
+    })?;
+    println!("=== Figure 2: double-dot charge stability diagram ===");
+    println!("{}", AsciiRenderer::new().max_width(100).render(&csd));
+    for (fx, fy, label) in [
+        (0.15, 0.15, "(0, 0)"),
+        (0.85, 0.15, "(1, 0)"),
+        (0.15, 0.85, "(0, 1)"),
+        (0.85, 0.85, "(1, 1)"),
+    ] {
+        let (v1, v2) = grid.voltage_of((fx * 99.0) as usize, (fy * 99.0) as usize);
+        let state = device.ground_state(&[v1, v2])?;
+        println!("corner ({fx:.0}%, {fy:.0}%): charge state {state} — expected {label}",
+            fx = fx * 100.0, fy = fy * 100.0);
+    }
+    println!();
+    Ok(())
+}
+
+/// Figure 4: the critical region spanned by the anchors.
+fn fig4() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = paper_benchmark(6)?;
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
+    let region = anchors.region()?;
+
+    // Draw the triangle boundary.
+    let mut boundary = Vec::new();
+    for y in region.a2.y..=region.a1.y {
+        if let Some((lo, hi)) = region.row_range(y) {
+            boundary.push(Pixel::new(lo, y));
+            boundary.push(Pixel::new(hi, y));
+        }
+    }
+    for x in region.a1.x..=region.a2.x {
+        boundary.push(Pixel::new(x, region.a1.y));
+    }
+    println!("=== Figure 4: critical triangular region (anchors A/B, boundary .) ===");
+    let art = AsciiRenderer::new()
+        .max_width(110)
+        .with_overlays(boundary, '+')
+        .with_overlay(anchors.a1, 'A')
+        .with_overlay(anchors.a2, 'B')
+        .render(&bench.csd);
+    println!("{art}");
+    println!(
+        "anchors: A = {} (shallow line), B = {} (steep line); right angle at {}",
+        anchors.a1,
+        anchors.a2,
+        region.corner()
+    );
+    println!(
+        "triangle covers {} of {} pixels ({:.1}%)\n",
+        region.area_pixels(),
+        bench.csd.grid().len(),
+        100.0 * region.area_pixels() as f64 / bench.csd.grid().len() as f64
+    );
+    Ok(())
+}
+
+/// Figure 5: sweep traces on a small 15x15 grid, as in the paper.
+fn fig5() -> Result<(), Box<dyn std::error::Error>> {
+    // A 15x15 toy CSD with a steep and a shallow line, like the paper's
+    // illustration grid.
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 15, 15)?;
+    let csd = Csd::from_fn(grid, |v1, v2| {
+        let mut i = 4.0;
+        if v2 > -3.5 * (v1 - 9.6) {
+            i -= 1.0; // steep line
+        }
+        if v2 > 9.4 - 0.28 * v1 {
+            i -= 0.8; // shallow line
+        }
+        i
+    })?;
+    let mut session = MeasurementSession::new(CsdSource::new(csd.clone()));
+    let region = fastvg_core::triangle::CriticalRegion::new(Pixel::new(0, 13), Pixel::new(12, 3))
+        .expect("anchors are up-left/down-right");
+
+    println!("=== Figure 5 (a): row-major sweep ===");
+    let rows = row_major_sweep(&mut session, region, &SweepConfig::default());
+    for step in &rows.steps {
+        assert_eq!(step.kind, SweepKind::RowMajor);
+        let probed: Vec<String> = step.probed.iter().map(|p| p.to_string()).collect();
+        println!(
+            "row {:>2}: probed {:<42} chose {}",
+            step.line_index,
+            probed.join(" "),
+            step.chosen
+        );
+    }
+    println!("\n=== Figure 5 (b): column-major sweep ===");
+    let mut session2 = MeasurementSession::new(CsdSource::new(csd.clone()));
+    let cols = column_major_sweep(&mut session2, region, &SweepConfig::default());
+    for step in &cols.steps {
+        let probed: Vec<String> = step.probed.iter().map(|p| p.to_string()).collect();
+        println!(
+            "col {:>2}: probed {:<42} chose {}",
+            step.line_index,
+            probed.join(" "),
+            step.chosen
+        );
+    }
+    let art = AsciiRenderer::new()
+        .with_overlays(rows.points.clone(), 'r')
+        .with_overlays(cols.points.clone(), 'c')
+        .with_overlay(region.a1, 'A')
+        .with_overlay(region.a2, 'B')
+        .render(&csd);
+    println!("\nlocated points (r = row sweep, c = column sweep):\n{art}");
+    Ok(())
+}
+
+/// Figure 6: post-processing stages on a real benchmark.
+fn fig6() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = paper_benchmark(10)?;
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
+    let region = anchors.region()?;
+    let rows = row_major_sweep(&mut session, region, &SweepConfig::default());
+    let cols = column_major_sweep(&mut session, region, &SweepConfig::default());
+
+    let combined: Vec<Pixel> = rows.points.iter().chain(&cols.points).copied().collect();
+    let set1 = lowest_per_column(&combined);
+    let set2 = leftmost_per_row(&combined);
+    let joined = postprocess(&combined);
+
+    println!("=== Figure 6: post-processing on CSD 10 ===");
+    println!(
+        "raw points: {} (row sweep {}, column sweep {})",
+        combined.len(),
+        rows.points.len(),
+        cols.points.len()
+    );
+    println!("filtered set 1 (lowest per column): {}", set1.len());
+    println!("filtered set 2 (leftmost per row):  {}", set2.len());
+    println!("joined: {}", joined.len());
+
+    let before = AsciiRenderer::new()
+        .max_width(110)
+        .with_overlays(rows.points.clone(), 'r')
+        .with_overlays(cols.points.clone(), 'c')
+        .render(&bench.csd);
+    println!("\nbefore filtering (r = row sweep, c = column sweep):\n{before}");
+    let after = AsciiRenderer::new()
+        .max_width(110)
+        .with_overlays(joined.clone(), 'o')
+        .render(&bench.csd);
+    println!("after filtering + join:\n{after}");
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Randomized-cohort robustness study (extension beyond the paper).
+//!
+//! The paper evaluates on 12 fixed diagrams; this harness draws a cohort
+//! of randomized healthy devices (lever arms, mutual capacitance,
+//! temperature, noise all varied) and reports success *rates*, probe
+//! statistics and α-error distributions for both methods — turning
+//! Table 1's anecdotes into statistics.
+//!
+//! ```sh
+//! cargo run --release -p fastvg-bench --bin robustness -- 60 7
+//! #                                     cohort size ^   ^ seed
+//! ```
+
+use fastvg_bench::{run_baseline, run_fast};
+use fastvg_core::report::SuccessCriteria;
+use qd_dataset::{generate, random_specs};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let criteria = SuccessCriteria::default();
+
+    println!("robustness cohort: {n} randomized devices (seed {seed})");
+    let specs = random_specs(n, seed);
+
+    let mut fast_ok = 0usize;
+    let mut base_ok = 0usize;
+    let mut coverages = Vec::new();
+    let mut fast_errors = Vec::new();
+    let mut base_errors = Vec::new();
+    let mut speedups = Vec::new();
+
+    for spec in &specs {
+        let bench = generate(spec)?;
+        let fast = run_fast(&bench, &criteria);
+        let base = run_baseline(&bench, &criteria);
+        if fast.report.success {
+            fast_ok += 1;
+            coverages.push(fast.report.coverage);
+            fast_errors.push(
+                (fast.report.alpha12 - bench.truth.alpha12)
+                    .abs()
+                    .max((fast.report.alpha21 - bench.truth.alpha21).abs()),
+            );
+        }
+        if base.report.success {
+            base_ok += 1;
+            base_errors.push(
+                (base.report.alpha12 - bench.truth.alpha12)
+                    .abs()
+                    .max((base.report.alpha21 - bench.truth.alpha21).abs()),
+            );
+        }
+        if fast.report.success && base.report.success {
+            if let Some(s) = fast.report.speedup_versus(&base.report) {
+                speedups.push(s);
+            }
+        }
+    }
+
+    let pct = |k: usize| 100.0 * k as f64 / n as f64;
+    println!("\nsuccess rate: fast {fast_ok}/{n} ({:.0}%), baseline {base_ok}/{n} ({:.0}%)",
+        pct(fast_ok), pct(base_ok));
+
+    let summarize = |label: &str, v: &[f64]| {
+        if v.is_empty() {
+            println!("{label}: (no data)");
+            return;
+        }
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let mut sorted = v.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let med = sorted[sorted.len() / 2];
+        let max = *sorted.last().expect("non-empty");
+        println!("{label}: mean {mean:.4}, median {med:.4}, max {max:.4}");
+    };
+    summarize("fast coverage       ", &coverages);
+    summarize("fast max |alpha err|", &fast_errors);
+    summarize("base max |alpha err|", &base_errors);
+    summarize("speedup             ", &speedups);
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Regenerates **Table 1** of the paper: success/fail, points probed,
+//! total runtime and speedup for all 12 benchmarks, fast extraction vs
+//! the Canny+Hough baseline.
+//!
+//! ```sh
+//! cargo run --release -p fastvg-bench --bin table1
+//! ```
+
+use fastvg_bench::{fmt_secs, run_baseline, run_fast};
+use fastvg_core::report::SuccessCriteria;
+use qd_dataset::paper_suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let criteria = SuccessCriteria::default();
+    let suite = paper_suite()?;
+
+    println!("Table 1: Result Summary (synthetic qflow-like suite)");
+    println!(
+        "{:>3} {:>9} | {:>7} {:>9} | {:>16} {:>9} | {:>10} {:>10} | {:>8}",
+        "CSD", "Size", "Fast", "Baseline", "Fast probes", "Baseline", "Fast time", "Base time", "Speedup"
+    );
+    println!("{}", "-".repeat(105));
+
+    let mut fast_successes = 0;
+    let mut base_successes = 0;
+    let mut speedups: Vec<f64> = Vec::new();
+
+    for bench in &suite {
+        let fast = run_fast(bench, &criteria);
+        let base = run_baseline(bench, &criteria);
+        let f = &fast.report;
+        let b = &base.report;
+        fast_successes += f.success as usize;
+        base_successes += b.success as usize;
+
+        let speedup = if f.success {
+            f.speedup_versus(b)
+        } else {
+            None
+        };
+        if let (true, Some(s)) = (f.success && b.success, speedup) {
+            speedups.push(s);
+        }
+        println!(
+            "{:>3} {:>9} | {:>7} {:>9} | {:>8} ({:>5.2}%) {:>9} | {:>10} {:>10} | {:>8}",
+            f.benchmark,
+            format!("{0}x{0}", f.size),
+            if f.success { "Success" } else { "Fail" },
+            if b.success { "Success" } else { "Fail" },
+            f.probes,
+            100.0 * f.coverage,
+            b.probes,
+            fmt_secs(f.runtime),
+            fmt_secs(b.runtime),
+            match speedup {
+                Some(s) if f.success && b.success => format!("{s:.2}x"),
+                Some(s) if f.success => format!("({s:.2}x)"),
+                _ => "N/A".to_string(),
+            }
+        );
+        if let Some(reason) = &f.failure {
+            println!("      fast failure: {reason}");
+        }
+        if let Some(reason) = &b.failure {
+            println!("      baseline failure: {reason}");
+        }
+    }
+
+    println!("{}", "-".repeat(105));
+    println!(
+        "fast extraction: {fast_successes}/12 success (paper: 10/12)   baseline: {base_successes}/12 (paper: 9/12)"
+    );
+    if !speedups.is_empty() {
+        let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = speedups.iter().cloned().fold(0.0, f64::max);
+        println!("speedup range on mutual successes: {lo:.2}x .. {hi:.2}x (paper: 5.84x .. 19.34x)");
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Shared harness code for the fastvg benchmark suite.
+//!
+//! The binaries in `src/bin` regenerate every table and figure of the
+//! DAC'24 paper (see DESIGN.md §4 for the experiment index); this library
+//! holds the code they share: running both extraction methods on a
+//! benchmark and assembling Table 1-style report rows.
+
+use fastvg_core::baseline::HoughBaseline;
+use fastvg_core::extraction::{ExtractionResult, FastExtractor};
+use fastvg_core::report::{ExtractionReport, Method, SuccessCriteria};
+use qd_dataset::GeneratedBenchmark;
+use qd_instrument::{CsdSource, MeasurementSession};
+
+/// Outcome of running one method on one benchmark: the report row plus
+/// the session ledger scatter (for Figure 7).
+pub struct MethodRun {
+    /// Table 1-style row.
+    pub report: ExtractionReport,
+    /// Distinct probed pixels in first-probe order.
+    pub scatter: Vec<(i64, i64)>,
+    /// Full extraction result when the method succeeded outright.
+    pub result: Option<ExtractionResult>,
+}
+
+/// Runs the fast extraction on a benchmark and scores it.
+pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let extraction = FastExtractor::new().extract(&mut session);
+    let scatter = session.ledger().scatter();
+    match extraction {
+        Ok(r) => {
+            let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
+            let report = ExtractionReport {
+                benchmark: bench.spec.index,
+                size: bench.spec.size,
+                method: Method::FastExtraction,
+                success,
+                probes: r.probes,
+                coverage: r.coverage,
+                runtime: r.total_runtime(),
+                alpha12: r.alpha12(),
+                alpha21: r.alpha21(),
+                failure: if success {
+                    None
+                } else {
+                    Some(format!(
+                        "alpha error exceeds tolerance (d12 {:.3}, d21 {:.3})",
+                        (r.alpha12() - bench.truth.alpha12).abs(),
+                        (r.alpha21() - bench.truth.alpha21).abs()
+                    ))
+                },
+            };
+            MethodRun { report, scatter, result: Some(r) }
+        }
+        Err(e) => MethodRun {
+            report: ExtractionReport::failed(
+                bench.spec.index,
+                bench.spec.size,
+                Method::FastExtraction,
+                session.probe_count(),
+                session.coverage(),
+                session.simulated_dwell(),
+                e.to_string(),
+            ),
+            scatter,
+            result: None,
+        },
+    }
+}
+
+/// Runs the Hough baseline on a benchmark and scores it.
+pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let extraction = HoughBaseline::new().extract(&mut session);
+    let scatter = Vec::new(); // the baseline probes everything; no scatter needed
+    match extraction {
+        Ok(r) => {
+            let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
+            let report = ExtractionReport {
+                benchmark: bench.spec.index,
+                size: bench.spec.size,
+                method: Method::HoughBaseline,
+                success,
+                probes: r.probes,
+                coverage: 1.0,
+                runtime: r.total_runtime(),
+                alpha12: r.alpha12(),
+                alpha21: r.alpha21(),
+                failure: if success {
+                    None
+                } else {
+                    Some(format!(
+                        "alpha error exceeds tolerance (d12 {:.3}, d21 {:.3})",
+                        (r.alpha12() - bench.truth.alpha12).abs(),
+                        (r.alpha21() - bench.truth.alpha21).abs()
+                    ))
+                },
+            };
+            MethodRun { report, scatter, result: None }
+        }
+        Err(e) => MethodRun {
+            report: ExtractionReport::failed(
+                bench.spec.index,
+                bench.spec.size,
+                Method::HoughBaseline,
+                session.probe_count(),
+                session.coverage(),
+                session.simulated_dwell(),
+                e.to_string(),
+            ),
+            scatter,
+            result: None,
+        },
+    }
+}
+
+/// Formats a duration as seconds with two decimals (Table 1 style).
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.2}s", d.as_secs_f64())
+}

@@ -1,0 +1,352 @@
+//! Anchor-point preprocessing (§4.4).
+//!
+//! Before any sweep can run, one point on each transition line is needed
+//! to span the critical triangle. The paper's recipe:
+//!
+//! 1. Probe 10 equally spaced points along the lower-left → upper-right
+//!    diagonal and find the *brightest* (the (0,0) region is the
+//!    brightest part of a CSD).
+//! 2. Pick the start coordinate as the brightest point or 10 % of the
+//!    width/height, whichever is farther from the lower-left corner.
+//! 3. Sweep `Mask_x` (3×5) along the x axis at the start row and `Mask_y`
+//!    (5×3) along the y axis at the start column. Each mask computes a
+//!    positively sloped gradient across three pixels — more noise
+//!    resilient than the two-probe feature gradient of Algorithm 2.
+//! 4. Multiply each response array element-wise by a 1-D Gaussian window
+//!    and take the argmax: the x-sweep maximum is the lower-right anchor
+//!    (on the steep line), the y-sweep maximum the upper-left anchor (on
+//!    the shallow line).
+
+use crate::triangle::CriticalRegion;
+use crate::ExtractError;
+use qd_csd::Pixel;
+use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_numerics::gaussian;
+use qd_numerics::stats::argmax;
+
+/// `Mask_x` from §4.4, print order (row 0 is the mask's top edge, i.e.
+/// the highest-`V_P2` row of the probed patch).
+pub const MASK_X: [[f64; 5]; 3] = [
+    [1.0, 1.0, -3.0, -4.0, -4.0],
+    [2.0, 2.0, 0.0, -2.0, -2.0],
+    [4.0, 4.0, 3.0, -1.0, -1.0],
+];
+
+/// `Mask_y` from §4.4, print order (row 0 top).
+pub const MASK_Y: [[f64; 3]; 5] = [
+    [-1.0, -2.0, -4.0],
+    [-1.0, -2.0, -4.0],
+    [3.0, 0.0, -3.0],
+    [4.0, 2.0, 1.0],
+    [4.0, 2.0, 1.0],
+];
+
+/// Configuration for anchor preprocessing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnchorConfig {
+    /// Number of diagonal probe points (paper: 10).
+    pub diagonal_points: usize,
+    /// Fractional fallback start coordinate (paper: 10 % of width/height).
+    pub start_fraction: f64,
+    /// Gaussian window sigma as a fraction of the sweep range.
+    pub gaussian_sigma_fraction: f64,
+}
+
+impl Default for AnchorConfig {
+    fn default() -> Self {
+        Self {
+            diagonal_points: 10,
+            start_fraction: 0.10,
+            gaussian_sigma_fraction: 0.25,
+        }
+    }
+}
+
+/// Everything the preprocessing produced, kept for tracing/figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnchorResult {
+    /// Upper-left anchor, on the shallow (0,0)→(0,1) line.
+    pub a1: Pixel,
+    /// Lower-right anchor, on the steep (0,0)→(1,0) line.
+    pub a2: Pixel,
+    /// The start pixel the mask sweeps radiated from.
+    pub start: Pixel,
+    /// The diagonal probe pixels, in probe order.
+    pub diagonal: Vec<Pixel>,
+    /// Gaussian-weighted `Mask_x` responses per swept x position
+    /// (index 0 = start x).
+    pub response_x: Vec<f64>,
+    /// Gaussian-weighted `Mask_y` responses per swept y position.
+    pub response_y: Vec<f64>,
+}
+
+impl AnchorResult {
+    /// The critical region the anchors span.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExtractError::DegenerateAnchors`] if the anchors are not
+    /// in upper-left / lower-right position.
+    pub fn region(&self) -> Result<CriticalRegion, ExtractError> {
+        CriticalRegion::new(self.a1, self.a2).ok_or(ExtractError::DegenerateAnchors {
+            a1: (self.a1.x, self.a1.y),
+            a2: (self.a2.x, self.a2.y),
+        })
+    }
+}
+
+/// Minimum window dimension for the mask sweeps to make sense.
+pub const MIN_WINDOW: usize = 20;
+
+/// Runs the §4.4 preprocessing on a measurement session.
+///
+/// # Errors
+///
+/// * [`ExtractError::WindowTooSmall`] if the window is under
+///   [`MIN_WINDOW`] pixels on either axis.
+/// * [`ExtractError::DegenerateAnchors`] if the mask responses do not
+///   yield an upper-left / lower-right anchor pair (typically: no visible
+///   transition lines).
+pub fn find_anchors<S: CurrentSource>(
+    session: &mut MeasurementSession<S>,
+    config: &AnchorConfig,
+) -> Result<AnchorResult, ExtractError> {
+    let w = session.window();
+    let (width, height) = (w.width_px(), w.height_px());
+    if width < MIN_WINDOW || height < MIN_WINDOW {
+        return Err(ExtractError::WindowTooSmall {
+            min: MIN_WINDOW,
+            got: width.min(height),
+        });
+    }
+    let at = |x: usize, y: usize| -> (f64, f64) {
+        (w.x_min + x as f64 * w.delta, w.y_min + y as f64 * w.delta)
+    };
+
+    // 1. Diagonal probe.
+    let n_diag = config.diagonal_points.max(2);
+    let mut diagonal = Vec::with_capacity(n_diag);
+    let mut brightest = (0usize, f64::NEG_INFINITY);
+    for i in 0..n_diag {
+        let fx = i as f64 / (n_diag - 1) as f64;
+        let x = (fx * (width - 1) as f64).round() as usize;
+        let y = (fx * (height - 1) as f64).round() as usize;
+        let (v1, v2) = at(x, y);
+        let c = session.get_current(v1, v2);
+        if c > brightest.1 {
+            brightest = (i, c);
+        }
+        diagonal.push(Pixel::new(x, y));
+    }
+    let bright_pixel = diagonal[brightest.0];
+
+    // 2. Start point: brightest or the 10 % fallback, whichever is farther
+    // from the lower-left corner (per coordinate).
+    let frac_x = ((config.start_fraction * width as f64).round() as usize).min(width - 1);
+    let frac_y = ((config.start_fraction * height as f64).round() as usize).min(height - 1);
+    let start = Pixel::new(bright_pixel.x.max(frac_x), bright_pixel.y.max(frac_y));
+
+    // 3. Mask sweeps. `Mask_x` slides along x on the start row; its
+    // response peaks where the steep line crosses that row. `Mask_y`
+    // slides along y on the start column.
+    let sweep_x: Vec<f64> = (start.x..width)
+        .map(|x| mask_response(session, &MASK_X, x, start.y, &at))
+        .collect();
+    let sweep_y: Vec<f64> = (start.y..height)
+        .map(|y| mask_response(session, &MASK_Y, start.x, y, &at))
+        .collect();
+
+    // 4. Gaussian weighting, then argmax.
+    let response_x = apply_window(&sweep_x, config.gaussian_sigma_fraction);
+    let response_y = apply_window(&sweep_y, config.gaussian_sigma_fraction);
+    let ax = argmax(&response_x).unwrap_or(0);
+    let ay = argmax(&response_y).unwrap_or(0);
+    let a2 = Pixel::new(start.x + ax, start.y);
+    let a1 = Pixel::new(start.x, start.y + ay);
+
+    let result = AnchorResult {
+        a1,
+        a2,
+        start,
+        diagonal,
+        response_x,
+        response_y,
+    };
+    // Validate geometry eagerly so callers get the degenerate-anchor error
+    // from the preprocessing step, not later from the sweep.
+    result.region()?;
+    Ok(result)
+}
+
+/// Sum of the element-wise product of a mask (print order, row 0 = top)
+/// with the probed patch centred at pixel `(cx, cy)`.
+fn mask_response<S, F, const R: usize, const C: usize>(
+    session: &mut MeasurementSession<S>,
+    mask: &[[f64; C]; R],
+    cx: usize,
+    cy: usize,
+    at: &F,
+) -> f64
+where
+    S: CurrentSource,
+    F: Fn(usize, usize) -> (f64, f64),
+{
+    let half_r = (R / 2) as isize;
+    let half_c = (C / 2) as isize;
+    let mut acc = 0.0;
+    for (r, row) in mask.iter().enumerate() {
+        for (c, &weight) in row.iter().enumerate() {
+            if weight == 0.0 {
+                continue; // zero-weight taps need no probe
+            }
+            // Print row 0 is the top of the patch = highest y.
+            let dy = half_r - r as isize;
+            let dx = c as isize - half_c;
+            let x = (cx as isize + dx).max(0) as usize;
+            let y = (cy as isize + dy).max(0) as usize;
+            let (v1, v2) = at(x, y);
+            acc += weight * session.get_current(v1, v2);
+        }
+    }
+    acc
+}
+
+/// Multiplies responses by a 1-D Gaussian window centred mid-range.
+fn apply_window(responses: &[f64], sigma_fraction: f64) -> Vec<f64> {
+    if responses.is_empty() {
+        return Vec::new();
+    }
+    let n = responses.len();
+    let center = (n - 1) as f64 / 2.0;
+    let sigma = (n as f64 * sigma_fraction).max(1.0);
+    let win = gaussian::window(n, center, sigma).expect("len > 0 and sigma > 0");
+    responses.iter().zip(win).map(|(r, g)| r * g).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_csd::{Csd, VoltageGrid};
+    use qd_instrument::CsdSource;
+
+    /// A clean synthetic CSD: steep line through (62, y) with slope -4,
+    /// shallow line y = 58 - 0.3 x, brightest at lower-left.
+    fn clean_session(size: usize) -> MeasurementSession<CsdSource> {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, size, size).unwrap();
+        let s = size as f64 / 100.0;
+        let csd = Csd::from_fn(grid, move |v1, v2| {
+            let mut i = 8.0 - 0.002 * (v1 + v2);
+            if v2 > -4.0 * (v1 - 62.0 * s) {
+                i -= 1.0;
+            }
+            if v2 > 58.0 * s - 0.3 * v1 {
+                i -= 0.8;
+            }
+            i
+        })
+        .unwrap();
+        MeasurementSession::new(CsdSource::new(csd))
+    }
+
+    #[test]
+    fn masks_match_paper_shapes() {
+        assert_eq!(MASK_X.len(), 3);
+        assert_eq!(MASK_X[0].len(), 5);
+        assert_eq!(MASK_Y.len(), 5);
+        assert_eq!(MASK_Y[0].len(), 3);
+        // Both masks are zero-sum (no response to flat background).
+        let sx: f64 = MASK_X.iter().flatten().sum();
+        let sy: f64 = MASK_Y.iter().flatten().sum();
+        assert_eq!(sx, 0.0);
+        assert_eq!(sy, 0.0);
+    }
+
+    #[test]
+    fn anchors_land_on_the_lines() {
+        let mut session = clean_session(100);
+        let r = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        // a2 on the steep line at the start row: x ≈ 62 - y/4.
+        let expect_x = 62.0 - r.a2.y as f64 / 4.0;
+        assert!(
+            (r.a2.x as f64 - expect_x).abs() <= 2.5,
+            "a2 = {:?}, expected x ≈ {expect_x}",
+            r.a2
+        );
+        // a1 on the shallow line at the start column: y ≈ 58 - 0.3 x.
+        let expect_y = 58.0 - 0.3 * r.a1.x as f64;
+        assert!(
+            (r.a1.y as f64 - expect_y).abs() <= 2.5,
+            "a1 = {:?}, expected y ≈ {expect_y}",
+            r.a1
+        );
+    }
+
+    #[test]
+    fn start_point_respects_ten_percent_floor() {
+        let mut session = clean_session(100);
+        let r = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        assert!(r.start.x >= 10);
+        assert!(r.start.y >= 10);
+    }
+
+    #[test]
+    fn probes_are_a_small_fraction() {
+        let mut session = clean_session(100);
+        let _ = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        // Preprocessing alone should stay under ~12 % of the diagram.
+        assert!(
+            session.coverage() < 0.12,
+            "coverage {:.3}",
+            session.coverage()
+        );
+    }
+
+    #[test]
+    fn works_at_63_pixels() {
+        let mut session = clean_session(63);
+        let r = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        assert!(r.region().is_ok());
+    }
+
+    #[test]
+    fn rejects_tiny_windows() {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 10, 10).unwrap();
+        let csd = Csd::constant(grid, 1.0).unwrap();
+        let mut session = MeasurementSession::new(CsdSource::new(csd));
+        assert!(matches!(
+            find_anchors(&mut session, &AnchorConfig::default()),
+            Err(ExtractError::WindowTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn flat_diagram_gives_degenerate_anchors() {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).unwrap();
+        let csd = Csd::constant(grid, 2.0).unwrap();
+        let mut session = MeasurementSession::new(CsdSource::new(csd));
+        let r = find_anchors(&mut session, &AnchorConfig::default());
+        // All responses are zero → argmax lands at index 0 → anchors
+        // coincide with the start point → degenerate.
+        assert!(matches!(r, Err(ExtractError::DegenerateAnchors { .. })));
+    }
+
+    #[test]
+    fn diagonal_has_requested_points() {
+        let mut session = clean_session(100);
+        let r = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        assert_eq!(r.diagonal.len(), 10);
+        assert_eq!(r.diagonal[0], Pixel::new(0, 0));
+        assert_eq!(r.diagonal[9], Pixel::new(99, 99));
+    }
+
+    #[test]
+    fn region_spans_both_lines() {
+        let mut session = clean_session(100);
+        let r = find_anchors(&mut session, &AnchorConfig::default()).unwrap();
+        let region = r.region().unwrap();
+        // The line intersection (solving x = 62 - y/4 against
+        // y = 58 - 0.3 x gives ≈ (51.3, 42.6)) must be inside the
+        // triangle.
+        assert!(region.contains(51, 43), "region {region:?} misses the corner");
+    }
+}

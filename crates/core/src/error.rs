@@ -1,0 +1,147 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for virtual gate extraction.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// The probed window is too small for the algorithm's masks and
+    /// sweeps.
+    WindowTooSmall {
+        /// Minimum pixels required per axis.
+        min: usize,
+        /// Actual smaller dimension.
+        got: usize,
+    },
+    /// Anchor preprocessing produced a degenerate geometry (anchors not
+    /// in upper-left / lower-right order) — usually a sign the data has
+    /// no visible transition lines.
+    DegenerateAnchors {
+        /// Upper-left anchor found.
+        a1: (usize, usize),
+        /// Lower-right anchor found.
+        a2: (usize, usize),
+    },
+    /// The sweeps located too few transition points to fit two lines.
+    TooFewTransitionPoints {
+        /// Points located.
+        got: usize,
+        /// Minimum required.
+        min: usize,
+    },
+    /// The extracted slopes violate the device-physics constraints
+    /// (§4.2: both negative, steep/shallow ordering).
+    UnphysicalSlopes {
+        /// Fitted near-horizontal slope.
+        slope_h: f64,
+        /// Fitted near-vertical slope.
+        slope_v: f64,
+    },
+    /// The fitted lines do not coincide with a genuine charge-sensing
+    /// step: the current drop across them is too small relative to the
+    /// variation along them (featureless ramps and smooth backgrounds
+    /// land here).
+    LowContrast {
+        /// Measured across-to-along contrast ratio.
+        ratio: f64,
+        /// Threshold that was required.
+        threshold: f64,
+    },
+    /// The baseline's edge/line detection failed.
+    Vision(qd_vision::VisionError),
+    /// An inner numerical routine failed.
+    Numerics(qd_numerics::NumericsError),
+    /// Constructing the virtualization matrix failed.
+    Csd(qd_csd::CsdError),
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::WindowTooSmall { min, got } => {
+                write!(f, "probe window dimension {got} below minimum {min}")
+            }
+            ExtractError::DegenerateAnchors { a1, a2 } => write!(
+                f,
+                "anchor points {a1:?} and {a2:?} do not span a critical region"
+            ),
+            ExtractError::TooFewTransitionPoints { got, min } => {
+                write!(f, "located only {got} transition points, need at least {min}")
+            }
+            ExtractError::UnphysicalSlopes { slope_h, slope_v } => write!(
+                f,
+                "fitted slopes (h: {slope_h:.3}, v: {slope_v:.3}) violate device physics"
+            ),
+            ExtractError::LowContrast { ratio, threshold } => write!(
+                f,
+                "fitted lines have contrast ratio {ratio:.2}, below threshold {threshold:.2}"
+            ),
+            ExtractError::Vision(e) => write!(f, "baseline vision failure: {e}"),
+            ExtractError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            ExtractError::Csd(e) => write!(f, "diagram failure: {e}"),
+        }
+    }
+}
+
+impl Error for ExtractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExtractError::Vision(e) => Some(e),
+            ExtractError::Numerics(e) => Some(e),
+            ExtractError::Csd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<qd_vision::VisionError> for ExtractError {
+    fn from(e: qd_vision::VisionError) -> Self {
+        ExtractError::Vision(e)
+    }
+}
+
+impl From<qd_numerics::NumericsError> for ExtractError {
+    fn from(e: qd_numerics::NumericsError) -> Self {
+        ExtractError::Numerics(e)
+    }
+}
+
+impl From<qd_csd::CsdError> for ExtractError {
+    fn from(e: qd_csd::CsdError) -> Self {
+        ExtractError::Csd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let cases: Vec<ExtractError> = vec![
+            ExtractError::WindowTooSmall { min: 20, got: 5 },
+            ExtractError::DegenerateAnchors { a1: (1, 2), a2: (3, 4) },
+            ExtractError::TooFewTransitionPoints { got: 1, min: 4 },
+            ExtractError::UnphysicalSlopes { slope_h: 0.5, slope_v: -0.1 },
+            ExtractError::Vision(qd_vision::VisionError::NoEdges),
+            ExtractError::Numerics(qd_numerics::NumericsError::EmptyInput),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e = ExtractError::from(qd_vision::VisionError::NoEdges);
+        assert!(e.source().is_some());
+        let w = ExtractError::WindowTooSmall { min: 1, got: 0 };
+        assert!(w.source().is_none());
+    }
+
+    #[test]
+    fn send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<ExtractError>();
+    }
+}

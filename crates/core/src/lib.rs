@@ -1,0 +1,81 @@
+//! Fast virtual gate extraction for silicon quantum dot devices.
+//!
+//! Implementation of Che et al., *"Fast Virtual Gate Extraction For
+//! Silicon Quantum Dot Devices"*, DAC 2024 (arXiv:2409.15181): establish
+//! orthogonal ("virtual") control over the dots of a gate-defined quantum
+//! dot array by measuring the slopes of the charge-state transition lines
+//! with as few voltage probes as possible.
+//!
+//! # Pipeline
+//!
+//! 1. [`anchors`] (§4.4) — probe 10 diagonal points, then sweep two fixed
+//!    convolution masks weighted by a 1-D Gaussian to place one *anchor
+//!    point* on each transition line.
+//! 2. [`triangle`] (§4.2) — both lines have negative slope with the
+//!    (0,0)→(1,0) line steeper, so they are confined to the right triangle
+//!    spanned by the anchors (right angle upper-right).
+//! 3. [`sweep`] (§4.3.2, Alg. 3) — a bottom-to-top row-major sweep and a
+//!    left-to-right column-major sweep probe only triangle-interior
+//!    pixels, keep the per-row/column maximum [`feature`] gradient
+//!    (Alg. 2), and shrink the triangle toward each newly found point.
+//! 4. [`postprocess`] (Alg. 3) — keep the lowest point per column and the
+//!    leftmost point per row; union.
+//! 5. [`fit`] (§4.3.3) — fit a 2-piece-wise-linear shape (anchors fixed,
+//!    intersection free), read off the slopes, and build the
+//!    [`qd_csd::VirtualizationMatrix`].
+//!
+//! [`extraction::FastExtractor`] runs the whole pipeline against any
+//! [`qd_instrument::MeasurementSession`]; [`baseline::HoughBaseline`] is
+//! the paper's full-CSD Canny+Hough comparison method, and
+//! [`virtual_gate`] extends both to `n`-dot arrays pairwise (§2.3).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fastvg_core::extraction::FastExtractor;
+//! use qd_csd::{Csd, VoltageGrid};
+//! use qd_instrument::{CsdSource, MeasurementSession};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A synthetic CSD with a steep and a shallow transition line.
+//! let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100)?;
+//! let csd = Csd::from_fn(grid, |v1, v2| {
+//!     let mut i = 8.0 - 0.004 * (v1 + v2);
+//!     if v2 < -3.5 * (v1 - 62.0) { } else { i -= 1.0 }   // steep line
+//!     if v2 < 58.0 - 0.30 * v1 { } else { i -= 0.8 }     // shallow line
+//!     i
+//! })?;
+//!
+//! let mut session = MeasurementSession::new(CsdSource::new(csd));
+//! let result = FastExtractor::new().extract(&mut session)?;
+//!
+//! assert!(result.slope_v < -1.0);
+//! assert!(result.slope_h > -1.0 && result.slope_h < 0.0);
+//! // Only a fraction of the diagram was probed.
+//! assert!(session.coverage() < 0.25);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anchors;
+pub mod baseline;
+pub mod extraction;
+pub mod feature;
+pub mod fit;
+pub mod postprocess;
+pub mod report;
+pub mod sweep;
+pub mod triangle;
+pub mod tuning;
+pub mod verify;
+pub mod virtual_gate;
+pub mod window_search;
+
+mod error;
+
+pub use error::ExtractError;
+pub use extraction::{ExtractionResult, FastExtractor};
+pub use report::{ExtractionReport, Method, SuccessCriteria};

@@ -1,0 +1,151 @@
+//! Erroneous-point filtering (Alg. 3, `PostProcess`).
+//!
+//! The row-major sweep tends to produce stray points when it reaches the
+//! shallow-line region (long in-row segments → noise-prone argmax), and
+//! vice versa for the column-major sweep. The paper's filter exploits the
+//! geometry: correct steep-line points are the *lowest* point in their
+//! column, correct shallow-line points the *leftmost* in their row. Keep
+//!
+//! * `filtered₁ = {(x, y) : ∀ (x, y′) ∈ points, y ≤ y′}` (lowest per column)
+//! * `filtered₂ = {(x, y) : ∀ (x′, y) ∈ points, x ≤ x′}` (leftmost per row)
+//!
+//! and return their union.
+
+use qd_csd::Pixel;
+use std::collections::HashMap;
+
+/// Lowest point in each column (Alg. 3 line 2).
+pub fn lowest_per_column(points: &[Pixel]) -> Vec<Pixel> {
+    let mut best: HashMap<usize, usize> = HashMap::new();
+    for p in points {
+        best.entry(p.x)
+            .and_modify(|y| {
+                if p.y < *y {
+                    *y = p.y;
+                }
+            })
+            .or_insert(p.y);
+    }
+    let mut out: Vec<Pixel> = best.into_iter().map(|(x, y)| Pixel::new(x, y)).collect();
+    out.sort();
+    out
+}
+
+/// Leftmost point in each row (Alg. 3 line 3).
+pub fn leftmost_per_row(points: &[Pixel]) -> Vec<Pixel> {
+    let mut best: HashMap<usize, usize> = HashMap::new();
+    for p in points {
+        best.entry(p.y)
+            .and_modify(|x| {
+                if p.x < *x {
+                    *x = p.x;
+                }
+            })
+            .or_insert(p.x);
+    }
+    let mut out: Vec<Pixel> = best.into_iter().map(|(y, x)| Pixel::new(x, y)).collect();
+    out.sort();
+    out
+}
+
+/// Full post-processing: union of the two filtered sets, deduplicated and
+/// sorted (Alg. 3 line 4).
+pub fn postprocess(points: &[Pixel]) -> Vec<Pixel> {
+    let mut out = lowest_per_column(points);
+    out.extend(leftmost_per_row(points));
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: usize, y: usize) -> Pixel {
+        Pixel::new(x, y)
+    }
+
+    #[test]
+    fn lowest_per_column_keeps_minimum_y() {
+        let pts = vec![p(3, 9), p(3, 4), p(3, 7), p(5, 1)];
+        assert_eq!(lowest_per_column(&pts), vec![p(3, 4), p(5, 1)]);
+    }
+
+    #[test]
+    fn leftmost_per_row_keeps_minimum_x() {
+        let pts = vec![p(9, 3), p(4, 3), p(7, 3), p(1, 5)];
+        assert_eq!(leftmost_per_row(&pts), vec![p(1, 5), p(4, 3)]);
+    }
+
+    #[test]
+    fn postprocess_unions_and_dedups() {
+        // A point that is both lowest-in-column and leftmost-in-row must
+        // appear once.
+        let pts = vec![p(2, 2), p(2, 8), p(8, 2)];
+        let out = postprocess(&pts);
+        assert_eq!(out, vec![p(2, 2), p(2, 8), p(8, 2)]);
+    }
+
+    #[test]
+    fn removes_row_sweep_strays_above_the_shallow_line() {
+        // Simulated geometry: column sweep found the shallow line at
+        // y = 20 for x in 5..10; row sweep produced strays above it at the
+        // same columns (y = 30). The strays are neither lowest in their
+        // column nor leftmost in their row.
+        let mut pts = Vec::new();
+        for x in 5..10 {
+            pts.push(p(x, 20)); // correct shallow points
+            pts.push(p(x, 30)); // strays
+        }
+        pts.push(p(4, 30)); // leftmost of row 30 — survives by the row rule
+        let out = postprocess(&pts);
+        for x in 5..10 {
+            assert!(out.contains(&p(x, 20)));
+            assert!(!out.contains(&p(x, 30)), "stray ({x}, 30) survived");
+        }
+        assert!(out.contains(&p(4, 30)));
+    }
+
+    #[test]
+    fn removes_column_sweep_strays_right_of_the_steep_line() {
+        let mut pts = Vec::new();
+        for y in 5..10 {
+            pts.push(p(40, y)); // correct steep points
+            pts.push(p(50, y)); // strays to the right
+        }
+        let out = postprocess(&pts);
+        for y in 5..10 {
+            assert!(out.contains(&p(40, y)));
+        }
+        // Strays above the column-minimum are removed; (50, 5) survives
+        // because it is the lowest point of column 50 — the paper's filter
+        // is a union, not an intersection.
+        for y in 6..10 {
+            assert!(!out.contains(&p(50, y)), "stray (50, {y}) survived");
+        }
+        assert!(out.contains(&p(50, 5)));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_output() {
+        assert!(postprocess(&[]).is_empty());
+        assert!(lowest_per_column(&[]).is_empty());
+        assert!(leftmost_per_row(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_point_survives() {
+        assert_eq!(postprocess(&[p(3, 3)]), vec![p(3, 3)]);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let pts = vec![p(9, 1), p(1, 9), p(5, 5), p(9, 1), p(1, 9)];
+        let out = postprocess(&pts);
+        let mut sorted = out.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(out, sorted);
+    }
+}

@@ -1,0 +1,194 @@
+//! Scoring and reporting: the machinery behind Table 1.
+//!
+//! The paper judged success by plotting the virtualized diagram and
+//! inspecting it manually. Our synthetic benchmarks carry exact ground
+//! truth, so success is machine-checkable: an extraction succeeds iff its
+//! α coefficients are each within an absolute tolerance of the ground
+//! truth (0.08 by default — roughly the error at which a virtualized
+//! transition line is visibly tilted).
+
+use qd_physics::device::PairGroundTruth;
+use std::time::Duration;
+
+/// Which method produced a report row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's fast extraction (§4).
+    FastExtraction,
+    /// The Canny+Hough full-CSD baseline (§5.1).
+    HoughBaseline,
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Method::FastExtraction => write!(f, "Fast Extraction"),
+            Method::HoughBaseline => write!(f, "Baseline"),
+        }
+    }
+}
+
+/// Success criteria for judging an extraction against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessCriteria {
+    /// Maximum absolute error allowed on each α coefficient.
+    pub alpha_tolerance: f64,
+}
+
+impl Default for SuccessCriteria {
+    fn default() -> Self {
+        Self { alpha_tolerance: 0.08 }
+    }
+}
+
+impl SuccessCriteria {
+    /// Judges extracted coefficients against ground truth.
+    pub fn judge(&self, alpha12: f64, alpha21: f64, truth: &PairGroundTruth) -> bool {
+        (alpha12 - truth.alpha12).abs() <= self.alpha_tolerance
+            && (alpha21 - truth.alpha21).abs() <= self.alpha_tolerance
+    }
+}
+
+/// One row of a Table 1-style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionReport {
+    /// Benchmark index (1-based, Table 1 order).
+    pub benchmark: usize,
+    /// Diagram size in pixels (square).
+    pub size: usize,
+    /// Which method ran.
+    pub method: Method,
+    /// Whether the method produced a result at all *and* it matched the
+    /// ground truth within tolerance.
+    pub success: bool,
+    /// Probes spent (dwell-costing `getCurrent` calls).
+    pub probes: usize,
+    /// Probes as a fraction of the full diagram.
+    pub coverage: f64,
+    /// Simulated total runtime (dwell + compute).
+    pub runtime: Duration,
+    /// Extracted α₁₂ (NaN on hard failure).
+    pub alpha12: f64,
+    /// Extracted α₂₁ (NaN on hard failure).
+    pub alpha21: f64,
+    /// Human-readable failure reason, if any.
+    pub failure: Option<String>,
+}
+
+impl ExtractionReport {
+    /// A report row for a hard failure (the method returned an error).
+    pub fn failed(
+        benchmark: usize,
+        size: usize,
+        method: Method,
+        probes: usize,
+        coverage: f64,
+        runtime: Duration,
+        reason: String,
+    ) -> Self {
+        Self {
+            benchmark,
+            size,
+            method,
+            success: false,
+            probes,
+            coverage,
+            runtime,
+            alpha12: f64::NAN,
+            alpha21: f64::NAN,
+            failure: Some(reason),
+        }
+    }
+
+    /// Speedup of `self` relative to `other` (runtime ratio
+    /// `other / self`), or `None` when either runtime is zero.
+    pub fn speedup_versus(&self, other: &ExtractionReport) -> Option<f64> {
+        let a = self.runtime.as_secs_f64();
+        let b = other.runtime.as_secs_f64();
+        if a <= 0.0 || b <= 0.0 {
+            return None;
+        }
+        Some(b / a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> PairGroundTruth {
+        PairGroundTruth {
+            slope_h: -0.3,
+            slope_v: -4.0,
+            alpha12: 0.25,
+            alpha21: 0.3,
+        }
+    }
+
+    #[test]
+    fn judge_within_tolerance() {
+        let c = SuccessCriteria::default();
+        assert!(c.judge(0.27, 0.33, &truth()));
+        assert!(!c.judge(0.40, 0.30, &truth()));
+        assert!(!c.judge(0.25, 0.45, &truth()));
+    }
+
+    #[test]
+    fn judge_respects_custom_tolerance() {
+        let strict = SuccessCriteria { alpha_tolerance: 0.01 };
+        assert!(!strict.judge(0.27, 0.30, &truth()));
+        assert!(strict.judge(0.255, 0.295, &truth()));
+    }
+
+    #[test]
+    fn failed_report_has_nan_alphas() {
+        let r = ExtractionReport::failed(
+            1,
+            200,
+            Method::FastExtraction,
+            100,
+            0.01,
+            Duration::from_secs(5),
+            "degenerate anchors".into(),
+        );
+        assert!(!r.success);
+        assert!(r.alpha12.is_nan());
+        assert_eq!(r.failure.as_deref(), Some("degenerate anchors"));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let fast = ExtractionReport {
+            benchmark: 3,
+            size: 63,
+            method: Method::FastExtraction,
+            success: true,
+            probes: 643,
+            coverage: 0.16,
+            runtime: Duration::from_secs_f64(32.26),
+            alpha12: 0.25,
+            alpha21: 0.31,
+            failure: None,
+        };
+        let slow = ExtractionReport {
+            method: Method::HoughBaseline,
+            probes: 3969,
+            coverage: 1.0,
+            runtime: Duration::from_secs_f64(198.96),
+            ..fast.clone()
+        };
+        let s = fast.speedup_versus(&slow).unwrap();
+        assert!((s - 6.167).abs() < 0.01, "speedup {s}");
+        let zero = ExtractionReport {
+            runtime: Duration::ZERO,
+            ..fast.clone()
+        };
+        assert!(zero.speedup_versus(&slow).is_none());
+    }
+
+    #[test]
+    fn method_display() {
+        assert_eq!(Method::FastExtraction.to_string(), "Fast Extraction");
+        assert_eq!(Method::HoughBaseline.to_string(), "Baseline");
+    }
+}

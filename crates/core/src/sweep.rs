@@ -1,0 +1,283 @@
+//! The shrinking row-major and column-major sweeps of §4.3.2 (Alg. 3).
+//!
+//! Both sweeps walk the critical triangle's rows (bottom → top) or
+//! columns (left → right), probe only the in-triangle segment, keep the
+//! pixel with the maximum feature gradient as a transition point, and
+//! move the corresponding anchor to that pixel — shrinking the triangle
+//! so the search stays glued to the transition lines.
+//!
+//! The row-major sweep tracks the steep (0,0)→(1,0) line well (it is
+//! nearly orthogonal to rows) but gets error-prone near the shallow line,
+//! where the in-row segment grows long; the column-major sweep has the
+//! mirrored behaviour. Running both and filtering (see
+//! [`crate::postprocess`]) covers both lines accurately.
+
+use crate::feature::feature_gradient_at_pixel;
+use crate::triangle::CriticalRegion;
+use qd_csd::Pixel;
+use qd_instrument::{CurrentSource, MeasurementSession};
+
+/// Which sweep produced a step (for traces and figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Bottom-to-top row-major sweep (moves the lower-right anchor).
+    RowMajor,
+    /// Left-to-right column-major sweep (moves the upper-left anchor).
+    ColumnMajor,
+}
+
+/// One sweep step, recorded for Figure 5-style traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepStep {
+    /// Row-major or column-major.
+    pub kind: SweepKind,
+    /// The row (or column) index swept.
+    pub line_index: usize,
+    /// Pixels probed on this row/column, in probe order.
+    pub probed: Vec<Pixel>,
+    /// The pixel saved as a transition point (max feature gradient).
+    pub chosen: Pixel,
+    /// The triangle *before* this step's anchor update.
+    pub region: CriticalRegion,
+}
+
+/// Configuration for the sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Dynamically shrink the triangle by moving anchors to found points
+    /// (the paper's behaviour). Disabling this is the A1 ablation: every
+    /// row probes the full original triangle segment.
+    pub shrink: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self { shrink: true }
+    }
+}
+
+/// Result of one sweep: located points plus the trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Transition points in sweep order.
+    pub points: Vec<Pixel>,
+    /// Per-row/column trace.
+    pub steps: Vec<SweepStep>,
+}
+
+/// Bottom-to-top row-major sweep (Alg. 3 lines 8–12): the upper-left
+/// anchor stays fixed, the lower-right anchor follows the found points.
+pub fn row_major_sweep<S: CurrentSource>(
+    session: &mut MeasurementSession<S>,
+    region: CriticalRegion,
+    config: &SweepConfig,
+) -> SweepResult {
+    let a1 = region.a1;
+    let mut anchor2 = region.a2;
+    let mut points = Vec::new();
+    let mut steps = Vec::new();
+
+    for y in (region.a2.y + 1)..a1.y {
+        let current = CriticalRegion::new(a1, anchor2).unwrap_or(region);
+        let Some((x_lo, x_hi)) = current.row_range(y) else {
+            continue;
+        };
+        let mut probed = Vec::with_capacity(x_hi - x_lo + 1);
+        let mut best: Option<(f64, Pixel)> = None;
+        for x in x_lo..=x_hi {
+            let g = feature_gradient_at_pixel(session, x, y);
+            let p = Pixel::new(x, y);
+            probed.push(p);
+            match best {
+                Some((bg, _)) if bg >= g => {}
+                _ => best = Some((g, p)),
+            }
+        }
+        let Some((_, chosen)) = best else { continue };
+        points.push(chosen);
+        steps.push(SweepStep {
+            kind: SweepKind::RowMajor,
+            line_index: y,
+            probed,
+            chosen,
+            region: current,
+        });
+        if config.shrink {
+            anchor2 = chosen;
+        }
+    }
+    SweepResult { points, steps }
+}
+
+/// Left-to-right column-major sweep (Alg. 3 lines 13–18): the lower-right
+/// anchor stays fixed (reset to the *original* anchor), the upper-left
+/// anchor follows the found points.
+pub fn column_major_sweep<S: CurrentSource>(
+    session: &mut MeasurementSession<S>,
+    region: CriticalRegion,
+    config: &SweepConfig,
+) -> SweepResult {
+    let a2 = region.a2;
+    let mut anchor1 = region.a1;
+    let mut points = Vec::new();
+    let mut steps = Vec::new();
+
+    for x in (region.a1.x + 1)..a2.x {
+        let current = CriticalRegion::new(anchor1, a2).unwrap_or(region);
+        let Some((y_lo, y_hi)) = current.col_range(x) else {
+            continue;
+        };
+        let mut probed = Vec::with_capacity(y_hi - y_lo + 1);
+        let mut best: Option<(f64, Pixel)> = None;
+        for y in y_lo..=y_hi {
+            let g = feature_gradient_at_pixel(session, x, y);
+            let p = Pixel::new(x, y);
+            probed.push(p);
+            match best {
+                Some((bg, _)) if bg >= g => {}
+                _ => best = Some((g, p)),
+            }
+        }
+        let Some((_, chosen)) = best else { continue };
+        points.push(chosen);
+        steps.push(SweepStep {
+            kind: SweepKind::ColumnMajor,
+            line_index: x,
+            probed,
+            chosen,
+            region: current,
+        });
+        if config.shrink {
+            anchor1 = chosen;
+        }
+    }
+    SweepResult { points, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_csd::{Csd, VoltageGrid};
+    use qd_instrument::CsdSource;
+
+    /// Steep line x = 62 - y/4 (slope -4), shallow line y = 58 - 0.3x.
+    fn session() -> MeasurementSession<CsdSource> {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).unwrap();
+        let csd = Csd::from_fn(grid, |v1, v2| {
+            let mut i = 8.0 - 0.002 * (v1 + v2);
+            if v2 > -4.0 * (v1 - 62.0) {
+                i -= 1.0;
+            }
+            if v2 > 58.0 - 0.3 * v1 {
+                i -= 0.8;
+            }
+            i
+        })
+        .unwrap();
+        MeasurementSession::new(CsdSource::new(csd))
+    }
+
+    fn test_region() -> CriticalRegion {
+        // Anchors placed on the lines: a1 on the shallow line at x = 10
+        // (y = 55), a2 on the steep line at y = 10 (x = 59).
+        CriticalRegion::new(Pixel::new(10, 55), Pixel::new(59, 10)).unwrap()
+    }
+
+    #[test]
+    fn row_sweep_follows_the_steep_line() {
+        let mut s = session();
+        let r = row_major_sweep(&mut s, test_region(), &SweepConfig::default());
+        assert!(!r.points.is_empty());
+        // Points in the lower half must hug the steep line x = 62 - y/4;
+        // the gradient peaks one pixel left of the crossing.
+        for p in r.points.iter().filter(|p| p.y < 35) {
+            let expect = 62.0 - p.y as f64 / 4.0;
+            assert!(
+                (p.x as f64 - expect).abs() <= 2.0,
+                "point {p} off the steep line (expected x ≈ {expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn column_sweep_follows_the_shallow_line() {
+        let mut s = session();
+        let r = column_major_sweep(&mut s, test_region(), &SweepConfig::default());
+        assert!(!r.points.is_empty());
+        for p in r.points.iter().filter(|p| p.x < 40) {
+            let expect = 58.0 - 0.3 * p.x as f64;
+            assert!(
+                (p.y as f64 - expect).abs() <= 2.0,
+                "point {p} off the shallow line (expected y ≈ {expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn row_sweep_visits_each_row_once() {
+        let mut s = session();
+        let r = row_major_sweep(&mut s, test_region(), &SweepConfig::default());
+        let rows: Vec<usize> = r.points.iter().map(|p| p.y).collect();
+        let mut dedup = rows.clone();
+        dedup.dedup();
+        assert_eq!(rows, dedup, "each row contributes at most one point");
+        assert_eq!(r.points.len(), r.steps.len());
+    }
+
+    #[test]
+    fn shrinking_probes_fewer_pixels_than_static() {
+        let mut s1 = session();
+        let _ = row_major_sweep(&mut s1, test_region(), &SweepConfig { shrink: true });
+        let shrunk = s1.probe_count();
+        let mut s2 = session();
+        let _ = row_major_sweep(&mut s2, test_region(), &SweepConfig { shrink: false });
+        let full = s2.probe_count();
+        assert!(
+            shrunk < full / 2,
+            "shrinking ({shrunk}) should probe far fewer than static ({full})"
+        );
+    }
+
+    #[test]
+    fn steps_record_probes_and_regions() {
+        let mut s = session();
+        let r = row_major_sweep(&mut s, test_region(), &SweepConfig::default());
+        for step in &r.steps {
+            assert_eq!(step.kind, SweepKind::RowMajor);
+            assert!(step.probed.contains(&step.chosen));
+            assert!(step.region.contains(step.chosen.x, step.chosen.y));
+            assert_eq!(step.chosen.y, step.line_index);
+        }
+    }
+
+    #[test]
+    fn sweeps_stay_inside_the_original_triangle() {
+        let mut s = session();
+        let region = test_region();
+        let r = row_major_sweep(&mut s, region, &SweepConfig::default());
+        let c = column_major_sweep(&mut s, region, &SweepConfig::default());
+        for p in r.points.iter().chain(&c.points) {
+            assert!(
+                p.x <= region.a2.x && p.y <= region.a1.y,
+                "point {p} escaped the bounding box"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_anchor_update_is_tolerated() {
+        // If a found point shares a row/column with the fixed anchor the
+        // shrunk region is invalid; the sweep must fall back rather than
+        // panic. Construct a pathological diagram driving points to the
+        // triangle edge.
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 40, 40).unwrap();
+        let csd = Csd::from_fn(grid, |v1, _| -v1).unwrap(); // gradient max at left edge
+        let mut s = MeasurementSession::new(CsdSource::new(csd));
+        let region = CriticalRegion::new(Pixel::new(2, 35), Pixel::new(35, 2)).unwrap();
+        let r = row_major_sweep(&mut s, region, &SweepConfig::default());
+        // No panic; every chosen point within bounds.
+        for p in &r.points {
+            assert!(p.x < 40 && p.y < 40);
+        }
+    }
+}

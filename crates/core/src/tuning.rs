@@ -1,0 +1,196 @@
+//! Auto-tuning wrapper: extraction with retry policies.
+//!
+//! A production tuning loop cannot stop at the first failed extraction —
+//! the paper's §1 motivation is unattended scale-up. [`TuningLoop`]
+//! wraps [`FastExtractor`] with a small escalation ladder: each retry
+//! re-runs the pipeline with a progressively more conservative
+//! configuration (different diagonal density, anchor fallback position,
+//! no shrinking), accumulating the probe budget across attempts so the
+//! cost accounting stays honest.
+
+use crate::anchors::AnchorConfig;
+use crate::extraction::{ExtractionResult, ExtractorConfig, FastExtractor};
+use crate::sweep::SweepConfig;
+use crate::ExtractError;
+use qd_instrument::{CurrentSource, MeasurementSession};
+
+/// A retry ladder for unattended extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningLoop {
+    attempts: Vec<ExtractorConfig>,
+}
+
+/// Outcome of a tuning loop run.
+#[derive(Debug)]
+pub struct TuningOutcome {
+    /// The successful extraction, if any attempt passed.
+    pub result: Result<ExtractionResult, ExtractError>,
+    /// Which attempt (0-based) succeeded, or the number of attempts made.
+    pub attempts_used: usize,
+    /// Probes spent across *all* attempts (cached pixels are shared
+    /// between attempts, so retries are much cheaper than first runs).
+    pub total_probes: usize,
+    /// Failure messages of the unsuccessful attempts, in order.
+    pub failures: Vec<String>,
+}
+
+impl TuningLoop {
+    /// The default three-step ladder:
+    ///
+    /// 1. the paper's configuration;
+    /// 2. denser diagonal probing (16 points) with a wider Gaussian —
+    ///    recovers from a badly placed start point;
+    /// 3. no triangle shrinking — slower but immune to the ratchet
+    ///    failure mode on marginal-SNR data.
+    pub fn new() -> Self {
+        let paper = ExtractorConfig::default();
+        let denser = ExtractorConfig {
+            anchors: AnchorConfig {
+                diagonal_points: 16,
+                gaussian_sigma_fraction: 0.4,
+                ..AnchorConfig::default()
+            },
+            ..ExtractorConfig::default()
+        };
+        let no_shrink = ExtractorConfig {
+            sweep: SweepConfig { shrink: false },
+            ..ExtractorConfig::default()
+        };
+        Self {
+            attempts: vec![paper, denser, no_shrink],
+        }
+    }
+
+    /// A custom ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempts` is empty.
+    pub fn with_attempts(attempts: Vec<ExtractorConfig>) -> Self {
+        assert!(!attempts.is_empty(), "ladder needs at least one attempt");
+        Self { attempts }
+    }
+
+    /// Number of rungs on the ladder.
+    pub fn len(&self) -> usize {
+        self.attempts.len()
+    }
+
+    /// Whether the ladder is empty (never true for a constructed loop).
+    pub fn is_empty(&self) -> bool {
+        self.attempts.is_empty()
+    }
+
+    /// Runs the ladder until an attempt succeeds.
+    pub fn run<S: CurrentSource>(&self, session: &mut MeasurementSession<S>) -> TuningOutcome {
+        let mut failures = Vec::new();
+        for (i, config) in self.attempts.iter().enumerate() {
+            let extractor = FastExtractor::with_config(config.clone());
+            match extractor.extract(session) {
+                Ok(result) => {
+                    return TuningOutcome {
+                        attempts_used: i + 1,
+                        total_probes: session.probe_count(),
+                        result: Ok(result),
+                        failures,
+                    }
+                }
+                Err(e) => failures.push(e.to_string()),
+            }
+        }
+        // All rungs failed; re-run the last attempt's error for the caller.
+        let extractor = FastExtractor::with_config(
+            self.attempts.last().expect("non-empty ladder").clone(),
+        );
+        let result = extractor.extract(session);
+        TuningOutcome {
+            attempts_used: self.attempts.len(),
+            total_probes: session.probe_count(),
+            result,
+            failures,
+        }
+    }
+}
+
+impl Default for TuningLoop {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_csd::{Csd, VoltageGrid};
+    use qd_instrument::CsdSource;
+
+    fn clean_session() -> MeasurementSession<CsdSource> {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).unwrap();
+        let csd = Csd::from_fn(grid, |v1, v2| {
+            let mut i = 8.0 - 0.002 * (v1 + v2);
+            if v2 > -4.0 * (v1 - 62.0) {
+                i -= 1.0;
+            }
+            if v2 > 58.0 - 0.3 * v1 {
+                i -= 0.8;
+            }
+            i
+        })
+        .unwrap();
+        MeasurementSession::new(CsdSource::new(csd))
+    }
+
+    #[test]
+    fn clean_data_succeeds_on_the_first_rung() {
+        let mut session = clean_session();
+        let outcome = TuningLoop::new().run(&mut session);
+        assert!(outcome.result.is_ok());
+        assert_eq!(outcome.attempts_used, 1);
+        assert!(outcome.failures.is_empty());
+    }
+
+    #[test]
+    fn flat_data_exhausts_the_ladder() {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).unwrap();
+        let csd = Csd::constant(grid, 1.0).unwrap();
+        let mut session = MeasurementSession::new(CsdSource::new(csd));
+        let ladder = TuningLoop::new();
+        let outcome = ladder.run(&mut session);
+        assert!(outcome.result.is_err());
+        assert_eq!(outcome.attempts_used, ladder.len());
+        assert_eq!(outcome.failures.len(), ladder.len());
+    }
+
+    #[test]
+    fn retries_share_the_probe_cache() {
+        // A ladder of two identical configs: the second run should add
+        // almost no probes because every pixel is cached.
+        let mut session = clean_session();
+        let single = TuningLoop::with_attempts(vec![ExtractorConfig::default()]);
+        let first = single.run(&mut session);
+        let probes_once = first.total_probes;
+
+        let mut session2 = clean_session();
+        let double = TuningLoop::with_attempts(vec![
+            ExtractorConfig::default(),
+            ExtractorConfig::default(),
+        ]);
+        let outcome = double.run(&mut session2);
+        // Succeeds on rung 1, so identical cost.
+        assert_eq!(outcome.total_probes, probes_once);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn empty_ladder_panics() {
+        let _ = TuningLoop::with_attempts(vec![]);
+    }
+
+    #[test]
+    fn ladder_accessors() {
+        let l = TuningLoop::new();
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
+        assert_eq!(TuningLoop::default(), l);
+    }
+}

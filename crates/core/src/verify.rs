@@ -1,0 +1,188 @@
+//! Programmatic verification of a virtualization matrix.
+//!
+//! The paper judged extraction success by plotting the affine-transformed
+//! diagram and inspecting it manually (§5.1). This module provides the
+//! machine-checkable analogue: measures of how orthogonal the virtual
+//! gates actually are, computable either against a known device model or
+//! against a diagram alone.
+
+use qd_csd::{Csd, VirtualizationMatrix};
+use qd_physics::device::PairGroundTruth;
+
+/// How well a matrix orthogonalizes a pair of (true) transition lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrthogonalityScore {
+    /// Angle (degrees) between the steep line's image and vertical.
+    pub steep_tilt_deg: f64,
+    /// Angle (degrees) between the shallow line's image and horizontal.
+    pub shallow_tilt_deg: f64,
+    /// Residual cross-coupling: how much virtual gate 1 still moves dot 2
+    /// and vice versa, as a fraction of the direct coupling. Zero for a
+    /// perfect matrix.
+    pub residual_coupling: f64,
+}
+
+impl OrthogonalityScore {
+    /// A single success figure: the worst tilt in degrees.
+    pub fn worst_tilt_deg(&self) -> f64 {
+        self.steep_tilt_deg.max(self.shallow_tilt_deg)
+    }
+
+    /// The paper's visual bar, made explicit: a virtualized line tilted
+    /// less than `max_tilt_deg` reads as orthogonal on a plot.
+    pub fn passes(&self, max_tilt_deg: f64) -> bool {
+        self.worst_tilt_deg() <= max_tilt_deg
+    }
+}
+
+/// Scores `matrix` against the analytic ground truth of a device pair.
+///
+/// The tilt angles measure the images of the *true* transition lines
+/// under the (extracted) matrix; `residual_coupling` is read off the
+/// composition with the exact compensation matrix.
+pub fn score_against_truth(
+    matrix: &VirtualizationMatrix,
+    truth: &PairGroundTruth,
+) -> OrthogonalityScore {
+    let steep_image = matrix.map_slope(truth.slope_v);
+    let shallow_image = matrix.map_slope(truth.slope_h);
+
+    // Angle of a slope m to vertical: atan(|1/m|); to horizontal: atan(|m|).
+    let steep_tilt_deg = if steep_image.is_infinite() {
+        0.0
+    } else {
+        (1.0 / steep_image).abs().atan().to_degrees()
+    };
+    let shallow_tilt_deg = shallow_image.abs().atan().to_degrees();
+
+    // Perfect coefficients for this truth.
+    let exact12 = truth.alpha12;
+    let exact21 = truth.alpha21;
+    let r12 = (matrix.alpha12() - exact12).abs();
+    let r21 = (matrix.alpha21() - exact21).abs();
+    let denom = exact12.abs().max(exact21.abs()).max(1e-12);
+    OrthogonalityScore {
+        steep_tilt_deg,
+        shallow_tilt_deg,
+        residual_coupling: r12.max(r21) / denom,
+    }
+}
+
+/// Data-driven verification: measures the steep step's column drift in
+/// the virtualized diagram, without any ground-truth model — closest in
+/// spirit to the paper's "plot it and look" procedure.
+///
+/// Returns the drift (in pixels) of the strongest per-row current step
+/// across the middle half of the virtualized image, or `None` if no
+/// consistent step is visible (fewer than a quarter of the rows show
+/// one).
+pub fn measure_steep_step_drift(
+    matrix: &VirtualizationMatrix,
+    csd: &Csd,
+) -> Option<usize> {
+    let virt = matrix.virtualize(csd).ok()?;
+    let (w, h) = virt.size();
+    if w < 8 || h < 8 {
+        return None;
+    }
+    let mut cols = Vec::new();
+    for y in (h / 4)..(3 * h / 4) {
+        let mut best = (0usize, 0.0f64);
+        for x in (w / 4)..(w - 2) {
+            let drop = virt.at(x, y) - virt.at(x + 2, y);
+            if drop > best.1 {
+                best = (x, drop);
+            }
+        }
+        // Only count rows with a clear step (top decile of current span).
+        let (lo, hi) = virt.min_max();
+        if best.1 > 0.12 * (hi - lo) {
+            cols.push(best.0);
+        }
+    }
+    if cols.len() < h / 4 {
+        return None;
+    }
+    let min = *cols.iter().min().expect("non-empty");
+    let max = *cols.iter().max().expect("non-empty");
+    Some(max - min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_csd::VoltageGrid;
+
+    fn truth() -> PairGroundTruth {
+        PairGroundTruth {
+            slope_h: -0.3,
+            slope_v: -4.0,
+            alpha12: 0.25,
+            alpha21: 0.3,
+        }
+    }
+
+    #[test]
+    fn exact_matrix_scores_zero() {
+        let t = truth();
+        let m = VirtualizationMatrix::from_slopes(t.slope_h, t.slope_v).unwrap();
+        let s = score_against_truth(&m, &t);
+        assert!(s.steep_tilt_deg < 1e-9);
+        assert!(s.shallow_tilt_deg < 1e-9);
+        assert!(s.residual_coupling < 1e-9);
+        assert!(s.passes(0.1));
+    }
+
+    #[test]
+    fn identity_matrix_scores_poorly() {
+        let t = truth();
+        let s = score_against_truth(&VirtualizationMatrix::identity(), &t);
+        // Without compensation, the steep line is tilted by atan(1/4) and
+        // the shallow line by atan(0.3).
+        assert!((s.steep_tilt_deg - 14.0).abs() < 0.1, "{}", s.steep_tilt_deg);
+        assert!((s.shallow_tilt_deg - 16.7).abs() < 0.1, "{}", s.shallow_tilt_deg);
+        assert!(s.residual_coupling > 0.9);
+        assert!(!s.passes(5.0));
+    }
+
+    #[test]
+    fn small_errors_give_small_tilts() {
+        let t = truth();
+        let m = VirtualizationMatrix::new(t.alpha12 + 0.02, t.alpha21 - 0.02).unwrap();
+        let s = score_against_truth(&m, &t);
+        assert!(s.worst_tilt_deg() < 2.5, "tilt {}", s.worst_tilt_deg());
+        assert!(s.passes(3.0));
+        assert!((s.residual_coupling - 0.0667).abs() < 0.01);
+    }
+
+    #[test]
+    fn step_drift_small_for_correct_matrix() {
+        // Steep line of slope -4 through x=40 at y=0; correct matrix must
+        // make the virtualized step vertical.
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).unwrap();
+        let csd = Csd::from_fn(grid, |v1, v2| {
+            if v2 > -4.0 * (v1 - 40.0) {
+                2.0
+            } else {
+                5.0
+            }
+        })
+        .unwrap();
+        let good = VirtualizationMatrix::from_slopes(-0.3, -4.0).unwrap();
+        let drift_good = measure_steep_step_drift(&good, &csd).expect("step visible");
+        let drift_id =
+            measure_steep_step_drift(&VirtualizationMatrix::identity(), &csd).expect("step");
+        assert!(drift_good <= 2, "good drift {drift_good}");
+        assert!(drift_id >= 6, "identity drift {drift_id}");
+    }
+
+    #[test]
+    fn step_drift_none_without_a_step() {
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 32, 32).unwrap();
+        let flat = Csd::constant(grid, 1.0).unwrap();
+        assert_eq!(
+            measure_steep_step_drift(&VirtualizationMatrix::identity(), &flat),
+            None
+        );
+    }
+}

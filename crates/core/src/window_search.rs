@@ -1,0 +1,188 @@
+//! Coarse-to-fine window planning (extension).
+//!
+//! The paper assumes each plunger pair's measurement window — the region
+//! containing the (0,0)/(0,1)/(1,0)/(1,1) corner — is already known (its
+//! benchmarks are pre-cropped). On a fresh device that window must be
+//! *found*, and probing a fine grid over the whole search range would
+//! defeat the probe budget.
+//!
+//! The trick: the fast extraction pipeline itself is resolution-agnostic.
+//! Run it once over a *coarse* session (big pixel size, a wide voltage
+//! range) to locate the transition-line intersection cheaply, then plan a
+//! fine window around it with the standard geometry (corner at 62 %/58 %
+//! of the span, matching the benchmark convention).
+
+use crate::extraction::{ExtractionResult, FastExtractor};
+use crate::ExtractError;
+use qd_instrument::{CurrentSource, MeasurementSession, VoltageWindow};
+
+/// Outcome of the coarse pass.
+#[derive(Debug)]
+pub struct CornerEstimate {
+    /// Estimated transition-line intersection, in volts.
+    pub corner: (f64, f64),
+    /// The coarse extraction behind the estimate (slopes are usable as
+    /// starting guesses for the fine pass).
+    pub coarse: ExtractionResult,
+    /// Probes spent on the coarse pass.
+    pub probes: usize,
+}
+
+/// Locates the (0,0)-corner intersection by running the fast extraction
+/// on a coarse session.
+///
+/// The session's window defines the search range; its `delta` is the
+/// coarse pixel size (keep the implied grid at ≳ 24×24 pixels so the
+/// anchor masks have room).
+///
+/// # Errors
+///
+/// Any [`ExtractError`] from the coarse extraction — most commonly
+/// [`ExtractError::DegenerateAnchors`] when the search range contains no
+/// transition lines at all.
+pub fn locate_corner<S: CurrentSource>(
+    session: &mut MeasurementSession<S>,
+) -> Result<CornerEstimate, ExtractError> {
+    let before = session.probe_count();
+    let result = FastExtractor::new().extract(session)?;
+    let w = session.window();
+    let corner = (
+        w.x_min + result.fit.intersection.0 * w.delta,
+        w.y_min + result.fit.intersection.1 * w.delta,
+    );
+    Ok(CornerEstimate {
+        corner,
+        probes: session.probe_count() - before,
+        coarse: result,
+    })
+}
+
+/// Plans a fine measurement window of `span` volts and `pixels²`
+/// resolution around a corner estimate, using the standard geometry
+/// (corner at 62 % / 58 % of the window).
+///
+/// # Panics
+///
+/// Panics if `pixels < 2` or `span` is not positive — programming errors
+/// in harness code.
+pub fn plan_window_around(corner: (f64, f64), span: f64, pixels: usize) -> VoltageWindow {
+    assert!(pixels >= 2, "window needs at least 2 pixels per axis");
+    assert!(span > 0.0 && span.is_finite(), "span must be positive");
+    let x_min = corner.0 - 0.62 * span;
+    let y_min = corner.1 - 0.58 * span;
+    VoltageWindow {
+        x_min,
+        y_min,
+        x_max: x_min + span,
+        y_max: y_min + span,
+        delta: span / (pixels - 1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qd_instrument::PhysicsSource;
+    use qd_physics::{DeviceBuilder, SensorModel};
+
+    /// A device plus a WIDE search window (120 V span) at coarse pixels.
+    fn coarse_session(
+        coarse_pixels: usize,
+    ) -> (qd_physics::LinearArrayDevice, (f64, f64), MeasurementSession<PhysicsSource>) {
+        let sensor =
+            SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008]).unwrap();
+        let device = DeviceBuilder::double_dot()
+            .temperature(0.0015)
+            .sensor(sensor)
+            .build_array()
+            .unwrap();
+        let truth_corner = device.pair_line_intersection(0, &[0.0, 0.0]).unwrap();
+        let span = 120.0;
+        // Position the corner off-centre so the search actually works.
+        let window = VoltageWindow {
+            x_min: truth_corner.0 - 0.55 * span,
+            y_min: truth_corner.1 - 0.65 * span,
+            x_max: truth_corner.0 + 0.45 * span,
+            y_max: truth_corner.1 + 0.35 * span,
+            delta: span / (coarse_pixels - 1) as f64,
+        };
+        let source = PhysicsSource::new(device.clone(), 0, 1, vec![0.0, 0.0], window);
+        (device, truth_corner, MeasurementSession::new(source))
+    }
+
+    #[test]
+    fn coarse_pass_finds_the_corner_cheaply() {
+        let (_, truth, mut session) = coarse_session(40);
+        let est = locate_corner(&mut session).expect("coarse pass extracts");
+        let err = ((est.corner.0 - truth.0).powi(2) + (est.corner.1 - truth.1).powi(2)).sqrt();
+        // Coarse pixels are 3 V; corner within a few coarse pixels.
+        assert!(err < 12.0, "corner error {err:.1} V");
+        // The whole search cost a small fraction of even the coarse grid.
+        assert!(
+            est.probes < 40 * 40 / 4,
+            "coarse search spent {} probes",
+            est.probes
+        );
+    }
+
+    #[test]
+    fn coarse_then_fine_beats_fine_everywhere() {
+        let (device, _, mut coarse) = coarse_session(40);
+        let est = locate_corner(&mut coarse).expect("coarse pass extracts");
+
+        // Fine pass in the planned window.
+        let fine_window = plan_window_around(est.corner, 60.0, 100);
+        let source = PhysicsSource::new(device.clone(), 0, 1, vec![0.0, 0.0], fine_window);
+        let mut fine = MeasurementSession::new(source);
+        let result = FastExtractor::new().extract(&mut fine).expect("fine pass extracts");
+
+        let truth = device.pair_ground_truth(0).unwrap();
+        assert!(
+            (result.alpha21() - truth.alpha21).abs() < 0.08,
+            "alpha21 {} vs truth {}",
+            result.alpha21(),
+            truth.alpha21
+        );
+        // Total cost: coarse + fine ≪ one full fine CSD over the *search*
+        // range (which would be (120/60 * 100)² = 200² = 40000 probes).
+        let total = est.probes + result.probes;
+        assert!(total < 4000, "coarse+fine spent {total} probes");
+    }
+
+    #[test]
+    fn planned_window_has_standard_geometry() {
+        let w = plan_window_around((50.0, 40.0), 60.0, 100);
+        assert!((w.x_min - (50.0 - 37.2)).abs() < 1e-9);
+        assert!((w.y_min - (40.0 - 34.8)).abs() < 1e-9);
+        assert_eq!(w.width_px(), 100);
+        assert_eq!(w.height_px(), 100);
+    }
+
+    #[test]
+    fn empty_search_range_fails_cleanly() {
+        // A window far below any transition: flat data.
+        let sensor =
+            SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008]).unwrap();
+        let device = DeviceBuilder::double_dot()
+            .temperature(0.0015)
+            .sensor(sensor)
+            .build_array()
+            .unwrap();
+        let window = VoltageWindow {
+            x_min: -260.0,
+            y_min: -260.0,
+            x_max: -140.0,
+            y_max: -140.0,
+            delta: 3.0,
+        };
+        let source = PhysicsSource::new(device, 0, 1, vec![0.0, 0.0], window);
+        let mut session = MeasurementSession::new(source);
+        assert!(locate_corner(&mut session).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 pixels")]
+    fn plan_window_validates_pixels() {
+        let _ = plan_window_around((0.0, 0.0), 10.0, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the extraction pipeline's invariants.
+
+use proptest::prelude::*;
+use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
+use fastvg_core::triangle::CriticalRegion;
+use qd_csd::Pixel;
+
+fn pixels() -> impl Strategy<Value = Vec<Pixel>> {
+    prop::collection::vec((0usize..60, 0usize..60), 0..80)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Pixel::new(x, y)).collect())
+}
+
+proptest! {
+    /// The post-filter output is always a subset of its input.
+    #[test]
+    fn postprocess_is_a_subset(points in pixels()) {
+        let out = postprocess(&points);
+        for p in &out {
+            prop_assert!(points.contains(p), "{p} not in input");
+        }
+    }
+
+    /// Post-processing is idempotent.
+    #[test]
+    fn postprocess_is_idempotent(points in pixels()) {
+        let once = postprocess(&points);
+        let twice = postprocess(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Every input column keeps exactly its lowest point in set 1, every
+    /// input row its leftmost point in set 2.
+    #[test]
+    fn filters_keep_extremes(points in pixels()) {
+        let set1 = lowest_per_column(&points);
+        for p in &points {
+            let kept = set1.iter().find(|q| q.x == p.x).expect("column present");
+            prop_assert!(kept.y <= p.y);
+        }
+        let set2 = leftmost_per_row(&points);
+        for p in &points {
+            let kept = set2.iter().find(|q| q.y == p.y).expect("row present");
+            prop_assert!(kept.x <= p.x);
+        }
+    }
+
+    /// The union never loses a point that is extremal in either sense.
+    #[test]
+    fn postprocess_keeps_all_extremes(points in pixels()) {
+        let out = postprocess(&points);
+        for p in &points {
+            let lowest_in_col = points.iter().filter(|q| q.x == p.x).all(|q| p.y <= q.y);
+            let leftmost_in_row = points.iter().filter(|q| q.y == p.y).all(|q| p.x <= q.x);
+            if lowest_in_col || leftmost_in_row {
+                prop_assert!(out.contains(p), "extreme point {p} was dropped");
+            }
+        }
+    }
+
+    /// Triangle row/column containment views agree for every pixel.
+    #[test]
+    fn triangle_views_are_consistent(
+        a1x in 0usize..20,
+        a1y in 25usize..60,
+        a2x in 25usize..60,
+        a2y in 0usize..20,
+        px in 0usize..60,
+        py in 0usize..60,
+    ) {
+        let region = CriticalRegion::new(Pixel::new(a1x, a1y), Pixel::new(a2x, a2y))
+            .expect("anchors are up-left/down-right by construction");
+        let by_row = region.contains(px, py);
+        let by_col = match region.col_range(px) {
+            Some((lo, hi)) => py >= lo && py <= hi,
+            None => false,
+        };
+        prop_assert_eq!(by_row, by_col, "disagreement at ({}, {})", px, py);
+    }
+
+    /// Anchors and the right-angle corner are always inside the triangle,
+    /// and the area never exceeds the bounding box.
+    #[test]
+    fn triangle_basic_geometry(
+        a1x in 0usize..20,
+        a1y in 25usize..60,
+        a2x in 25usize..60,
+        a2y in 0usize..20,
+    ) {
+        let region = CriticalRegion::new(Pixel::new(a1x, a1y), Pixel::new(a2x, a2y)).unwrap();
+        prop_assert!(region.contains(a1x, a1y));
+        prop_assert!(region.contains(a2x, a2y));
+        let c = region.corner();
+        prop_assert!(region.contains(c.x, c.y));
+        let bbox = (a2x - a1x + 1) * (a1y - a2y + 1);
+        let area = region.area_pixels();
+        prop_assert!(area <= bbox, "area {area} exceeds bbox {bbox}");
+        // The triangle covers at least the half-box minus the diagonal.
+        prop_assert!(2 * area + a2x - a1x + a1y - a2y + 2 >= bbox,
+            "area {area} too small for bbox {bbox}");
+    }
+
+    /// Points strictly outside the bounding box are never contained.
+    #[test]
+    fn triangle_respects_bbox(
+        a1x in 0usize..20,
+        a1y in 25usize..60,
+        a2x in 25usize..60,
+        a2y in 0usize..20,
+        px in 0usize..80,
+        py in 0usize..80,
+    ) {
+        let region = CriticalRegion::new(Pixel::new(a1x, a1y), Pixel::new(a2x, a2y)).unwrap();
+        if px < a1x || px > a2x || py < a2y || py > a1y {
+            prop_assert!(!region.contains(px, py));
+        }
+    }
+}

@@ -1,0 +1,112 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for CSD construction, indexing and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CsdError {
+    /// A grid dimension was zero or the granularity non-positive.
+    InvalidGrid {
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// A pixel index fell outside the grid.
+    OutOfBounds {
+        /// Requested x (column).
+        x: usize,
+        /// Requested y (row).
+        y: usize,
+        /// Grid width.
+        width: usize,
+        /// Grid height.
+        height: usize,
+    },
+    /// Data length disagreed with the grid size.
+    DataLengthMismatch {
+        /// Bytes/values supplied.
+        got: usize,
+        /// Values required by the grid.
+        expected: usize,
+    },
+    /// A crop window was empty or exceeded the grid.
+    InvalidCrop,
+    /// The virtualization matrix was singular (`α₁₂ · α₂₁ = 1`).
+    SingularTransform,
+    /// A parse failure while reading a serialized diagram.
+    Parse {
+        /// Line number (1-based) where parsing failed, if known.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdError::InvalidGrid { constraint } => write!(f, "invalid grid: {constraint}"),
+            CsdError::OutOfBounds { x, y, width, height } => {
+                write!(f, "pixel ({x}, {y}) outside {width}x{height} grid")
+            }
+            CsdError::DataLengthMismatch { got, expected } => {
+                write!(f, "data length {got} does not match grid size {expected}")
+            }
+            CsdError::InvalidCrop => write!(f, "crop window is empty or exceeds the grid"),
+            CsdError::SingularTransform => {
+                write!(f, "virtualization matrix is singular (alpha12 * alpha21 = 1)")
+            }
+            CsdError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            CsdError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl Error for CsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CsdError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CsdError {
+    fn from(e: std::io::Error) -> Self {
+        CsdError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let cases: Vec<CsdError> = vec![
+            CsdError::InvalidGrid { constraint: "width must be non-zero" },
+            CsdError::OutOfBounds { x: 5, y: 6, width: 4, height: 4 },
+            CsdError::DataLengthMismatch { got: 3, expected: 16 },
+            CsdError::InvalidCrop,
+            CsdError::SingularTransform,
+            CsdError::Parse { line: 2, message: "bad float".into() },
+            CsdError::Io(std::io::Error::other("x")),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let e = CsdError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<CsdError>();
+    }
+}

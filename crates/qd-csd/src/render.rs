@@ -1,0 +1,188 @@
+//! ASCII and PGM rendering of charge stability diagrams.
+//!
+//! The paper's figures are grayscale CSD images with probed points and
+//! transition lines overlaid. The figure-regeneration harnesses use
+//! [`AsciiRenderer`] for terminal output and [`to_pgm`] for image files
+//! that can be inspected with any viewer.
+
+use crate::{Csd, CsdError, Pixel};
+
+/// Character ramp from dark to bright used by [`AsciiRenderer`].
+const DEFAULT_RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a [`Csd`] to ASCII art with optional point overlays.
+///
+/// Rows are emitted top-to-bottom (highest `V_P2` first) so the output
+/// matches the usual CSD orientation.
+#[derive(Debug, Clone)]
+pub struct AsciiRenderer {
+    ramp: Vec<u8>,
+    overlays: Vec<(Pixel, char)>,
+    max_width: usize,
+}
+
+impl AsciiRenderer {
+    /// Creates a renderer with the default character ramp.
+    pub fn new() -> Self {
+        Self {
+            ramp: DEFAULT_RAMP.to_vec(),
+            overlays: Vec::new(),
+            max_width: 160,
+        }
+    }
+
+    /// Adds an overlay marker at `pixel` rendered as `ch` (e.g. `'o'` for
+    /// probed points, `'A'` for anchors).
+    #[must_use]
+    pub fn with_overlay(mut self, pixel: Pixel, ch: char) -> Self {
+        self.overlays.push((pixel, ch));
+        self
+    }
+
+    /// Adds many overlay markers at once.
+    #[must_use]
+    pub fn with_overlays<I>(mut self, pixels: I, ch: char) -> Self
+    where
+        I: IntoIterator<Item = Pixel>,
+    {
+        self.overlays.extend(pixels.into_iter().map(|p| (p, ch)));
+        self
+    }
+
+    /// Limits output width; wider diagrams are downsampled by integer
+    /// strides. Defaults to 160 columns.
+    #[must_use]
+    pub fn max_width(mut self, cols: usize) -> Self {
+        self.max_width = cols.max(1);
+        self
+    }
+
+    /// Renders the diagram.
+    pub fn render(&self, csd: &Csd) -> String {
+        let (w, h) = csd.size();
+        let stride = w.div_ceil(self.max_width).max(1);
+        let norm = csd.normalized();
+        let mut out = String::with_capacity((w / stride + 1) * (h / stride + 1));
+        let mut y = h;
+        while y >= stride {
+            y -= stride;
+            for x in (0..w).step_by(stride) {
+                // Overlay wins over intensity if any overlay pixel falls in
+                // this cell.
+                let marker = self
+                    .overlays
+                    .iter()
+                    .find(|(p, _)| {
+                        p.x / stride == x / stride && p.y / stride == y / stride
+                    })
+                    .map(|&(_, ch)| ch);
+                match marker {
+                    Some(ch) => out.push(ch),
+                    None => {
+                        let v = norm.at(x, y);
+                        let idx = ((v * (self.ramp.len() - 1) as f64).round() as usize)
+                            .min(self.ramp.len() - 1);
+                        out.push(self.ramp[idx] as char);
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for AsciiRenderer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Serializes a diagram as a binary PGM (P5) image, 8-bit grayscale,
+/// brightest current = white, top row = highest `V_P2`.
+///
+/// # Errors
+///
+/// Currently infallible for valid diagrams; fallible for interface
+/// stability with future size limits.
+pub fn to_pgm(csd: &Csd) -> Result<Vec<u8>, CsdError> {
+    let (w, h) = csd.size();
+    let norm = csd.normalized();
+    let mut out = format!("P5\n{w} {h}\n255\n").into_bytes();
+    for y in (0..h).rev() {
+        for x in 0..w {
+            out.push((norm.at(x, y) * 255.0).round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VoltageGrid;
+
+    fn ramp_csd() -> Csd {
+        let g = VoltageGrid::new(0.0, 0.0, 1.0, 10, 5).unwrap();
+        Csd::from_fn(g, |v1, _| v1).unwrap()
+    }
+
+    #[test]
+    fn render_has_expected_shape() {
+        let s = AsciiRenderer::new().render(&ramp_csd());
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.len() == 10));
+    }
+
+    #[test]
+    fn brightness_increases_left_to_right() {
+        let s = AsciiRenderer::new().render(&ramp_csd());
+        let first = s.lines().next().unwrap().as_bytes();
+        assert_eq!(first[0], b' ');
+        assert_eq!(first[9], b'@');
+    }
+
+    #[test]
+    fn overlays_replace_cells() {
+        let s = AsciiRenderer::new()
+            .with_overlay(Pixel::new(0, 4), 'X')
+            .render(&ramp_csd());
+        // Row 4 is printed first (top).
+        assert!(s.lines().next().unwrap().starts_with('X'));
+    }
+
+    #[test]
+    fn with_overlays_bulk() {
+        let pts = vec![Pixel::new(1, 0), Pixel::new(2, 0)];
+        let s = AsciiRenderer::new().with_overlays(pts, 'o').render(&ramp_csd());
+        let bottom = s.lines().last().unwrap();
+        assert_eq!(&bottom[1..3], "oo");
+    }
+
+    #[test]
+    fn wide_diagrams_are_downsampled() {
+        let g = VoltageGrid::new(0.0, 0.0, 1.0, 400, 40, ).unwrap();
+        let c = Csd::constant(g, 1.0).unwrap();
+        let s = AsciiRenderer::new().max_width(100).render(&c);
+        let w = s.lines().next().unwrap().len();
+        assert!(w <= 100, "rendered width {w}");
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let bytes = to_pgm(&ramp_csd()).unwrap();
+        let header = b"P5\n10 5\n255\n";
+        assert_eq!(&bytes[..header.len()], header);
+        assert_eq!(bytes.len(), header.len() + 50);
+    }
+
+    #[test]
+    fn pgm_brightness_matches_current() {
+        let bytes = to_pgm(&ramp_csd()).unwrap();
+        let header_len = b"P5\n10 5\n255\n".len();
+        // First row of payload is top row; leftmost is darkest.
+        assert_eq!(bytes[header_len], 0);
+        assert_eq!(bytes[header_len + 9], 255);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for grids, diagrams and the virtualization
+//! transform.
+
+use proptest::prelude::*;
+use qd_csd::{Csd, VirtualizationMatrix, VoltageGrid};
+
+proptest! {
+    /// pixel → voltage → pixel is the identity for every grid pixel.
+    #[test]
+    fn grid_round_trips(
+        x0 in -100.0..100.0f64,
+        y0 in -100.0..100.0f64,
+        delta in 0.01..5.0f64,
+        w in 2usize..80,
+        h in 2usize..80,
+        px in 0usize..80,
+        py in 0usize..80,
+    ) {
+        prop_assume!(px < w && py < h);
+        let g = VoltageGrid::new(x0, y0, delta, w, h).unwrap();
+        let (v1, v2) = g.voltage_of(px, py);
+        let back = g.pixel_of(v1, v2).unwrap();
+        prop_assert_eq!((back.x, back.y), (px, py));
+    }
+
+    /// Cropping preserves both values and voltages.
+    #[test]
+    fn crop_preserves_content(
+        w in 4usize..40,
+        h in 4usize..40,
+        cx in 0usize..20,
+        cy in 0usize..20,
+        cw in 1usize..20,
+        ch in 1usize..20,
+    ) {
+        prop_assume!(cx + cw <= w && cy + ch <= h);
+        let g = VoltageGrid::new(0.0, 0.0, 0.5, w, h).unwrap();
+        let csd = Csd::from_fn(g, |v1, v2| (v1 * 13.0 + v2 * 7.0).sin()).unwrap();
+        let cropped = csd.crop(cx, cy, cw, ch).unwrap();
+        for y in 0..ch {
+            for x in 0..cw {
+                prop_assert_eq!(cropped.at(x, y), csd.at(cx + x, cy + y));
+                prop_assert_eq!(
+                    cropped.grid().voltage_of(x, y),
+                    csd.grid().voltage_of(cx + x, cy + y)
+                );
+            }
+        }
+    }
+
+    /// Normalization maps every diagram into [0, 1] and preserves order.
+    #[test]
+    fn normalization_bounds_and_order(
+        seed in 0u64..1000,
+        w in 2usize..30,
+        h in 2usize..30,
+    ) {
+        let g = VoltageGrid::new(0.0, 0.0, 1.0, w, h).unwrap();
+        let csd = Csd::from_fn(g, |v1, v2| {
+            ((v1 + seed as f64) * 3.7).sin() + (v2 * 1.3).cos()
+        })
+        .unwrap();
+        let n = csd.normalized();
+        let (lo, hi) = n.min_max();
+        prop_assert!(lo >= 0.0 && hi <= 1.0);
+        // Order preservation on a sample of pixel pairs.
+        for i in 0..w.min(h) {
+            let a = csd.at(i, 0);
+            let b = csd.at(0, i);
+            let na = n.at(i, 0);
+            let nb = n.at(0, i);
+            prop_assert_eq!(a < b, na < nb);
+        }
+    }
+
+    /// Virtual → physical → virtual round-trips for every regular matrix.
+    #[test]
+    fn virtualization_round_trips(
+        a12 in -0.9..0.9f64,
+        a21 in -0.9..0.9f64,
+        v1 in -1e3..1e3f64,
+        v2 in -1e3..1e3f64,
+    ) {
+        prop_assume!((1.0 - a12 * a21).abs() > 1e-3);
+        let m = VirtualizationMatrix::new(a12, a21).unwrap();
+        let (u1, u2) = m.to_virtual(v1, v2);
+        let (w1, w2) = m.to_physical(u1, u2);
+        prop_assert!((w1 - v1).abs() < 1e-6 * (1.0 + v1.abs()));
+        prop_assert!((w2 - v2).abs() < 1e-6 * (1.0 + v2.abs()));
+    }
+
+    /// `from_slopes` always orthogonalizes the two input lines exactly.
+    #[test]
+    fn from_slopes_orthogonalizes(
+        slope_h in -0.95..-0.02f64,
+        slope_v in -50.0..-1.05f64,
+    ) {
+        prop_assume!((1.0 - (-1.0 / slope_v) * (-slope_h)).abs() > 1e-6);
+        let m = VirtualizationMatrix::from_slopes(slope_h, slope_v).unwrap();
+        let steep_image = m.map_slope(slope_v);
+        let shallow_image = m.map_slope(slope_h);
+        prop_assert!(steep_image.is_infinite() || steep_image.abs() > 1e6);
+        prop_assert!(shallow_image.abs() < 1e-9);
+    }
+
+    /// Bilinear sampling at integer coordinates equals direct access and
+    /// interpolated values stay within the local value range.
+    #[test]
+    fn bilinear_is_bounded(
+        fx in 0.0..28.0f64,
+        fy in 0.0..28.0f64,
+    ) {
+        let g = VoltageGrid::new(0.0, 0.0, 1.0, 30, 30).unwrap();
+        let csd = Csd::from_fn(g, |v1, v2| (v1 * 0.37).sin() * (v2 * 0.53).cos()).unwrap();
+        let v = csd.sample_bilinear(fx, fy);
+        let x0 = fx.floor() as usize;
+        let y0 = fy.floor() as usize;
+        let corners = [
+            csd.at(x0, y0),
+            csd.at((x0 + 1).min(29), y0),
+            csd.at(x0, (y0 + 1).min(29)),
+            csd.at((x0 + 1).min(29), (y0 + 1).min(29)),
+        ];
+        let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    /// CSV serialization round-trips arbitrary diagrams.
+    #[test]
+    fn csv_round_trips(
+        w in 1usize..20,
+        h in 1usize..20,
+        scale in 0.1..100.0f64,
+    ) {
+        let g = VoltageGrid::new(-3.25, 7.5, 0.25, w, h).unwrap();
+        let csd = Csd::from_fn(g, |v1, v2| scale * (v1 - v2) + 0.125).unwrap();
+        let back = qd_csd::io::from_csv(&qd_csd::io::to_csv(&csd)).unwrap();
+        prop_assert_eq!(back, csd);
+    }
+}

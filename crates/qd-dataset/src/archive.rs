@@ -1,0 +1,203 @@
+//! On-disk archiving of benchmark suites.
+//!
+//! Serializes a generated suite to a directory of CSV diagrams plus a
+//! manifest carrying the specs and ground truths, so external tools (or
+//! later sessions) can consume the exact benchmark data without
+//! regenerating it — the same role the qflow download plays for the
+//! paper.
+//!
+//! Layout:
+//!
+//! ```text
+//! <dir>/manifest.csv        index,size,seed,slope_h,slope_v,alpha12,alpha21,...
+//! <dir>/csd_01.csv          the diagrams, qd-csd CSV format
+//! <dir>/csd_02.csv
+//! ...
+//! ```
+
+use crate::generator::GeneratedBenchmark;
+use crate::{BenchmarkSpec, DatasetError, NoiseRecipe};
+use qd_csd::io::{from_csv, to_csv};
+use qd_physics::device::PairGroundTruth;
+use std::fs;
+use std::path::Path;
+
+/// A benchmark loaded back from disk: diagram + spec + ground truth
+/// (but no live device — the archive stores data, not models).
+#[derive(Debug, Clone)]
+pub struct ArchivedBenchmark {
+    /// The spec the benchmark was generated from.
+    pub spec: BenchmarkSpec,
+    /// The recorded diagram.
+    pub csd: qd_csd::Csd,
+    /// Analytic ground truth recorded at generation time.
+    pub truth: PairGroundTruth,
+}
+
+/// Writes a suite to `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Csd`] wrapping any I/O failure.
+pub fn save_suite(dir: &Path, suite: &[GeneratedBenchmark]) -> Result<(), DatasetError> {
+    fs::create_dir_all(dir).map_err(|e| DatasetError::Csd(e.into()))?;
+    let mut manifest = String::from(
+        "index,size,seed,lever00,lever01,lever10,lever11,mutual,temperature,contrast,\
+         white,drift_step,drift_relax,rtn_amp,rtn_prob,expect_fast,expect_base,\
+         slope_h,slope_v,alpha12,alpha21\n",
+    );
+    for b in suite {
+        let s = &b.spec;
+        let n = &s.noise;
+        manifest.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.index,
+            s.size,
+            s.seed,
+            s.lever_arms[0][0],
+            s.lever_arms[0][1],
+            s.lever_arms[1][0],
+            s.lever_arms[1][1],
+            s.mutual,
+            s.temperature,
+            s.contrast,
+            n.white_sigma,
+            n.drift_step,
+            n.drift_relaxation,
+            n.telegraph_amplitude,
+            n.telegraph_probability,
+            s.expect_fast_success,
+            s.expect_baseline_success,
+            b.truth.slope_h,
+            b.truth.slope_v,
+            b.truth.alpha12,
+            b.truth.alpha21,
+        ));
+        let path = dir.join(format!("csd_{:02}.csv", s.index));
+        fs::write(path, to_csv(&b.csd)).map_err(|e| DatasetError::Csd(e.into()))?;
+    }
+    fs::write(dir.join("manifest.csv"), manifest).map_err(|e| DatasetError::Csd(e.into()))?;
+    Ok(())
+}
+
+/// Loads a suite previously written by [`save_suite`].
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSpec`] for a malformed manifest and
+/// [`DatasetError::Csd`] for unreadable diagram files.
+pub fn load_suite(dir: &Path) -> Result<Vec<ArchivedBenchmark>, DatasetError> {
+    let manifest = fs::read_to_string(dir.join("manifest.csv"))
+        .map_err(|e| DatasetError::Csd(e.into()))?;
+    let mut out = Vec::new();
+    for (line_no, line) in manifest.lines().enumerate().skip(1) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 21 {
+            return Err(DatasetError::InvalidSpec {
+                message: format!(
+                    "manifest line {} has {} fields, expected 21",
+                    line_no + 1,
+                    fields.len()
+                ),
+            });
+        }
+        let parse = |i: usize| -> Result<f64, DatasetError> {
+            fields[i].parse::<f64>().map_err(|e| DatasetError::InvalidSpec {
+                message: format!("manifest line {}: bad number `{}`: {e}", line_no + 1, fields[i]),
+            })
+        };
+        let parse_usize = |i: usize| -> Result<usize, DatasetError> {
+            fields[i].parse::<usize>().map_err(|e| DatasetError::InvalidSpec {
+                message: format!("manifest line {}: bad integer `{}`: {e}", line_no + 1, fields[i]),
+            })
+        };
+        let parse_bool = |i: usize| -> Result<bool, DatasetError> {
+            fields[i].parse::<bool>().map_err(|e| DatasetError::InvalidSpec {
+                message: format!("manifest line {}: bad bool `{}`: {e}", line_no + 1, fields[i]),
+            })
+        };
+
+        let spec = BenchmarkSpec {
+            index: parse_usize(0)?,
+            size: parse_usize(1)?,
+            seed: fields[2].parse::<u64>().map_err(|e| DatasetError::InvalidSpec {
+                message: format!("manifest line {}: bad seed: {e}", line_no + 1),
+            })?,
+            lever_arms: [[parse(3)?, parse(4)?], [parse(5)?, parse(6)?]],
+            mutual: parse(7)?,
+            temperature: parse(8)?,
+            contrast: parse(9)?,
+            noise: NoiseRecipe {
+                white_sigma: parse(10)?,
+                drift_step: parse(11)?,
+                drift_relaxation: parse(12)?,
+                telegraph_amplitude: parse(13)?,
+                telegraph_probability: parse(14)?,
+            },
+            expect_fast_success: parse_bool(15)?,
+            expect_baseline_success: parse_bool(16)?,
+        };
+        let truth = PairGroundTruth {
+            slope_h: parse(17)?,
+            slope_v: parse(18)?,
+            alpha12: parse(19)?,
+            alpha21: parse(20)?,
+        };
+        let csd_path = dir.join(format!("csd_{:02}.csv", spec.index));
+        let text = fs::read_to_string(&csd_path).map_err(|e| DatasetError::Csd(e.into()))?;
+        let csd = from_csv(&text)?;
+        out.push(ArchivedBenchmark { spec, csd, truth });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+
+    fn tmp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("fastvg-archive-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let dir = tmp_dir("round");
+        let specs = [BenchmarkSpec::clean(1, 63), BenchmarkSpec::clean(2, 40)];
+        let suite: Vec<_> = specs.iter().map(|s| generate(s).unwrap()).collect();
+        save_suite(&dir, &suite).unwrap();
+
+        let loaded = load_suite(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        for (orig, back) in suite.iter().zip(&loaded) {
+            assert_eq!(back.spec, orig.spec);
+            assert_eq!(back.csd, orig.csd);
+            assert_eq!(back.truth.slope_h, orig.truth.slope_h);
+            assert_eq!(back.truth.alpha21, orig.truth.alpha21);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_errors() {
+        let dir = tmp_dir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_suite(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_reports_line() {
+        let dir = tmp_dir("corrupt");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("manifest.csv"), "header\n1,2,3\n").unwrap();
+        let err = load_suite(&dir).unwrap_err();
+        assert!(err.to_string().contains("expected 21"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

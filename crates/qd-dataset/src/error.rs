@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for dataset generation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// The underlying device model rejected the spec's parameters.
+    Physics(qd_physics::PhysicsError),
+    /// Grid/diagram construction failed.
+    Csd(qd_csd::CsdError),
+    /// The spec was internally inconsistent.
+    InvalidSpec {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Physics(e) => write!(f, "device model error: {e}"),
+            DatasetError::Csd(e) => write!(f, "diagram error: {e}"),
+            DatasetError::InvalidSpec { message } => write!(f, "invalid benchmark spec: {message}"),
+        }
+    }
+}
+
+impl Error for DatasetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DatasetError::Physics(e) => Some(e),
+            DatasetError::Csd(e) => Some(e),
+            DatasetError::InvalidSpec { .. } => None,
+        }
+    }
+}
+
+impl From<qd_physics::PhysicsError> for DatasetError {
+    fn from(e: qd_physics::PhysicsError) -> Self {
+        DatasetError::Physics(e)
+    }
+}
+
+impl From<qd_csd::CsdError> for DatasetError {
+    fn from(e: qd_csd::CsdError) -> Self {
+        DatasetError::Csd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DatasetError::from(qd_physics::PhysicsError::SingularCapacitance);
+        assert!(e.to_string().contains("device model"));
+        assert!(e.source().is_some());
+        let s = DatasetError::InvalidSpec { message: "x".into() };
+        assert!(s.source().is_none());
+    }
+}

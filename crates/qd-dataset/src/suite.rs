@@ -1,0 +1,236 @@
+//! The 12-benchmark suite mirroring the paper's Table 1.
+//!
+//! Sizes match row-for-row; per-benchmark device parameters vary the
+//! cross-capacitance (and hence the line slopes), temperature (line
+//! width) and noise. Expected outcomes encode Table 1's Success/Fail
+//! columns: CSDs 1–2 fail for both methods (noise-swamped), CSD 7 fails
+//! for the baseline only (faint edges + drift), everything else succeeds
+//! for both.
+
+use crate::generator::{generate, GeneratedBenchmark};
+use crate::{BenchmarkSpec, DatasetError, NoiseRecipe};
+
+/// The 12 benchmark specs of the suite, Table 1 order (index 1..=12).
+pub fn paper_specs() -> Vec<BenchmarkSpec> {
+    let mut specs = Vec::with_capacity(12);
+
+    // Sizes straight from Table 1.
+    let sizes = [200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200];
+
+    for (i, &size) in sizes.iter().enumerate() {
+        let index = i + 1;
+        let mut s = BenchmarkSpec::clean(index, size);
+
+        // Vary the device physics across the suite so every benchmark has
+        // different ground-truth slopes, like 12 distinct cooldowns.
+        let k = i as f64;
+        s.lever_arms = [
+            [0.0100 + 0.0003 * (k % 4.0), 0.0016 + 0.00022 * (k % 5.0)],
+            [0.0019 + 0.00025 * ((k + 2.0) % 5.0), 0.0104 + 0.00028 * ((k + 1.0) % 4.0)],
+        ];
+        s.mutual = 0.12 + 0.015 * (k % 4.0);
+        // Keep transition lines about one pixel wide (the qflow regime):
+        // the 60 V window at 63–200 px resolution has δ ≈ 0.3–0.95 V, and
+        // the thermal width is ≈ 4·kT/β with β ≈ 0.011 e/V. Wider lines
+        // make the shrinking sweeps ratchet off the shallow line.
+        s.temperature = 0.0012 + 0.0002 * (k % 3.0);
+
+        match index {
+            // Benchmarks 1-2: pathological devices; both methods fail.
+            1 | 2 => {
+                s.noise = NoiseRecipe::swamped();
+                s.expect_fast_success = false;
+                s.expect_baseline_success = false;
+            }
+            // Benchmark 7: a faint charge-sensing contrast. The baseline's
+            // absolute Canny thresholds (OpenCV-style, calibrated for a
+            // healthy contrast) starve for edge points — the paper's
+            // post-mortem for its CSD 7 — while the sweeps' relative
+            // argmax feature does not care about the overall scale.
+            7 => {
+                s.contrast = 0.42;
+                s.noise = NoiseRecipe {
+                    white_sigma: 0.022,
+                    drift_step: 0.0015,
+                    drift_relaxation: 0.05,
+                    telegraph_amplitude: 0.0,
+                    telegraph_probability: 0.0,
+                };
+                s.expect_fast_success = true;
+                s.expect_baseline_success = false;
+            }
+            // A couple of moderately noisy but passing benchmarks keep the
+            // suite honest.
+            5 | 10 => {
+                s.noise = NoiseRecipe::noisy();
+            }
+            _ => {
+                s.noise = NoiseRecipe::clean();
+            }
+        }
+        specs.push(s);
+    }
+    specs
+}
+
+/// Generates the full 12-benchmark suite.
+///
+/// # Errors
+///
+/// Propagates generation failures (cannot happen for the built-in specs
+/// unless the physics model is changed incompatibly).
+pub fn paper_suite() -> Result<Vec<GeneratedBenchmark>, DatasetError> {
+    paper_specs().iter().map(generate).collect()
+}
+
+/// Specs for `n` randomized devices drawn from the healthy-device regime
+/// (comparable plungers, modest cross-coupling, clean-to-noisy
+/// measurement quality), deterministically derived from `seed`.
+///
+/// An extension beyond the paper's 12 fixed benchmarks: large randomized
+/// cohorts give success-*rate* statistics instead of anecdotes. Sizes
+/// cycle through the paper's 63/100/200 resolutions.
+pub fn random_specs(n: usize, seed: u64) -> Vec<BenchmarkSpec> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sizes = [63usize, 100, 200];
+    (0..n)
+        .map(|i| {
+            let mut s = BenchmarkSpec::clean(i + 1, sizes[i % sizes.len()]);
+            let d0 = rng.random_range(0.008..0.013);
+            let d1 = d0 * rng.random_range(0.75..1.33);
+            s.lever_arms = [
+                [d0, d0 * rng.random_range(0.08..0.32)],
+                [d1 * rng.random_range(0.08..0.32), d1],
+            ];
+            s.mutual = rng.random_range(0.05..0.25);
+            s.temperature = rng.random_range(0.0010..0.0020);
+            s.noise = NoiseRecipe {
+                white_sigma: rng.random_range(0.01..0.08),
+                drift_step: rng.random_range(0.0..0.003),
+                drift_relaxation: 0.05,
+                telegraph_amplitude: if rng.random_bool(0.3) {
+                    rng.random_range(0.02..0.06)
+                } else {
+                    0.0
+                },
+                telegraph_probability: 0.02,
+            };
+            s.seed = rng.random();
+            s
+        })
+        .collect()
+}
+
+/// Generates a single benchmark by its 1-based Table 1 index.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::InvalidSpec`] for an index outside `1..=12`.
+pub fn paper_benchmark(index: usize) -> Result<GeneratedBenchmark, DatasetError> {
+    let specs = paper_specs();
+    let spec = specs
+        .into_iter()
+        .find(|s| s.index == index)
+        .ok_or_else(|| DatasetError::InvalidSpec {
+            message: format!("benchmark index {index} outside 1..=12"),
+        })?;
+    generate(&spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_specs_with_table1_sizes() {
+        let specs = paper_specs();
+        assert_eq!(specs.len(), 12);
+        let sizes: Vec<usize> = specs.iter().map(|s| s.size).collect();
+        assert_eq!(sizes, vec![200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200]);
+    }
+
+    #[test]
+    fn expected_outcomes_match_table1() {
+        let specs = paper_specs();
+        let fast_successes = specs.iter().filter(|s| s.expect_fast_success).count();
+        let baseline_successes = specs.iter().filter(|s| s.expect_baseline_success).count();
+        assert_eq!(fast_successes, 10, "paper: fast succeeds on 10/12");
+        assert_eq!(baseline_successes, 9, "paper: baseline succeeds on 9/12");
+        assert!(!specs[0].expect_fast_success);
+        assert!(!specs[1].expect_fast_success);
+        assert!(specs[6].expect_fast_success && !specs[6].expect_baseline_success);
+    }
+
+    #[test]
+    fn device_parameters_vary_across_suite() {
+        let specs = paper_specs();
+        let slopes: std::collections::HashSet<String> = specs
+            .iter()
+            .map(|s| format!("{:?}", s.lever_arms))
+            .collect();
+        assert!(slopes.len() >= 6, "lever arms too uniform: {}", slopes.len());
+    }
+
+    #[test]
+    fn paper_benchmark_by_index() {
+        let b = paper_benchmark(3).unwrap();
+        assert_eq!(b.spec.index, 3);
+        assert_eq!(b.csd.size(), (63, 63));
+        assert!(paper_benchmark(0).is_err());
+        assert!(paper_benchmark(13).is_err());
+    }
+
+    #[test]
+    fn suite_generates_all() {
+        let suite = paper_suite().unwrap();
+        assert_eq!(suite.len(), 12);
+        for b in &suite {
+            let (w, h) = b.csd.size();
+            assert_eq!(w, b.spec.size);
+            assert_eq!(h, b.spec.size);
+            assert!(b.truth.slope_v < -1.0, "benchmark {}: slope_v {}", b.spec.index, b.truth.slope_v);
+            assert!(
+                b.truth.slope_h > -1.0 && b.truth.slope_h < 0.0,
+                "benchmark {}: slope_h {}",
+                b.spec.index,
+                b.truth.slope_h
+            );
+        }
+    }
+
+    #[test]
+    fn random_specs_are_deterministic_and_varied() {
+        let a = random_specs(20, 7);
+        let b = random_specs(20, 7);
+        assert_eq!(a, b, "same seed must give the same cohort");
+        let c = random_specs(20, 8);
+        assert_ne!(a, c, "different seeds must differ");
+        let arms: std::collections::HashSet<String> =
+            a.iter().map(|s| format!("{:?}", s.lever_arms)).collect();
+        assert_eq!(arms.len(), 20, "every random device must be distinct");
+    }
+
+    #[test]
+    fn random_specs_stay_in_the_healthy_regime() {
+        for s in random_specs(30, 42) {
+            let g = generate(&s).unwrap();
+            assert!(g.truth.slope_v < -1.0, "spec {}: slope_v {}", s.index, g.truth.slope_v);
+            assert!(
+                g.truth.slope_h > -1.0 && g.truth.slope_h < 0.0,
+                "spec {}: slope_h {}",
+                s.index,
+                g.truth.slope_h
+            );
+        }
+    }
+
+    #[test]
+    fn ground_truths_differ_between_benchmarks() {
+        let suite = paper_suite().unwrap();
+        let a = suite[2].truth;
+        let b = suite[5].truth;
+        assert!((a.alpha21 - b.alpha21).abs() > 1e-3 || (a.alpha12 - b.alpha12).abs() > 1e-3);
+    }
+}

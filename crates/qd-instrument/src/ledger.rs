@@ -1,0 +1,146 @@
+//! Probe bookkeeping: every measured pixel, in measurement order.
+//!
+//! Table 1's "number/percentage of points probed" and Figure 7's probed-
+//! point scatter both come straight out of this ledger.
+
+use std::collections::HashSet;
+
+/// One recorded probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProbeEvent {
+    /// Quantized pixel x (column) index.
+    pub px: i64,
+    /// Quantized pixel y (row) index.
+    pub py: i64,
+    /// Voltages actually requested.
+    pub v1: f64,
+    /// Voltages actually requested.
+    pub v2: f64,
+}
+
+/// Ordered record of probes with a unique-pixel index.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeLedger {
+    events: Vec<ProbeEvent>,
+    unique: HashSet<(i64, i64)>,
+}
+
+impl ProbeLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a probe at quantized pixel `(px, py)` for requested
+    /// voltages `(v1, v2)`. Returns `true` if the pixel was new.
+    pub fn record(&mut self, px: i64, py: i64, v1: f64, v2: f64) -> bool {
+        self.events.push(ProbeEvent { px, py, v1, v2 });
+        self.unique.insert((px, py))
+    }
+
+    /// Whether a pixel has been probed before.
+    pub fn contains(&self, px: i64, py: i64) -> bool {
+        self.unique.contains(&(px, py))
+    }
+
+    /// Total probes recorded (including re-probes of the same pixel).
+    pub fn total_probes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Distinct pixels probed.
+    pub fn unique_pixels(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Probes in measurement order.
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// Distinct probed pixels as `(x, y)` pairs, in first-probe order —
+    /// exactly the Figure 7 scatter data.
+    pub fn scatter(&self) -> Vec<(i64, i64)> {
+        let mut seen = HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if seen.insert((e.px, e.py)) {
+                out.push((e.px, e.py));
+            }
+        }
+        out
+    }
+
+    /// Fraction of an `n_total`-pixel diagram that was probed (the
+    /// "percentage of points probed" column of Table 1).
+    ///
+    /// Returns 0 for an empty diagram.
+    pub fn coverage(&self, n_total: usize) -> f64 {
+        if n_total == 0 {
+            return 0.0;
+        }
+        self.unique_pixels() as f64 / n_total as f64
+    }
+
+    /// Clears all records.
+    pub fn reset(&mut self) {
+        self.events.clear();
+        self.unique.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_tracks_totals_and_uniques() {
+        let mut l = ProbeLedger::new();
+        assert!(l.record(1, 2, 1.0, 2.0));
+        assert!(!l.record(1, 2, 1.0, 2.0));
+        assert!(l.record(3, 4, 3.0, 4.0));
+        assert_eq!(l.total_probes(), 3);
+        assert_eq!(l.unique_pixels(), 2);
+        assert!(l.contains(1, 2));
+        assert!(!l.contains(9, 9));
+    }
+
+    #[test]
+    fn scatter_preserves_first_probe_order() {
+        let mut l = ProbeLedger::new();
+        l.record(5, 5, 5.0, 5.0);
+        l.record(1, 1, 1.0, 1.0);
+        l.record(5, 5, 5.0, 5.0);
+        l.record(2, 2, 2.0, 2.0);
+        assert_eq!(l.scatter(), vec![(5, 5), (1, 1), (2, 2)]);
+    }
+
+    #[test]
+    fn coverage_fraction() {
+        let mut l = ProbeLedger::new();
+        for i in 0..10 {
+            l.record(i, 0, i as f64, 0.0);
+        }
+        assert!((l.coverage(100) - 0.10).abs() < 1e-12);
+        assert_eq!(l.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut l = ProbeLedger::new();
+        l.record(1, 1, 1.0, 1.0);
+        l.reset();
+        assert_eq!(l.total_probes(), 0);
+        assert_eq!(l.unique_pixels(), 0);
+        assert!(l.scatter().is_empty());
+    }
+
+    #[test]
+    fn events_expose_raw_voltages() {
+        let mut l = ProbeLedger::new();
+        l.record(2, 3, 2.4, 3.1);
+        let e = l.events()[0];
+        assert_eq!((e.px, e.py), (2, 3));
+        assert_eq!((e.v1, e.v2), (2.4, 3.1));
+    }
+}

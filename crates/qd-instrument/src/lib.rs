@@ -1,0 +1,54 @@
+//! Simulated measurement stack for quantum dot tuning experiments.
+//!
+//! The paper's Algorithm 1 is the whole instrument interface: set two gate
+//! voltages, wait a dwell time (~50 ms on charge-sensor devices), read the
+//! sensor current. Every speedup the paper reports comes from calling this
+//! function fewer times. This crate reproduces that accounting:
+//!
+//! * [`CurrentSource`] — the `getCurrent(v1, v2)` abstraction, implemented
+//!   by [`CsdSource`] (replay a recorded/synthetic diagram, what the paper
+//!   does with qflow data) and [`PhysicsSource`] (live constant-interaction
+//!   model with optional noise).
+//! * [`DwellClock`] — a virtual clock accruing one dwell per probe, with an
+//!   opt-in real-sleep mode for timing-faithful demos.
+//! * [`ProbeLedger`] — records every probed pixel in order, for the probe
+//!   counts in Table 1 and the scatter plots of Figure 7.
+//! * [`MeasurementSession`] — glues the three together and adds an optional
+//!   measurement cache (re-probing a pixel costs nothing, as in the paper's
+//!   simulated evaluation).
+//!
+//! # Example
+//!
+//! ```
+//! use qd_csd::{Csd, VoltageGrid};
+//! use qd_instrument::{CsdSource, MeasurementSession};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = VoltageGrid::new(0.0, 0.0, 1.0, 32, 32)?;
+//! let csd = Csd::from_fn(grid, |v1, v2| if v1 + 0.25 * v2 < 20.0 { 5.0 } else { 3.0 })?;
+//! let mut session = MeasurementSession::new(CsdSource::new(csd));
+//!
+//! let i = session.get_current(4.0, 4.0);
+//! assert_eq!(i, 5.0);
+//! assert_eq!(session.probe_count(), 1);
+//! // A cached re-probe is free.
+//! let _ = session.get_current(4.0, 4.0);
+//! assert_eq!(session.probe_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod ledger;
+pub mod scan;
+pub mod session;
+pub mod source;
+
+pub use clock::DwellClock;
+pub use ledger::{ProbeEvent, ProbeLedger};
+pub use scan::ScanPattern;
+pub use session::MeasurementSession;
+pub use source::{CsdSource, CurrentSource, FnSource, PhysicsSource, VoltageWindow};

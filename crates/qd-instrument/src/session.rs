@@ -1,0 +1,271 @@
+//! The measurement session: source + dwell clock + ledger + cache.
+
+use crate::{CurrentSource, DwellClock, ProbeLedger, VoltageWindow};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// A stateful measurement session wrapping a [`CurrentSource`].
+///
+/// Every *new* pixel probed costs one dwell tick and one ledger entry.
+/// With caching enabled (the default, matching the paper's simulated
+/// evaluation) re-probing a pixel returns the stored value for free; with
+/// caching disabled every call costs a dwell, as on hardware where drift
+/// makes re-measurement meaningful.
+#[derive(Debug)]
+pub struct MeasurementSession<S> {
+    source: S,
+    window: VoltageWindow,
+    clock: DwellClock,
+    ledger: ProbeLedger,
+    cache: HashMap<(i64, i64), f64>,
+    caching: bool,
+    cache_hits: u64,
+    budget: Option<usize>,
+}
+
+impl<S: CurrentSource> MeasurementSession<S> {
+    /// Creates a session with the paper's 50 ms dwell and caching on.
+    pub fn new(source: S) -> Self {
+        Self::with_clock(source, DwellClock::paper())
+    }
+
+    /// Creates a session with a custom dwell clock.
+    pub fn with_clock(source: S, clock: DwellClock) -> Self {
+        let window = source.window();
+        Self {
+            source,
+            window,
+            clock,
+            ledger: ProbeLedger::new(),
+            cache: HashMap::new(),
+            caching: true,
+            cache_hits: 0,
+            budget: None,
+        }
+    }
+
+    /// Enables or disables the measurement cache (builder style).
+    #[must_use]
+    pub fn caching(mut self, enable: bool) -> Self {
+        self.caching = enable;
+        self
+    }
+
+    /// Caps the number of dwell-costing probes (builder style). Once the
+    /// budget is exhausted, [`MeasurementSession::get_current`] panics —
+    /// a runaway-algorithm tripwire for unattended tuning loops, set well
+    /// above any expected consumption. Use
+    /// [`MeasurementSession::remaining_budget`] to steer before that.
+    #[must_use]
+    pub fn with_probe_budget(mut self, budget: usize) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Probes left before the budget trips, or `None` if uncapped.
+    pub fn remaining_budget(&self) -> Option<usize> {
+        self.budget.map(|b| b.saturating_sub(self.ledger.total_probes()))
+    }
+
+    /// The paper's `getCurrent(v1, v2)`: quantizes to the source's pixel
+    /// grid, accounts one dwell for uncached pixels, records the probe,
+    /// and returns the sensor current.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probe budget was set with
+    /// [`MeasurementSession::with_probe_budget`] and is exhausted.
+    pub fn get_current(&mut self, v1: f64, v2: f64) -> f64 {
+        let key = self.window.quantize(v1, v2);
+        if self.caching {
+            if let Some(&v) = self.cache.get(&key) {
+                self.cache_hits += 1;
+                return v;
+            }
+        }
+        if let Some(budget) = self.budget {
+            assert!(
+                self.ledger.total_probes() < budget,
+                "probe budget of {budget} exhausted"
+            );
+        }
+        self.clock.tick();
+        self.ledger.record(key.0, key.1, v1, v2);
+        let value = self.source.current(v1, v2);
+        if self.caching {
+            self.cache.insert(key, value);
+        }
+        value
+    }
+
+    /// The voltage window being probed.
+    pub fn window(&self) -> VoltageWindow {
+        self.window
+    }
+
+    /// Dwell-costing probes so far (Table 1's "points probed").
+    pub fn probe_count(&self) -> usize {
+        self.ledger.total_probes()
+    }
+
+    /// Distinct pixels probed.
+    pub fn unique_pixels(&self) -> usize {
+        self.ledger.unique_pixels()
+    }
+
+    /// Cache hits (free re-probes).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// Fraction of the window probed.
+    pub fn coverage(&self) -> f64 {
+        self.ledger.coverage(self.window.len())
+    }
+
+    /// Simulated dwell time accrued (`probes × dwell`).
+    pub fn simulated_dwell(&self) -> Duration {
+        self.clock.elapsed()
+    }
+
+    /// The probe ledger (for Figure 7 scatters and trace inspection).
+    pub fn ledger(&self) -> &ProbeLedger {
+        &self.ledger
+    }
+
+    /// Borrows the underlying source.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Consumes the session, returning the source and the ledger.
+    pub fn into_parts(self) -> (S, ProbeLedger) {
+        (self.source, self.ledger)
+    }
+
+    /// Clears ledger, clock and cache, keeping the source.
+    pub fn reset(&mut self) {
+        self.ledger.reset();
+        self.clock.reset();
+        self.cache.clear();
+        self.cache_hits = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FnSource;
+
+    fn window() -> VoltageWindow {
+        VoltageWindow {
+            x_min: 0.0,
+            y_min: 0.0,
+            x_max: 9.0,
+            y_max: 9.0,
+            delta: 1.0,
+        }
+    }
+
+    fn session() -> MeasurementSession<FnSource<impl FnMut(f64, f64) -> f64>> {
+        MeasurementSession::new(FnSource::new(|a, b| 10.0 * a + b, window()))
+    }
+
+    #[test]
+    fn probes_cost_dwell_and_are_recorded() {
+        let mut s = session();
+        assert_eq!(s.get_current(1.0, 2.0), 12.0);
+        assert_eq!(s.probe_count(), 1);
+        assert_eq!(s.simulated_dwell(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn cached_reprobe_is_free() {
+        let mut s = session();
+        let _ = s.get_current(1.0, 2.0);
+        let _ = s.get_current(1.0, 2.0);
+        assert_eq!(s.probe_count(), 1);
+        assert_eq!(s.cache_hits(), 1);
+        assert_eq!(s.simulated_dwell(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn quantization_dedups_nearby_voltages() {
+        let mut s = session();
+        let _ = s.get_current(1.0, 2.0);
+        let _ = s.get_current(1.2, 2.3); // same pixel after rounding
+        assert_eq!(s.probe_count(), 1);
+        assert_eq!(s.unique_pixels(), 1);
+    }
+
+    #[test]
+    fn caching_disabled_reprobes() {
+        let mut s = session().caching(false);
+        let _ = s.get_current(1.0, 2.0);
+        let _ = s.get_current(1.0, 2.0);
+        assert_eq!(s.probe_count(), 2);
+        assert_eq!(s.unique_pixels(), 1);
+        assert_eq!(s.cache_hits(), 0);
+    }
+
+    #[test]
+    fn coverage_over_window() {
+        let mut s = session();
+        for x in 0..10 {
+            let _ = s.get_current(x as f64, 0.0);
+        }
+        assert!((s.coverage() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_source() {
+        let mut s = session();
+        let _ = s.get_current(3.0, 3.0);
+        s.reset();
+        assert_eq!(s.probe_count(), 0);
+        assert_eq!(s.cache_hits(), 0);
+        assert_eq!(s.get_current(3.0, 3.0), 33.0);
+    }
+
+    #[test]
+    fn into_parts_returns_ledger() {
+        let mut s = session();
+        let _ = s.get_current(4.0, 5.0);
+        let (_, ledger) = s.into_parts();
+        assert_eq!(ledger.total_probes(), 1);
+        assert_eq!(ledger.scatter(), vec![(4, 5)]);
+    }
+
+    #[test]
+    fn budget_trips_after_cap() {
+        let mut s = session().with_probe_budget(3);
+        assert_eq!(s.remaining_budget(), Some(3));
+        let _ = s.get_current(0.0, 0.0);
+        let _ = s.get_current(1.0, 0.0);
+        // Cached re-probe does not consume budget.
+        let _ = s.get_current(0.0, 0.0);
+        assert_eq!(s.remaining_budget(), Some(1));
+        let _ = s.get_current(2.0, 0.0);
+        assert_eq!(s.remaining_budget(), Some(0));
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.get_current(3.0, 0.0);
+        }));
+        assert!(trip.is_err(), "budget must trip");
+    }
+
+    #[test]
+    fn uncapped_session_has_no_budget() {
+        let s = session();
+        assert_eq!(s.remaining_budget(), None);
+    }
+
+    #[test]
+    fn custom_clock_dwell() {
+        let src = FnSource::new(|_, _| 0.0, window());
+        let mut s =
+            MeasurementSession::with_clock(src, DwellClock::new(Duration::from_millis(10)));
+        let _ = s.get_current(0.0, 0.0);
+        let _ = s.get_current(1.0, 0.0);
+        assert_eq!(s.simulated_dwell(), Duration::from_millis(20));
+    }
+}

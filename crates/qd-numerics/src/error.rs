@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for every fallible routine in this crate.
+///
+/// The `Display` form is a lowercase, punctuation-free sentence fragment per
+/// Rust API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// Input slices were empty where data was required.
+    EmptyInput,
+    /// Two paired slices disagreed in length.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// A parameter was outside its domain (e.g. non-positive sigma).
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The linear system was singular or numerically rank-deficient.
+    SingularSystem,
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::EmptyInput => write!(f, "input data was empty"),
+            NumericsError::LengthMismatch { left, right } => {
+                write!(f, "paired inputs have mismatched lengths {left} and {right}")
+            }
+            NumericsError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter `{name}` violated constraint: {constraint}")
+            }
+            NumericsError::SingularSystem => write!(f, "linear system is singular"),
+            NumericsError::NoConvergence { iterations } => {
+                write!(f, "solver did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let errors: Vec<NumericsError> = vec![
+            NumericsError::EmptyInput,
+            NumericsError::LengthMismatch { left: 1, right: 2 },
+            NumericsError::InvalidParameter {
+                name: "sigma",
+                constraint: "must be positive",
+            },
+            NumericsError::SingularSystem,
+            NumericsError::NoConvergence { iterations: 10 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

@@ -1,0 +1,290 @@
+//! Levenberg–Marquardt damped Gauss–Newton for small dense nonlinear
+//! least-squares problems.
+//!
+//! The 2-piece-wise-linear fit of §4.3.3 defaults to Nelder–Mead (its
+//! objective has kinks), but LM is provided as an alternative solver —
+//! it converges quadratically near the optimum on smooth residuals and is
+//! used by the ablation harness to compare fitters. Jacobians are obtained
+//! by forward finite differences, matching SciPy `curve_fit`'s default.
+
+use crate::lsq::solve_dense;
+use crate::NumericsError;
+
+/// Configuration for [`fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Maximum LM iterations.
+    pub max_iters: usize,
+    /// Stop when the squared-residual improvement is below this.
+    pub f_tol: f64,
+    /// Stop when the parameter step ∞-norm is below this.
+    pub x_tol: f64,
+    /// Initial damping factor λ.
+    pub lambda0: f64,
+    /// Finite-difference step for the Jacobian.
+    pub fd_step: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            f_tol: 1e-12,
+            x_tol: 1e-10,
+            lambda0: 1e-3,
+            fd_step: 1e-6,
+        }
+    }
+}
+
+/// Result of a Levenberg–Marquardt fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fit {
+    /// Best parameters found.
+    pub params: Vec<f64>,
+    /// Sum of squared residuals at [`Fit::params`].
+    pub sse: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Whether a tolerance (rather than the iteration cap) stopped the run.
+    pub converged: bool,
+}
+
+/// Minimizes `Σ rᵢ(p)²` over parameters `p`, where `residuals(p, out)`
+/// writes the residual vector into `out`.
+///
+/// # Errors
+///
+/// * [`NumericsError::EmptyInput`] if `p0` is empty or `n_residuals == 0`.
+/// * [`NumericsError::InvalidParameter`] if residuals are NaN at `p0`.
+/// * [`NumericsError::SingularSystem`] if the damped normal equations stay
+///   singular even at large damping.
+///
+/// ```
+/// use qd_numerics::levenberg::{fit, Options};
+///
+/// # fn main() -> Result<(), qd_numerics::NumericsError> {
+/// // Fit y = a * exp(b x) to exact data (a = 2, b = -0.5).
+/// let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.3).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-0.5 * x).exp()).collect();
+/// let out = fit(
+///     |p, r| {
+///         for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+///             r[i] = p[0] * (p[1] * x).exp() - y;
+///         }
+///     },
+///     &[1.0, 0.0],
+///     ys.len(),
+///     Options::default(),
+/// )?;
+/// assert!((out.params[0] - 2.0).abs() < 1e-6);
+/// assert!((out.params[1] + 0.5).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit<F>(
+    mut residuals: F,
+    p0: &[f64],
+    n_residuals: usize,
+    opts: Options,
+) -> Result<Fit, NumericsError>
+where
+    F: FnMut(&[f64], &mut [f64]),
+{
+    let np = p0.len();
+    if np == 0 || n_residuals == 0 {
+        return Err(NumericsError::EmptyInput);
+    }
+    let mut p = p0.to_vec();
+    let mut r = vec![0.0; n_residuals];
+    residuals(&p, &mut r);
+    if r.iter().any(|v| v.is_nan()) {
+        return Err(NumericsError::InvalidParameter {
+            name: "residuals",
+            constraint: "must be finite at the starting point",
+        });
+    }
+    let mut sse: f64 = r.iter().map(|v| v * v).sum();
+    let mut lambda = opts.lambda0;
+    let mut jac = vec![0.0; n_residuals * np];
+    let mut r_pert = vec![0.0; n_residuals];
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < opts.max_iters {
+        iterations += 1;
+
+        // Forward-difference Jacobian.
+        for j in 0..np {
+            let saved = p[j];
+            let h = opts.fd_step * (1.0 + saved.abs());
+            p[j] = saved + h;
+            residuals(&p, &mut r_pert);
+            p[j] = saved;
+            for i in 0..n_residuals {
+                jac[i * np + j] = (r_pert[i] - r[i]) / h;
+            }
+        }
+
+        // Normal equations: (JᵀJ + λ diag(JᵀJ)) δ = -Jᵀr.
+        let mut jtj = vec![0.0; np * np];
+        let mut jtr = vec![0.0; np];
+        for i in 0..n_residuals {
+            for a in 0..np {
+                jtr[a] -= jac[i * np + a] * r[i];
+                for b in 0..np {
+                    jtj[a * np + b] += jac[i * np + a] * jac[i * np + b];
+                }
+            }
+        }
+
+        // Try increasing damping until a step reduces the SSE.
+        let mut stepped = false;
+        for _ in 0..16 {
+            let mut a = jtj.clone();
+            for d in 0..np {
+                // Marquardt scaling with an absolute floor so zero columns
+                // still get damped.
+                a[d * np + d] += lambda * jtj[d * np + d].max(1e-12);
+            }
+            let mut delta = jtr.clone();
+            if solve_dense(&mut a, &mut delta, np).is_err() {
+                lambda *= 10.0;
+                continue;
+            }
+            let candidate: Vec<f64> = p.iter().zip(&delta).map(|(pi, di)| pi + di).collect();
+            residuals(&candidate, &mut r_pert);
+            let new_sse: f64 = r_pert.iter().map(|v| v * v).sum();
+            if new_sse.is_finite() && new_sse < sse {
+                let step_norm = delta.iter().fold(0.0_f64, |m, d| m.max(d.abs()));
+                let improvement = sse - new_sse;
+                p = candidate;
+                r.copy_from_slice(&r_pert);
+                sse = new_sse;
+                lambda = (lambda * 0.3).max(1e-12);
+                stepped = true;
+                if improvement < opts.f_tol || step_norm < opts.x_tol {
+                    converged = true;
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !stepped {
+            // No productive step at any damping level: local minimum.
+            converged = true;
+            break;
+        }
+        if converged {
+            break;
+        }
+    }
+
+    Ok(Fit {
+        params: p,
+        sse,
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_parameters() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let out = fit(
+            |p, r| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    r[i] = p[0] * x + p[1] - y;
+                }
+            },
+            &[0.0, 0.0],
+            xs.len(),
+            Options::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!((out.params[0] - 3.0).abs() < 1e-8);
+        assert!((out.params[1] + 1.0).abs() < 1e-8);
+        assert!(out.sse < 1e-12);
+    }
+
+    #[test]
+    fn nonlinear_sine_fit() {
+        // y = sin(w x), fit w starting nearby.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (1.7 * x).sin()).collect();
+        let out = fit(
+            |p, r| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    r[i] = (p[0] * x).sin() - y;
+                }
+            },
+            &[1.4],
+            xs.len(),
+            Options::default(),
+        )
+        .unwrap();
+        assert!((out.params[0] - 1.7).abs() < 1e-6, "w = {}", out.params[0]);
+    }
+
+    #[test]
+    fn noisy_fit_reasonable() {
+        // Deterministic pseudo-noise.
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.25).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x + 0.05 * ((i * 37 % 11) as f64 - 5.0))
+            .collect();
+        let out = fit(
+            |p, r| {
+                for (i, (&x, &y)) in xs.iter().zip(&ys).enumerate() {
+                    r[i] = p[0] * x - y;
+                }
+            },
+            &[0.0],
+            xs.len(),
+            Options::default(),
+        )
+        .unwrap();
+        assert!((out.params[0] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_empty_inputs() {
+        assert_eq!(
+            fit(|_, _| {}, &[], 3, Options::default()),
+            Err(NumericsError::EmptyInput)
+        );
+        assert_eq!(
+            fit(|_, _| {}, &[1.0], 0, Options::default()),
+            Err(NumericsError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn rejects_nan_residuals_at_start() {
+        assert!(matches!(
+            fit(|_, r| r[0] = f64::NAN, &[1.0], 1, Options::default()),
+            Err(NumericsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn already_at_minimum_converges_immediately() {
+        let out = fit(
+            |p, r| r[0] = p[0] - 5.0,
+            &[5.0],
+            1,
+            Options::default(),
+        )
+        .unwrap();
+        assert!(out.converged);
+        assert!(out.sse < 1e-20);
+    }
+}

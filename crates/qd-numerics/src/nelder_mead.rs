@@ -1,0 +1,297 @@
+//! Derivative-free Nelder–Mead simplex minimization.
+//!
+//! The paper uses SciPy's `curve_fit` to place the intersection point of the
+//! 2-piece-wise-linear transition-line model (§4.3.3). The objective is a
+//! 2-parameter sum of squared point-to-segment distances — small, smooth
+//! almost everywhere, but with kinks where a point's nearest segment
+//! switches, which is exactly where derivative-free simplex search shines.
+
+use crate::NumericsError;
+
+/// Configuration for [`minimize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Options {
+    /// Maximum number of iterations (reflect/expand/contract/shrink steps).
+    pub max_iters: usize,
+    /// Terminate when the simplex's function-value spread falls below this.
+    pub f_tol: f64,
+    /// Terminate when the simplex's vertex spread (∞-norm) falls below this.
+    pub x_tol: f64,
+    /// Initial simplex edge length relative to each coordinate's magnitude
+    /// (an absolute floor of `0.05` per coordinate is applied).
+    pub initial_step: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            max_iters: 500,
+            f_tol: 1e-10,
+            x_tol: 1e-8,
+            initial_step: 0.1,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Location of the best vertex found.
+    pub x: Vec<f64>,
+    /// Objective value at [`Minimum::x`].
+    pub f: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether a tolerance (rather than the iteration cap) stopped the run.
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` using the Nelder–Mead simplex method
+/// with standard coefficients (α=1, γ=2, ρ=0.5, σ=0.5).
+///
+/// The iteration cap is a soft stop: hitting it still returns the best
+/// vertex, with [`Minimum::converged`] set to `false` so callers can decide
+/// whether to accept it (C-INTERMEDIATE: partial results are exposed).
+///
+/// # Errors
+///
+/// Returns [`NumericsError::EmptyInput`] if `x0` is empty, or
+/// [`NumericsError::InvalidParameter`] if the objective returns NaN at the
+/// starting point.
+///
+/// ```
+/// use qd_numerics::nelder_mead::{minimize, Options};
+///
+/// # fn main() -> Result<(), qd_numerics::NumericsError> {
+/// // Rosenbrock's banana function.
+/// let rosen = |x: &[f64]| {
+///     (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2)
+/// };
+/// let m = minimize(rosen, &[-1.2, 1.0], Options { max_iters: 2000, ..Options::default() })?;
+/// assert!((m.x[0] - 1.0).abs() < 1e-3);
+/// assert!((m.x[1] - 1.0).abs() < 1e-3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn minimize<F>(mut f: F, x0: &[f64], opts: Options) -> Result<Minimum, NumericsError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(NumericsError::EmptyInput);
+    }
+    let f0 = f(x0);
+    if f0.is_nan() {
+        return Err(NumericsError::InvalidParameter {
+            name: "f",
+            constraint: "objective must be finite at the starting point",
+        });
+    }
+
+    // Build the initial simplex: x0 plus one perturbed vertex per dimension.
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    values.push(f0);
+    for d in 0..n {
+        let mut v = x0.to_vec();
+        let step = opts.initial_step * v[d].abs().max(0.5);
+        v[d] += step;
+        values.push(f(&v));
+        simplex.push(v);
+    }
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut iterations = 0;
+    let mut converged = false;
+
+    while iterations < opts.max_iters {
+        iterations += 1;
+
+        // Order vertices best → worst (NaN treated as +inf).
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| {
+            let fa = if values[a].is_nan() { f64::INFINITY } else { values[a] };
+            let fb = if values[b].is_nan() { f64::INFINITY } else { values[b] };
+            fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let best = order[0];
+        let worst = order[n];
+        let second_worst = order[n - 1];
+
+        // Convergence checks.
+        let f_spread = (values[worst] - values[best]).abs();
+        let mut x_spread: f64 = 0.0;
+        for d in 0..n {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for v in &simplex {
+                lo = lo.min(v[d]);
+                hi = hi.max(v[d]);
+            }
+            x_spread = x_spread.max(hi - lo);
+        }
+        // Like SciPy, require BOTH spreads below tolerance: with tied
+        // function values alone the simplex may still be far from a
+        // stationary point.
+        if f_spread < opts.f_tol && x_spread < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for (i, v) in simplex.iter().enumerate() {
+            if i == worst {
+                continue;
+            }
+            for d in 0..n {
+                centroid[d] += v[d] / n as f64;
+            }
+        }
+
+        let lerp = |from: &[f64], coeff: f64| -> Vec<f64> {
+            (0..n)
+                .map(|d| centroid[d] + coeff * (centroid[d] - from[d]))
+                .collect()
+        };
+
+        // Reflection.
+        let xr = lerp(&simplex[worst], alpha);
+        let fr = f(&xr);
+        if fr < values[best] {
+            // Expansion.
+            let xe = lerp(&simplex[worst], gamma);
+            let fe = f(&xe);
+            if fe < fr {
+                simplex[worst] = xe;
+                values[worst] = fe;
+            } else {
+                simplex[worst] = xr;
+                values[worst] = fr;
+            }
+            continue;
+        }
+        if fr < values[second_worst] {
+            simplex[worst] = xr;
+            values[worst] = fr;
+            continue;
+        }
+        // Contraction (outside if the reflected point improved on the worst,
+        // inside otherwise).
+        let xc = if fr < values[worst] {
+            lerp(&simplex[worst], alpha * rho)
+        } else {
+            lerp(&simplex[worst], -rho)
+        };
+        let fc = f(&xc);
+        if fc < values[worst].min(fr) {
+            simplex[worst] = xc;
+            values[worst] = fc;
+            continue;
+        }
+        // Shrink toward the best vertex.
+        let best_vertex = simplex[best].clone();
+        for (i, v) in simplex.iter_mut().enumerate() {
+            if i == best {
+                continue;
+            }
+            for d in 0..n {
+                v[d] = best_vertex[d] + sigma * (v[d] - best_vertex[d]);
+            }
+            values[i] = f(v);
+        }
+    }
+
+    let mut best = 0;
+    for i in 1..=n {
+        if values[i] < values[best] {
+            best = i;
+        }
+    }
+    Ok(Minimum {
+        x: simplex.swap_remove(best),
+        f: values[best],
+        iterations,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quadratic_bowl_converges_to_center() {
+        let m = minimize(
+            |x| (x[0] - 3.0).powi(2) + (x[1] + 2.0).powi(2),
+            &[0.0, 0.0],
+            Options::default(),
+        )
+        .unwrap();
+        assert!(m.converged);
+        assert!((m.x[0] - 3.0).abs() < 1e-4, "x0 = {}", m.x[0]);
+        assert!((m.x[1] + 2.0).abs() < 1e-4, "x1 = {}", m.x[1]);
+    }
+
+    #[test]
+    fn one_dimensional_minimization() {
+        let m = minimize(|x| (x[0] - 1.5).powi(2) + 7.0, &[10.0], Options::default()).unwrap();
+        assert!((m.x[0] - 1.5).abs() < 1e-4);
+        assert!((m.f - 7.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn nonsmooth_objective_still_converges() {
+        // |x| + |y| has a kink at the optimum, like the piecewise-linear fit.
+        let m = minimize(
+            |x| x[0].abs() + x[1].abs(),
+            &[3.0, -4.0],
+            Options {
+                max_iters: 2000,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(m.x[0].abs() < 1e-3);
+        assert!(m.x[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn iteration_cap_reports_not_converged() {
+        let m = minimize(
+            |x| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2),
+            &[-1.2, 1.0],
+            Options {
+                max_iters: 3,
+                ..Options::default()
+            },
+        )
+        .unwrap();
+        assert!(!m.converged);
+        assert_eq!(m.iterations, 3);
+    }
+
+    #[test]
+    fn rejects_empty_start() {
+        assert_eq!(
+            minimize(|_| 0.0, &[], Options::default()),
+            Err(NumericsError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn rejects_nan_at_start() {
+        assert!(matches!(
+            minimize(|_| f64::NAN, &[1.0], Options::default()),
+            Err(NumericsError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn result_exposes_objective_value() {
+        let m = minimize(|x| x[0] * x[0] + 5.0, &[2.0], Options::default()).unwrap();
+        assert!((m.f - 5.0).abs() < 1e-6);
+    }
+}

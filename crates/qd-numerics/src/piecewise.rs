@@ -1,0 +1,332 @@
+//! The 2-piece-wise-linear transition-line model of §4.3.3.
+//!
+//! The two charge-state transition lines of a double-dot CSD are modelled
+//! as two straight segments sharing one endpoint (the *intersection point*,
+//! physically the triple-point region). Each segment's other endpoint is an
+//! *anchor point* found by the §4.4 preprocessing and held fixed during the
+//! fit; only the intersection `(cx, cy)` is free. The fit minimizes the sum
+//! of squared euclidean distances from the located transition points to the
+//! nearest of the two segments — the same parameterization the paper feeds
+//! to SciPy's `curve_fit`.
+
+use crate::nelder_mead::{self, Options as NmOptions};
+use crate::NumericsError;
+
+/// A point in (x, y) voltage-pixel space.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate (column / `V_P1`).
+    pub x: f64,
+    /// Vertical coordinate (row / `V_P2`).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Self { x, y }
+    }
+}
+
+/// Unsigned distance from `p` to the infinite line through `a` and `b`
+/// (perpendicular "cross" distance), used to find the elbow start point.
+fn cross_distance(a: Point, b: Point, p: Point) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len = (abx * abx + aby * aby).sqrt().max(1e-12);
+    ((p.x - a.x) * aby - (p.y - a.y) * abx).abs() / len
+}
+
+/// Squared euclidean distance from `p` to the segment `a`–`b`.
+///
+/// Degenerate segments (`a == b`) reduce to point distance.
+pub fn segment_distance_sq(p: Point, a: Point, b: Point) -> f64 {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len_sq = abx * abx + aby * aby;
+    if len_sq < 1e-24 {
+        return (p.x - a.x).powi(2) + (p.y - a.y).powi(2);
+    }
+    let t = (((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq).clamp(0.0, 1.0);
+    let qx = a.x + t * abx;
+    let qy = a.y + t * aby;
+    (p.x - qx).powi(2) + (p.y - qy).powi(2)
+}
+
+/// The two-segment model: anchors fixed, intersection free.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoSegmentModel {
+    /// Anchor on the near-horizontal (0,0)→(0,1) transition line
+    /// (upper-left end of the critical region).
+    pub anchor_h: Point,
+    /// Anchor on the near-vertical (0,0)→(1,0) transition line
+    /// (lower-right end of the critical region).
+    pub anchor_v: Point,
+}
+
+/// Outcome of [`TwoSegmentModel::fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentFit {
+    /// Fitted intersection point of the two transition lines.
+    pub intersection: Point,
+    /// Slope of the near-horizontal line (`anchor_h` → intersection).
+    pub slope_h: f64,
+    /// Slope of the near-vertical line (`anchor_v` → intersection).
+    pub slope_v: f64,
+    /// Sum of squared distances at the optimum.
+    pub sse: f64,
+    /// Whether the inner optimizer converged.
+    pub converged: bool,
+}
+
+impl TwoSegmentModel {
+    /// Creates the model from the two anchor points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidParameter`] if the anchors coincide.
+    pub fn new(anchor_h: Point, anchor_v: Point) -> Result<Self, NumericsError> {
+        if anchor_h.distance(anchor_v) < 1e-9 {
+            return Err(NumericsError::InvalidParameter {
+                name: "anchors",
+                constraint: "anchor points must be distinct",
+            });
+        }
+        Ok(Self { anchor_h, anchor_v })
+    }
+
+    /// Sum of squared distances from `points` to the nearer of the two
+    /// segments, given a candidate intersection `c`.
+    pub fn sse(&self, c: Point, points: &[Point]) -> f64 {
+        points
+            .iter()
+            .map(|&p| {
+                segment_distance_sq(p, self.anchor_h, c).min(segment_distance_sq(
+                    p,
+                    self.anchor_v,
+                    c,
+                ))
+            })
+            .sum()
+    }
+
+    /// Slopes of the two lines for a given intersection point.
+    ///
+    /// Returns `(slope_h, slope_v)`. A vertical near-vertical segment yields
+    /// a slope of `±f64::INFINITY` rather than NaN.
+    pub fn slopes(&self, c: Point) -> (f64, f64) {
+        let slope = |a: Point| -> f64 {
+            let dx = c.x - a.x;
+            let dy = c.y - a.y;
+            if dx.abs() < 1e-12 {
+                if dy >= 0.0 {
+                    f64::INFINITY
+                } else {
+                    f64::NEG_INFINITY
+                }
+            } else {
+                dy / dx
+            }
+        };
+        (slope(self.anchor_h), slope(self.anchor_v))
+    }
+
+    /// Fits the intersection point to the located transition `points` by
+    /// Nelder–Mead over `(cx, cy)`.
+    ///
+    /// The objective (sum of min-of-two segment distances) develops local
+    /// minima when the two lines' slopes are close (thin triangles), so
+    /// the optimizer is multi-started from the right-angle corner of the
+    /// critical region, the chord midpoint, the point centroid, and the
+    /// point farthest from the anchor chord (the cloud's "elbow"); the
+    /// best result wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::EmptyInput`] if `points` is empty, or any
+    /// error from the inner optimizer.
+    pub fn fit(&self, points: &[Point]) -> Result<SegmentFit, NumericsError> {
+        if points.is_empty() {
+            return Err(NumericsError::EmptyInput);
+        }
+        let (ah, av) = (self.anchor_h, self.anchor_v);
+        // Start 1: right-angle corner of the critical triangle.
+        let corner = [av.x, ah.y];
+        // Start 2: chord midpoint.
+        let midpoint = [0.5 * (ah.x + av.x), 0.5 * (ah.y + av.y)];
+        // Start 3: centroid of the located points.
+        let n = points.len() as f64;
+        let centroid = [
+            points.iter().map(|p| p.x).sum::<f64>() / n,
+            points.iter().map(|p| p.y).sum::<f64>() / n,
+        ];
+        // Start 4: the point farthest from the anchor chord — for a
+        // genuine two-line cloud this is near the intersection.
+        let chord_len = ah.distance(av).max(1e-9);
+        let elbow = points
+            .iter()
+            .max_by(|a, b| {
+                let da = cross_distance(ah, av, **a);
+                let db = cross_distance(ah, av, **b);
+                da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|p| [p.x, p.y])
+            .unwrap_or(corner);
+        let _ = chord_len;
+
+        let model = *self;
+        let pts = points.to_vec();
+        let mut best: Option<nelder_mead::Minimum> = None;
+        for start in [corner, midpoint, centroid, elbow] {
+            let run = nelder_mead::minimize(
+                |p| model.sse(Point::new(p[0], p[1]), &pts),
+                &start,
+                NmOptions {
+                    max_iters: 800,
+                    ..NmOptions::default()
+                },
+            )?;
+            match &best {
+                Some(b) if b.f <= run.f => {}
+                _ => best = Some(run),
+            }
+        }
+        let min = best.expect("at least one start ran");
+        let c = Point::new(min.x[0], min.x[1]);
+        let (slope_h, slope_v) = self.slopes(c);
+        Ok(SegmentFit {
+            intersection: c,
+            slope_h,
+            slope_v,
+            sse: min.f,
+            converged: min.converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth_points(a_h: Point, a_v: Point, c: Point, per_seg: usize) -> Vec<Point> {
+        let mut pts = Vec::new();
+        for i in 0..per_seg {
+            let t = i as f64 / (per_seg - 1) as f64;
+            pts.push(Point::new(
+                a_h.x + t * (c.x - a_h.x),
+                a_h.y + t * (c.y - a_h.y),
+            ));
+            pts.push(Point::new(
+                a_v.x + t * (c.x - a_v.x),
+                a_v.y + t * (c.y - a_v.y),
+            ));
+        }
+        pts
+    }
+
+    #[test]
+    fn point_distance() {
+        assert!((Point::new(0.0, 0.0).distance(Point::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_from_tuple() {
+        let p: Point = (1.0, 2.0).into();
+        assert_eq!(p, Point::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn segment_distance_inside_projection() {
+        let d = segment_distance_sq(Point::new(1.0, 1.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_distance_clamps_to_endpoints() {
+        let d = segment_distance_sq(Point::new(-1.0, 0.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!((d - 1.0).abs() < 1e-12);
+        let d2 = segment_distance_sq(Point::new(3.0, 0.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        assert!((d2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_distance_degenerate() {
+        let d = segment_distance_sq(Point::new(1.0, 1.0), Point::new(0.0, 0.0), Point::new(0.0, 0.0));
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_coincident_anchors() {
+        assert!(TwoSegmentModel::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn exact_fit_recovers_intersection_and_slopes() {
+        // Geometry mimicking a CSD: near-horizontal line slope -0.2 from the
+        // upper-left anchor, near-vertical slope -4 to the lower-right anchor.
+        let c = Point::new(60.0, 58.0);
+        let a_h = Point::new(10.0, 68.0); // slope (58-68)/(60-10) = -0.2
+        let a_v = Point::new(70.0, 18.0); // slope (58-18)/(60-70) = -4.0
+        let pts = synth_points(a_h, a_v, c, 20);
+        let model = TwoSegmentModel::new(a_h, a_v).unwrap();
+        let fit = model.fit(&pts).unwrap();
+        assert!(fit.sse < 1e-4, "sse = {}", fit.sse);
+        assert!((fit.intersection.x - 60.0).abs() < 0.2, "cx = {}", fit.intersection.x);
+        assert!((fit.intersection.y - 58.0).abs() < 0.2, "cy = {}", fit.intersection.y);
+        assert!((fit.slope_h + 0.2).abs() < 0.02, "m_h = {}", fit.slope_h);
+        assert!((fit.slope_v + 4.0).abs() < 0.2, "m_v = {}", fit.slope_v);
+    }
+
+    #[test]
+    fn noisy_fit_stays_close() {
+        let c = Point::new(50.0, 50.0);
+        let a_h = Point::new(5.0, 60.0);
+        let a_v = Point::new(58.0, 10.0);
+        let mut pts = synth_points(a_h, a_v, c, 25);
+        // Deterministic jitter.
+        for (i, p) in pts.iter_mut().enumerate() {
+            p.x += ((i * 7919 % 13) as f64 - 6.0) * 0.1;
+            p.y += ((i * 104729 % 11) as f64 - 5.0) * 0.1;
+        }
+        let model = TwoSegmentModel::new(a_h, a_v).unwrap();
+        let fit = model.fit(&pts).unwrap();
+        assert!((fit.intersection.x - 50.0).abs() < 1.5);
+        assert!((fit.intersection.y - 50.0).abs() < 1.5);
+    }
+
+    #[test]
+    fn fit_rejects_empty_points() {
+        let model =
+            TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(10.0, 0.0)).unwrap();
+        assert_eq!(model.fit(&[]), Err(NumericsError::EmptyInput));
+    }
+
+    #[test]
+    fn slopes_handle_vertical_segment() {
+        let model =
+            TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(5.0, 0.0)).unwrap();
+        let (_, m_v) = model.slopes(Point::new(5.0, 8.0));
+        assert!(m_v.is_infinite());
+    }
+
+    #[test]
+    fn sse_is_zero_on_the_segments() {
+        let a_h = Point::new(0.0, 10.0);
+        let a_v = Point::new(10.0, 0.0);
+        let c = Point::new(8.0, 8.0);
+        let model = TwoSegmentModel::new(a_h, a_v).unwrap();
+        let on_line = vec![Point::new(4.0, 9.0), Point::new(9.0, 4.0), c];
+        assert!(model.sse(c, &on_line) < 1e-20);
+    }
+}

@@ -1,0 +1,269 @@
+//! RANSAC line fitting.
+//!
+//! Theil–Sen (see [`crate::lsq::theil_sen`]) tolerates ~29 % outliers;
+//! Canny edge clouds from noisy CSDs can be worse. RANSAC fits a line by
+//! repeatedly sampling two points, counting inliers within a distance
+//! band, and refining the best consensus set by least squares — robust to
+//! well over half the points being outliers.
+//!
+//! Randomness comes from an internal deterministic xorshift generator
+//! seeded by the caller, keeping this crate dependency-free and every fit
+//! reproducible.
+
+use crate::lsq::{fit_line, Line};
+use crate::NumericsError;
+
+/// Configuration for [`ransac_line`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RansacParams {
+    /// Sampling iterations.
+    pub iterations: usize,
+    /// Maximum perpendicular distance for a point to count as an inlier.
+    pub inlier_distance: f64,
+    /// Minimum inliers for a model to be considered at all.
+    pub min_inliers: usize,
+    /// Seed for the internal deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for RansacParams {
+    fn default() -> Self {
+        Self {
+            iterations: 200,
+            inlier_distance: 1.5,
+            min_inliers: 4,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Result of a RANSAC fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RansacFit {
+    /// The consensus line (least-squares refit over the inliers).
+    pub line: Line,
+    /// Indices of the inlier points.
+    pub inliers: Vec<usize>,
+}
+
+/// Fits a line through `(xs, ys)` by RANSAC.
+///
+/// # Errors
+///
+/// * [`NumericsError::LengthMismatch`] if the slices differ in length.
+/// * [`NumericsError::EmptyInput`] for fewer than 2 points.
+/// * [`NumericsError::InvalidParameter`] for non-positive
+///   `inlier_distance` or zero `iterations`.
+/// * [`NumericsError::NoConvergence`] if no sampled model reaches
+///   `min_inliers` (e.g. pure scatter), or the consensus set is vertical
+///   ([`NumericsError::SingularSystem`] from the refit).
+///
+/// ```
+/// use qd_numerics::ransac::{ransac_line, RansacParams};
+///
+/// # fn main() -> Result<(), qd_numerics::NumericsError> {
+/// // 60 % inliers on y = 2x + 1, 40 % gross outliers.
+/// let mut xs = Vec::new();
+/// let mut ys = Vec::new();
+/// for i in 0..30 {
+///     xs.push(i as f64);
+///     ys.push(2.0 * i as f64 + 1.0);
+/// }
+/// for i in 0..20 {
+///     xs.push(i as f64);
+///     ys.push(((i * 7919) % 97) as f64 - 20.0);
+/// }
+/// let fit = ransac_line(&xs, &ys, RansacParams::default())?;
+/// assert!((fit.line.slope - 2.0).abs() < 0.05);
+/// assert!(fit.inliers.len() >= 28);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ransac_line(xs: &[f64], ys: &[f64], params: RansacParams) -> Result<RansacFit, NumericsError> {
+    if xs.len() != ys.len() {
+        return Err(NumericsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(NumericsError::EmptyInput);
+    }
+    if params.iterations == 0 || params.inlier_distance.is_nan() || params.inlier_distance <= 0.0 {
+        return Err(NumericsError::InvalidParameter {
+            name: "iterations/inlier_distance",
+            constraint: "must be positive",
+        });
+    }
+
+    let mut rng = XorShift64::new(params.seed);
+    let mut best: Option<Vec<usize>> = None;
+
+    for _ in 0..params.iterations {
+        let i = rng.below(n);
+        let mut j = rng.below(n);
+        if j == i {
+            j = (j + 1) % n;
+        }
+        let (x1, y1) = (xs[i], ys[i]);
+        let (x2, y2) = (xs[j], ys[j]);
+        // Line through the sample as a·x + b·y = c with (a, b) unit.
+        let dx = x2 - x1;
+        let dy = y2 - y1;
+        let len = (dx * dx + dy * dy).sqrt();
+        if len < 1e-12 {
+            continue; // coincident sample
+        }
+        let (a, b) = (-dy / len, dx / len);
+        let c = a * x1 + b * y1;
+        let inliers: Vec<usize> = (0..n)
+            .filter(|&k| (a * xs[k] + b * ys[k] - c).abs() <= params.inlier_distance)
+            .collect();
+        if inliers.len() >= params.min_inliers
+            && best.as_ref().map(|b| inliers.len() > b.len()).unwrap_or(true)
+        {
+            best = Some(inliers);
+        }
+    }
+
+    let inliers = best.ok_or(NumericsError::NoConvergence {
+        iterations: params.iterations,
+    })?;
+    let in_x: Vec<f64> = inliers.iter().map(|&k| xs[k]).collect();
+    let in_y: Vec<f64> = inliers.iter().map(|&k| ys[k]).collect();
+    let line = fit_line(&in_x, &in_y)?;
+    Ok(RansacFit { line, inliers })
+}
+
+/// Minimal xorshift64* generator — deterministic, seedable, no deps.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed.max(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_with_outliers(frac_outliers: f64) -> (Vec<f64>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let n = 50usize;
+        let n_out = (n as f64 * frac_outliers) as usize;
+        for i in 0..n - n_out {
+            xs.push(i as f64 * 0.8);
+            ys.push(-0.5 * i as f64 * 0.8 + 10.0);
+        }
+        for i in 0..n_out {
+            xs.push((i * 13 % 40) as f64);
+            ys.push(((i * 7919) % 83) as f64 - 40.0);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn clean_line_is_recovered_exactly() {
+        let (xs, ys) = line_with_outliers(0.0);
+        let fit = ransac_line(&xs, &ys, RansacParams::default()).unwrap();
+        assert!((fit.line.slope + 0.5).abs() < 1e-9);
+        assert!((fit.line.intercept - 10.0).abs() < 1e-9);
+        assert_eq!(fit.inliers.len(), xs.len());
+    }
+
+    #[test]
+    fn survives_half_outliers() {
+        let (xs, ys) = line_with_outliers(0.5);
+        let fit = ransac_line(&xs, &ys, RansacParams::default()).unwrap();
+        assert!(
+            (fit.line.slope + 0.5).abs() < 0.05,
+            "slope {}",
+            fit.line.slope
+        );
+        // Theil–Sen at 50 % outliers is not guaranteed; RANSAC is.
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (xs, ys) = line_with_outliers(0.4);
+        let a = ransac_line(&xs, &ys, RansacParams::default()).unwrap();
+        let b = ransac_line(&xs, &ys, RansacParams::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pure_scatter_fails_cleanly() {
+        // Uniform scatter: no 10-point consensus within a tight band.
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 7919) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..40).map(|i| ((i * 104729) % 103) as f64).collect();
+        let r = ransac_line(
+            &xs,
+            &ys,
+            RansacParams {
+                inlier_distance: 0.05,
+                min_inliers: 10,
+                ..RansacParams::default()
+            },
+        );
+        assert!(matches!(r, Err(NumericsError::NoConvergence { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(ransac_line(&[1.0], &[1.0, 2.0], RansacParams::default()).is_err());
+        assert!(ransac_line(&[1.0], &[1.0], RansacParams::default()).is_err());
+        assert!(ransac_line(
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            RansacParams {
+                iterations: 0,
+                ..RansacParams::default()
+            }
+        )
+        .is_err());
+        assert!(ransac_line(
+            &[1.0, 2.0],
+            &[1.0, 2.0],
+            RansacParams {
+                inlier_distance: 0.0,
+                ..RansacParams::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inlier_indices_reference_the_line_points() {
+        let (xs, ys) = line_with_outliers(0.3);
+        let fit = ransac_line(&xs, &ys, RansacParams::default()).unwrap();
+        for &k in &fit.inliers {
+            let expect = -0.5 * xs[k] + 10.0;
+            // Inliers are within the band of the *true* line (band 1.5 +
+            // fit tolerance).
+            assert!(
+                (ys[k] - expect).abs() < 3.5,
+                "index {k} is not near the true line"
+            );
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for the numerics substrate.
+
+use proptest::prelude::*;
+use qd_numerics::lsq::{fit_line, solve_dense, theil_sen};
+use qd_numerics::nelder_mead::{minimize, Options};
+use qd_numerics::piecewise::{segment_distance_sq, Point, TwoSegmentModel};
+use qd_numerics::stats;
+
+proptest! {
+    /// OLS recovers an exact line for any finite slope/intercept.
+    #[test]
+    fn fit_line_recovers_exact_lines(
+        slope in -100.0..100.0f64,
+        intercept in -1e3..1e3f64,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let line = fit_line(&xs, &ys).unwrap();
+        prop_assert!((line.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((line.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+    }
+
+    /// Theil–Sen agrees with OLS on outlier-free lines.
+    #[test]
+    fn theil_sen_matches_ols_without_outliers(
+        slope in -10.0..10.0f64,
+        n in 4usize..25,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + 2.0).collect();
+        let robust = theil_sen(&xs, &ys).unwrap();
+        prop_assert!((robust.slope - slope).abs() < 1e-9);
+    }
+
+    /// Solving A x = b then multiplying back recovers b.
+    #[test]
+    fn solve_dense_inverts(
+        a00 in -10.0..10.0f64, a01 in -10.0..10.0f64,
+        a10 in -10.0..10.0f64, a11 in -10.0..10.0f64,
+        b0 in -10.0..10.0f64, b1 in -10.0..10.0f64,
+    ) {
+        let det = a00 * a11 - a01 * a10;
+        prop_assume!(det.abs() > 1e-3);
+        let mut a = vec![a00, a01, a10, a11];
+        let mut x = vec![b0, b1];
+        solve_dense(&mut a, &mut x, 2).unwrap();
+        let r0 = a00 * x[0] + a01 * x[1];
+        let r1 = a10 * x[0] + a11 * x[1];
+        prop_assert!((r0 - b0).abs() < 1e-6 * (1.0 + b0.abs()));
+        prop_assert!((r1 - b1).abs() < 1e-6 * (1.0 + b1.abs()));
+    }
+
+    /// Point-to-segment distance is zero exactly on the segment and
+    /// satisfies the triangle-ish bound d(p, seg) <= d(p, endpoint).
+    #[test]
+    fn segment_distance_properties(
+        ax in -50.0..50.0f64, ay in -50.0..50.0f64,
+        bx in -50.0..50.0f64, by in -50.0..50.0f64,
+        px in -50.0..50.0f64, py in -50.0..50.0f64,
+        t in 0.0..1.0f64,
+    ) {
+        let a = Point::new(ax, ay);
+        let b = Point::new(bx, by);
+        let p = Point::new(px, py);
+        // On-segment points have zero distance.
+        let on = Point::new(ax + t * (bx - ax), ay + t * (by - ay));
+        prop_assert!(segment_distance_sq(on, a, b) < 1e-9);
+        // The segment is never farther than either endpoint.
+        let d = segment_distance_sq(p, a, b);
+        prop_assert!(d <= p.distance(a).powi(2) + 1e-9);
+        prop_assert!(d <= p.distance(b).powi(2) + 1e-9);
+        prop_assert!(d >= 0.0);
+    }
+
+    /// The two-segment fit reproduces exactly generated corner geometries.
+    #[test]
+    fn two_segment_fit_recovers_corners(
+        cx in 40.0..70.0f64,
+        cy in 40.0..70.0f64,
+        shallow in -0.6..-0.1f64,
+        steep in -8.0..-1.5f64,
+    ) {
+        // Anchors placed on the lines away from the corner.
+        let a_h = Point::new(5.0, cy + shallow * (5.0 - cx));
+        let a_v = Point::new(cx - (cy - 5.0) / steep, 5.0);
+        prop_assume!(a_h.distance(a_v) > 10.0);
+        let model = TwoSegmentModel::new(a_h, a_v).unwrap();
+        let mut pts = Vec::new();
+        for i in 0..15 {
+            let t = i as f64 / 14.0;
+            pts.push(Point::new(a_h.x + t * (cx - a_h.x), a_h.y + t * (cy - a_h.y)));
+            pts.push(Point::new(a_v.x + t * (cx - a_v.x), a_v.y + t * (cy - a_v.y)));
+        }
+        let fit = model.fit(&pts).unwrap();
+        prop_assert!(fit.sse < 1e-3, "sse {}", fit.sse);
+        prop_assert!((fit.intersection.x - cx).abs() < 0.5, "cx {} vs {}", fit.intersection.x, cx);
+        prop_assert!((fit.intersection.y - cy).abs() < 0.5, "cy {} vs {}", fit.intersection.y, cy);
+    }
+
+    /// Nelder–Mead finds the minimum of shifted quadratic bowls.
+    #[test]
+    fn nelder_mead_solves_quadratics(
+        x0 in -20.0..20.0f64,
+        y0 in -20.0..20.0f64,
+        scale in 0.1..10.0f64,
+    ) {
+        let m = minimize(
+            move |p| scale * (p[0] - x0).powi(2) + (p[1] - y0).powi(2),
+            &[0.0, 0.0],
+            Options { max_iters: 2000, ..Options::default() },
+        )
+        .unwrap();
+        prop_assert!((m.x[0] - x0).abs() < 1e-3, "x {} vs {}", m.x[0], x0);
+        prop_assert!((m.x[1] - y0).abs() < 1e-3, "y {} vs {}", m.x[1], y0);
+    }
+
+    /// Percentiles are monotone and bracketed by min/max.
+    #[test]
+    fn percentiles_are_monotone(
+        data in prop::collection::vec(-1e4..1e4f64, 1..60),
+        p1 in 0.0..100.0f64,
+        p2 in 0.0..100.0f64,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let vlo = stats::percentile(&data, lo).unwrap();
+        let vhi = stats::percentile(&data, hi).unwrap();
+        prop_assert!(vlo <= vhi + 1e-12);
+        let (dmin, dmax) = stats::min_max(&data).unwrap();
+        prop_assert!(vlo >= dmin - 1e-12 && vhi <= dmax + 1e-12);
+    }
+
+    /// argmax returns an index of a maximal element.
+    #[test]
+    fn argmax_is_maximal(data in prop::collection::vec(-1e6..1e6f64, 1..100)) {
+        let i = stats::argmax(&data).unwrap();
+        for &v in &data {
+            prop_assert!(data[i] >= v);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Ground-state and thermally mixed charge configuration solvers.
+//!
+//! Given the electrostatic energy `U(N, V)` from the capacitance model, the
+//! device's charge state at gate voltages `V` is the non-negative integer
+//! occupation vector minimizing `U`. At finite electron temperature the
+//! occupation is a Boltzmann mixture over nearby configurations, which is
+//! what broadens transition lines in measured charge stability diagrams.
+
+use crate::{CapacitanceModel, PhysicsError};
+
+/// An integer charge configuration of the dot array, e.g. `(1, 0)` for one
+/// electron in dot 1 and none in dot 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChargeConfiguration {
+    occupations: Vec<u32>,
+}
+
+impl ChargeConfiguration {
+    /// Creates a configuration from per-dot occupations.
+    pub fn new(occupations: Vec<u32>) -> Self {
+        Self { occupations }
+    }
+
+    /// Per-dot electron counts.
+    pub fn occupations(&self) -> &[u32] {
+        &self.occupations
+    }
+
+    /// Total electron count.
+    pub fn total(&self) -> u32 {
+        self.occupations.iter().sum()
+    }
+}
+
+impl std::fmt::Display for ChargeConfiguration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, n) in self.occupations.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<u32>> for ChargeConfiguration {
+    fn from(occupations: Vec<u32>) -> Self {
+        Self::new(occupations)
+    }
+}
+
+/// Exhaustive solver over occupations `0..=max_electrons` per dot.
+///
+/// For the double-dot CSDs of the paper `max_electrons = 3` is ample: the
+/// cropped diagrams only contain the first one or two transitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeStateSolver {
+    max_electrons: u32,
+}
+
+impl ChargeStateSolver {
+    /// Creates a solver that searches occupations up to `max_electrons`
+    /// per dot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhysicsError::InvalidParameter`] if `max_electrons == 0`
+    /// (the solver must at least distinguish empty from singly occupied).
+    pub fn new(max_electrons: u32) -> Result<Self, PhysicsError> {
+        if max_electrons == 0 {
+            return Err(PhysicsError::InvalidParameter {
+                name: "max_electrons",
+                constraint: "must be at least 1",
+            });
+        }
+        Ok(Self { max_electrons })
+    }
+
+    /// Upper bound on per-dot occupation searched by this solver.
+    pub fn max_electrons(&self) -> u32 {
+        self.max_electrons
+    }
+
+    /// The configuration minimizing `U(N, V)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PhysicsError::GateCountMismatch`] from the model.
+    pub fn ground_state(
+        &self,
+        model: &CapacitanceModel,
+        voltages: &[f64],
+    ) -> Result<ChargeConfiguration, PhysicsError> {
+        let mut best: Option<(f64, Vec<u32>)> = None;
+        self.for_each_config(model.n_dots(), &mut |occ| {
+            let u = model.energy(occ, voltages)?;
+            match &best {
+                Some((bu, _)) if *bu <= u => {}
+                _ => best = Some((u, occ.to_vec())),
+            }
+            Ok(())
+        })?;
+        // for_each_config always visits at least the all-zero configuration.
+        let (_, occ) = best.expect("at least one configuration is always evaluated");
+        Ok(ChargeConfiguration::new(occ))
+    }
+
+    /// Thermal (Boltzmann) expectation of the occupation of every dot at
+    /// electron temperature `kt` (same reduced energy units as `U`).
+    ///
+    /// `kt = 0` reduces to the ground state. The broadening this produces is
+    /// what makes simulated transition lines a pixel or two wide instead of
+    /// perfectly sharp — real devices look the same.
+    ///
+    /// # Errors
+    ///
+    /// * [`PhysicsError::InvalidParameter`] if `kt` is negative or not
+    ///   finite.
+    /// * Propagates [`PhysicsError::GateCountMismatch`] from the model.
+    pub fn thermal_occupation(
+        &self,
+        model: &CapacitanceModel,
+        voltages: &[f64],
+        kt: f64,
+    ) -> Result<Vec<f64>, PhysicsError> {
+        if kt < 0.0 || !kt.is_finite() {
+            return Err(PhysicsError::InvalidParameter {
+                name: "kt",
+                constraint: "must be non-negative and finite",
+            });
+        }
+        if kt == 0.0 {
+            let gs = self.ground_state(model, voltages)?;
+            return Ok(gs.occupations().iter().map(|&n| n as f64).collect());
+        }
+
+        // Collect energies; subtract the minimum before exponentiating for
+        // numerical stability.
+        let n_dots = model.n_dots();
+        let mut configs: Vec<(Vec<u32>, f64)> = Vec::new();
+        self.for_each_config(n_dots, &mut |occ| {
+            configs.push((occ.to_vec(), model.energy(occ, voltages)?));
+            Ok(())
+        })?;
+        let u_min = configs
+            .iter()
+            .map(|(_, u)| *u)
+            .fold(f64::INFINITY, f64::min);
+        let mut z = 0.0;
+        let mut mean = vec![0.0; n_dots];
+        for (occ, u) in &configs {
+            let w = (-(u - u_min) / kt).exp();
+            z += w;
+            for (m, &n) in mean.iter_mut().zip(occ) {
+                *m += w * n as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= z;
+        }
+        Ok(mean)
+    }
+
+    /// Visits every occupation vector in `{0..=max_electrons}^n_dots`.
+    fn for_each_config<F>(&self, n_dots: usize, f: &mut F) -> Result<(), PhysicsError>
+    where
+        F: FnMut(&[u32]) -> Result<(), PhysicsError>,
+    {
+        let base = self.max_electrons as u64 + 1;
+        let count = base.pow(n_dots as u32);
+        let mut occ = vec![0u32; n_dots];
+        for idx in 0..count {
+            let mut rem = idx;
+            for slot in occ.iter_mut() {
+                *slot = (rem % base) as u32;
+                rem /= base;
+            }
+            f(&occ)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChargeStateSolver {
+    fn default() -> Self {
+        Self { max_electrons: 3 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CapacitanceModel {
+        CapacitanceModel::new(
+            &[1.0, 1.0],
+            &[(0, 1, 0.2)],
+            &[vec![0.010, 0.002], vec![0.0025, 0.011]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn configuration_display_and_total() {
+        let c = ChargeConfiguration::new(vec![1, 0, 2]);
+        assert_eq!(c.to_string(), "(1, 0, 2)");
+        assert_eq!(c.total(), 3);
+        let from: ChargeConfiguration = vec![2, 2].into();
+        assert_eq!(from.occupations(), &[2, 2]);
+    }
+
+    #[test]
+    fn solver_rejects_zero_max() {
+        assert!(ChargeStateSolver::new(0).is_err());
+    }
+
+    #[test]
+    fn ground_state_origin_is_empty() {
+        let s = ChargeStateSolver::default();
+        let gs = s.ground_state(&model(), &[0.0, 0.0]).unwrap();
+        assert_eq!(gs.occupations(), &[0, 0]);
+    }
+
+    #[test]
+    fn ground_state_loads_dot1_with_gate1() {
+        let s = ChargeStateSolver::default();
+        // q1 crosses 0.5 electrons around V1 = 50 for lever arm 0.010.
+        let gs = s.ground_state(&model(), &[70.0, 0.0]).unwrap();
+        assert_eq!(gs.occupations(), &[1, 0]);
+    }
+
+    #[test]
+    fn ground_state_loads_both_at_high_both() {
+        let s = ChargeStateSolver::default();
+        let gs = s.ground_state(&model(), &[75.0, 65.0]).unwrap();
+        assert_eq!(gs.occupations(), &[1, 1]);
+    }
+
+    #[test]
+    fn ground_state_monotone_in_gate_voltage() {
+        let s = ChargeStateSolver::default();
+        let m = model();
+        let mut prev_total = 0;
+        for step in 0..12 {
+            let v = step as f64 * 25.0;
+            let total = s.ground_state(&m, &[v, v]).unwrap().total();
+            assert!(
+                total >= prev_total,
+                "total occupation decreased from {prev_total} to {total} at V = {v}"
+            );
+            prev_total = total;
+        }
+        assert!(prev_total >= 2);
+    }
+
+    #[test]
+    fn thermal_occupation_zero_kt_equals_ground_state() {
+        let s = ChargeStateSolver::default();
+        let m = model();
+        let v = [70.0, 0.0];
+        let th = s.thermal_occupation(&m, &v, 0.0).unwrap();
+        let gs = s.ground_state(&m, &v).unwrap();
+        for (t, &g) in th.iter().zip(gs.occupations()) {
+            assert_eq!(*t, g as f64);
+        }
+    }
+
+    #[test]
+    fn thermal_occupation_smooth_across_transition() {
+        let s = ChargeStateSolver::default();
+        let m = model();
+        // Straddle the first dot-1 transition; with kt > 0 the occupation
+        // passes through fractional values.
+        let kt = 0.02;
+        let mut prev = 0.0;
+        let mut saw_fraction = false;
+        for step in 0..200 {
+            let v1 = step as f64 * 0.5;
+            let occ = s.thermal_occupation(&m, &[v1, 0.0], kt).unwrap()[0];
+            assert!(occ >= prev - 1e-9, "occupation must be monotone");
+            if occ > 0.2 && occ < 0.8 {
+                saw_fraction = true;
+            }
+            prev = occ;
+        }
+        assert!(saw_fraction, "finite kt must broaden the transition");
+    }
+
+    #[test]
+    fn thermal_rejects_negative_kt() {
+        let s = ChargeStateSolver::default();
+        assert!(s.thermal_occupation(&model(), &[0.0, 0.0], -1.0).is_err());
+        assert!(s
+            .thermal_occupation(&model(), &[0.0, 0.0], f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn higher_kt_broadens_more() {
+        let s = ChargeStateSolver::default();
+        let m = model();
+        // Measure the transition width as the voltage span where occupation
+        // is between 0.1 and 0.9.
+        let width = |kt: f64| -> f64 {
+            let mut lo = None;
+            let mut hi = None;
+            for step in 0..400 {
+                let v1 = step as f64 * 0.25;
+                let occ = s.thermal_occupation(&m, &[v1, 0.0], kt).unwrap()[0];
+                if occ > 0.1 && lo.is_none() {
+                    lo = Some(v1);
+                }
+                if occ > 0.9 && hi.is_none() {
+                    hi = Some(v1);
+                }
+            }
+            hi.unwrap_or(100.0) - lo.unwrap_or(0.0)
+        };
+        assert!(width(0.04) > width(0.01));
+    }
+}

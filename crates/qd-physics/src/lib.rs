@@ -1,0 +1,75 @@
+//! Constant-interaction physics model for gate-defined silicon quantum dot
+//! devices.
+//!
+//! This crate is the *device substrate* of the fast virtual gate extraction
+//! reproduction: where the paper measured real Si/SiGe chips (qflow v2
+//! dataset), we synthesize charge-sensor currents from the standard
+//! constant-interaction capacitance model (Hanson et al., *Rev. Mod. Phys.*
+//! 79, 1217 (2007); van der Wiel et al., *Rev. Mod. Phys.* 75, 1 (2002)).
+//!
+//! # Model
+//!
+//! A device with `n` dots and `g` plunger gates is described by
+//!
+//! * a dot–dot capacitance matrix `C` (diagonal: total dot capacitances,
+//!   off-diagonal: `-C_m` mutual capacitances), and
+//! * a gate lever-arm matrix `C_g` (element `(i, j)`: coupling of gate `j`
+//!   to dot `i`, in electrons per volt).
+//!
+//! The electrostatic energy of an integer charge configuration `N` at gate
+//! voltages `V` is
+//!
+//! ```text
+//! U(N, V) = ½ (N − C_g V)ᵀ C⁻¹ (N − C_g V)
+//! ```
+//!
+//! in reduced units (`e = 1`; energies in units of `e²/C₀`, voltages such
+//! that `C_g·V` is in electrons). The ground state minimizes `U` over
+//! non-negative integer occupations; at finite electron temperature the
+//! charge state is a Boltzmann mixture, which broadens the transition lines
+//! exactly the way dilution-refrigerator data looks.
+//!
+//! The charge sensor (a single dot operated on a Coulomb-peak flank)
+//! responds linearly to its local electrostatic potential: each added
+//! electron screens the sensor by a per-dot shift, and the plunger gates
+//! leak a smooth background slope into the sensor — both effects are visible
+//! in every real CSD and both matter to the extraction algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use qd_physics::DeviceBuilder;
+//!
+//! # fn main() -> Result<(), qd_physics::PhysicsError> {
+//! let device = DeviceBuilder::double_dot()
+//!     .mutual_capacitance(0.15)
+//!     .lever_arms([[0.010, 0.002], [0.0025, 0.011]])
+//!     .temperature(0.012)
+//!     .build()?;
+//!
+//! // Deep in the (0,0) region the dots are empty.
+//! assert_eq!(device.ground_state(&[0.0, 0.0])?.occupations(), &[0, 0]);
+//! // Past the first transition of dot 1, one electron loads.
+//! assert_eq!(device.ground_state(&[70.0, 0.0])?.occupations(), &[1, 0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacitance;
+pub mod charge_state;
+pub mod device;
+pub mod honeycomb;
+pub mod noise;
+pub mod sensor;
+
+mod error;
+
+pub use capacitance::CapacitanceModel;
+pub use charge_state::{ChargeConfiguration, ChargeStateSolver};
+pub use device::{DeviceBuilder, DoubleDotDevice, LinearArrayDevice};
+pub use error::PhysicsError;
+pub use noise::{CompositeNoise, DriftNoise, NoiseModel, PinkNoise, TelegraphNoise, WhiteNoise};
+pub use sensor::SensorModel;

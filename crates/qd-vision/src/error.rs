@@ -1,0 +1,63 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the vision pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VisionError {
+    /// A parameter was outside its domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Constraint that was violated.
+        constraint: &'static str,
+    },
+    /// The image was too small for the requested operation.
+    ImageTooSmall {
+        /// Minimum dimension required.
+        min: usize,
+        /// Actual smaller dimension.
+        got: usize,
+    },
+    /// No edges survived thresholding, so downstream stages have nothing
+    /// to work with.
+    NoEdges,
+}
+
+impl fmt::Display for VisionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VisionError::InvalidParameter { name, constraint } => {
+                write!(f, "parameter `{name}` violated constraint: {constraint}")
+            }
+            VisionError::ImageTooSmall { min, got } => {
+                write!(f, "image dimension {got} below minimum {min}")
+            }
+            VisionError::NoEdges => write!(f, "no edge pixels survived thresholding"),
+        }
+    }
+}
+
+impl Error for VisionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        for e in [
+            VisionError::InvalidParameter { name: "sigma", constraint: "positive" },
+            VisionError::ImageTooSmall { min: 5, got: 3 },
+            VisionError::NoEdges,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn f<T: Send + Sync>() {}
+        f::<VisionError>();
+    }
+}

@@ -1,0 +1,293 @@
+//! Line-*segment* extraction on top of the ρ–θ Hough transform,
+//! equivalent in spirit to OpenCV's `HoughLinesP`.
+//!
+//! A full Hough line says "infinitely many collinear points exist"; real
+//! CSD analysis wants to know *where* the support lies — the steep line
+//! only exists below the triple point, the shallow line only to its left.
+//! [`extract_segments`] walks each detected line's supporting edge pixels
+//! in order, splits on gaps, and reports maximal dense runs.
+
+use crate::hough::{hough_lines, HoughParams};
+use crate::{EdgeMap, HoughLine, VisionError};
+
+/// Parameters for [`extract_segments`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegmentParams {
+    /// Hough parameters for the underlying line detection.
+    pub hough: HoughParams,
+    /// Maximum perpendicular distance (pixels) for an edge pixel to
+    /// support a line.
+    pub support_distance: f64,
+    /// Maximum along-line gap (pixels) within one segment.
+    pub max_gap: f64,
+    /// Minimum segment length (pixels) to report.
+    pub min_length: f64,
+}
+
+impl Default for SegmentParams {
+    fn default() -> Self {
+        Self {
+            hough: HoughParams::default(),
+            support_distance: 1.8,
+            max_gap: 4.0,
+            min_length: 8.0,
+        }
+    }
+}
+
+/// A maximal dense run of edge support along a Hough line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineSegment {
+    /// Segment start in pixel coordinates.
+    pub start: (f64, f64),
+    /// Segment end in pixel coordinates.
+    pub end: (f64, f64),
+    /// Edge pixels supporting this segment.
+    pub support: usize,
+    /// The parent Hough line.
+    pub line: HoughLine,
+}
+
+impl LineSegment {
+    /// Segment length in pixels.
+    pub fn length(&self) -> f64 {
+        let dx = self.end.0 - self.start.0;
+        let dy = self.end.1 - self.start.1;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Slope `dy/dx`, or `None` if vertical.
+    pub fn slope(&self) -> Option<f64> {
+        let dx = self.end.0 - self.start.0;
+        if dx.abs() < 1e-9 {
+            None
+        } else {
+            Some((self.end.1 - self.start.1) / dx)
+        }
+    }
+
+    /// Segment midpoint.
+    pub fn midpoint(&self) -> (f64, f64) {
+        (
+            0.5 * (self.start.0 + self.end.0),
+            0.5 * (self.start.1 + self.end.1),
+        )
+    }
+}
+
+/// Extracts supported line segments from an edge map, longest first.
+///
+/// # Errors
+///
+/// * Propagates [`hough_lines`] errors ([`VisionError::NoEdges`], bad
+///   parameters).
+/// * Returns [`VisionError::InvalidParameter`] for non-positive
+///   `support_distance`, `max_gap` or `min_length`.
+pub fn extract_segments(
+    edges: &EdgeMap,
+    params: SegmentParams,
+) -> Result<Vec<LineSegment>, VisionError> {
+    if !(params.support_distance > 0.0 && params.max_gap > 0.0 && params.min_length > 0.0) {
+        return Err(VisionError::InvalidParameter {
+            name: "support_distance/max_gap/min_length",
+            constraint: "must all be positive",
+        });
+    }
+    let lines = hough_lines(edges, params.hough)?;
+    let pixels = edges.edge_pixels();
+    let mut segments = Vec::new();
+
+    for line in lines {
+        let (s, c) = line.theta.sin_cos();
+        // Along-line coordinate t and perpendicular distance d for every
+        // edge pixel: with unit normal (c, s), the direction is (-s, c).
+        let mut support: Vec<(f64, (f64, f64))> = pixels
+            .iter()
+            .filter_map(|p| {
+                let (x, y) = (p.x as f64, p.y as f64);
+                let d = (x * c + y * s - line.rho).abs();
+                if d <= params.support_distance {
+                    Some((-x * s + y * c, (x, y)))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if support.len() < 2 {
+            continue;
+        }
+        support.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Split on gaps.
+        let mut run_start = 0usize;
+        for i in 1..=support.len() {
+            let split = i == support.len() || support[i].0 - support[i - 1].0 > params.max_gap;
+            if !split {
+                continue;
+            }
+            let run = &support[run_start..i];
+            run_start = i;
+            if run.len() < 2 {
+                continue;
+            }
+            let seg = LineSegment {
+                start: run[0].1,
+                end: run[run.len() - 1].1,
+                support: run.len(),
+                line,
+            };
+            if seg.length() >= params.min_length {
+                segments.push(seg);
+            }
+        }
+    }
+    segments.sort_by(|a, b| b.length().partial_cmp(&a.length()).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(segments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canny::{canny, CannyParams};
+    use qd_csd::{Csd, VoltageGrid};
+
+    fn grid(n: usize) -> VoltageGrid {
+        VoltageGrid::new(0.0, 0.0, 1.0, n, n).unwrap()
+    }
+
+    /// A corner CSD with genuinely *bounded* lines: above the shallow
+    /// line the current is flat, so the steep edge exists only below it
+    /// (as in a real charge-state corner where the lines terminate at the
+    /// triple point).
+    fn corner_edges() -> EdgeMap {
+        let csd = Csd::from_fn(grid(80), |v1, v2| {
+            if v2 > 52.0 - 0.25 * v1 {
+                4.0 // above the shallow line: flat
+            } else if v2 > -4.0 * (v1 - 55.0) {
+                4.8 // right of the steep line
+            } else {
+                6.0 // the (0,0) corner
+            }
+        })
+        .unwrap();
+        canny(&csd, CannyParams::default()).unwrap()
+    }
+
+    #[test]
+    fn finds_both_corner_segments() {
+        let segs = extract_segments(&corner_edges(), SegmentParams::default()).unwrap();
+        assert!(segs.len() >= 2, "found {} segments", segs.len());
+        let steep = segs
+            .iter()
+            .find(|s| s.slope().map(|m| m < -1.0).unwrap_or(true));
+        let shallow = segs
+            .iter()
+            .find(|s| s.slope().map(|m| (-1.0..0.0).contains(&m)).unwrap_or(false));
+        assert!(steep.is_some(), "no steep segment in {segs:?}");
+        assert!(shallow.is_some(), "no shallow segment in {segs:?}");
+    }
+
+    #[test]
+    fn segments_are_bounded_not_infinite() {
+        // The steep line terminates at the corner (y ≈ 41 where it meets
+        // the shallow line): its segment must not extend to the image top.
+        let segs = extract_segments(&corner_edges(), SegmentParams::default()).unwrap();
+        let steep = segs
+            .iter()
+            .find(|s| s.slope().map(|m| m < -1.0).unwrap_or(true))
+            .expect("steep segment");
+        let top = steep.start.1.max(steep.end.1);
+        assert!(top < 48.0, "steep segment reaches y = {top}");
+    }
+
+    #[test]
+    fn a_gap_splits_segments() {
+        // Two collinear horizontal strokes with a 12-pixel hole.
+        let csd = Csd::from_fn(grid(60), |v1, v2| {
+            let in_stroke = (8.0..24.0).contains(&v1) || (36.0..52.0).contains(&v1);
+            if v2 > 30.0 && in_stroke {
+                1.0
+            } else {
+                4.0
+            }
+        })
+        .unwrap();
+        let edges = canny(&csd, CannyParams::default()).unwrap();
+        let segs = extract_segments(
+            &edges,
+            SegmentParams {
+                max_gap: 5.0,
+                min_length: 6.0,
+                ..SegmentParams::default()
+            },
+        )
+        .unwrap();
+        // At least two horizontal segments, neither spanning the hole.
+        let horizontal: Vec<&LineSegment> = segs
+            .iter()
+            .filter(|s| s.slope().map(|m| m.abs() < 0.1).unwrap_or(false))
+            .collect();
+        assert!(horizontal.len() >= 2, "{segs:?}");
+        for s in horizontal {
+            assert!(s.length() < 30.0, "segment spans the gap: {s:?}");
+        }
+    }
+
+    #[test]
+    fn min_length_filters_short_runs() {
+        let segs_loose = extract_segments(
+            &corner_edges(),
+            SegmentParams {
+                min_length: 4.0,
+                ..SegmentParams::default()
+            },
+        )
+        .unwrap();
+        let segs_strict = extract_segments(
+            &corner_edges(),
+            SegmentParams {
+                min_length: 30.0,
+                ..SegmentParams::default()
+            },
+        )
+        .unwrap();
+        assert!(segs_strict.len() <= segs_loose.len());
+        for s in &segs_strict {
+            assert!(s.length() >= 30.0);
+        }
+    }
+
+    #[test]
+    fn sorted_longest_first() {
+        let segs = extract_segments(&corner_edges(), SegmentParams::default()).unwrap();
+        for pair in segs.windows(2) {
+            assert!(pair[0].length() >= pair[1].length());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let e = corner_edges();
+        for bad in [
+            SegmentParams { support_distance: 0.0, ..SegmentParams::default() },
+            SegmentParams { max_gap: -1.0, ..SegmentParams::default() },
+            SegmentParams { min_length: 0.0, ..SegmentParams::default() },
+        ] {
+            assert!(extract_segments(&e, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn segment_helpers() {
+        let line = HoughLine { rho: 0.0, theta: 0.0, votes: 5 };
+        let s = LineSegment {
+            start: (0.0, 0.0),
+            end: (6.0, 8.0),
+            support: 12,
+            line,
+        };
+        assert_eq!(s.length(), 10.0);
+        assert_eq!(s.midpoint(), (3.0, 4.0));
+        assert!((s.slope().unwrap() - 8.0 / 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! Quickstart: extract a virtual gate matrix from one benchmark CSD.
+//!
+//! Runs the paper's fast extraction on benchmark 6 of the synthetic
+//! qflow-like suite, prints the probe statistics and the virtualization
+//! matrix, and compares both against the Hough baseline and the ground
+//! truth.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fastvg::core::baseline::HoughBaseline;
+use fastvg::core::extraction::FastExtractor;
+use fastvg::dataset::paper_benchmark;
+use fastvg::instrument::{CsdSource, MeasurementSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Benchmark 6: a clean 100×100 diagram (Table 1 row 6).
+    let bench = paper_benchmark(6)?;
+    let (w, h) = bench.csd.size();
+    println!("benchmark 6: {w}x{h} CSD, ground truth:");
+    println!(
+        "  slope_h = {:+.4}   slope_v = {:+.4}   alpha12 = {:.4}   alpha21 = {:.4}",
+        bench.truth.slope_h, bench.truth.slope_v, bench.truth.alpha12, bench.truth.alpha21
+    );
+
+    // --- Fast extraction (the paper's method) ---------------------------
+    let mut fast_session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let fast = FastExtractor::new().extract(&mut fast_session)?;
+    println!("\nfast extraction:");
+    println!(
+        "  probes: {} ({:.2}% of the diagram)",
+        fast.probes,
+        100.0 * fast.coverage
+    );
+    println!(
+        "  simulated runtime: {:.2}s (dwell) + {:.1}ms (compute)",
+        fast.simulated_dwell.as_secs_f64(),
+        fast.compute_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  slopes: h = {:+.4}, v = {:+.4}   matrix: {}",
+        fast.slope_h, fast.slope_v, fast.matrix
+    );
+
+    // --- Baseline (full CSD + Canny + Hough) ----------------------------
+    let mut base_session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let base = HoughBaseline::new().extract(&mut base_session)?;
+    println!("\nhough baseline:");
+    println!("  probes: {} (100% of the diagram)", base.probes);
+    println!(
+        "  simulated runtime: {:.2}s (dwell) + {:.1}ms (compute)",
+        base.simulated_dwell.as_secs_f64(),
+        base.compute_time.as_secs_f64() * 1e3
+    );
+    println!(
+        "  slopes: h = {:+.4}, v = {:+.4}   matrix: {}",
+        base.slope_h, base.slope_v, base.matrix
+    );
+
+    let speedup = base.total_runtime().as_secs_f64() / fast.total_runtime().as_secs_f64();
+    println!("\nspeedup: {speedup:.2}x");
+
+    // --- Accuracy against ground truth ----------------------------------
+    println!(
+        "\nalpha error (fast):     |d12| = {:.4}, |d21| = {:.4}",
+        (fast.alpha12() - bench.truth.alpha12).abs(),
+        (fast.alpha21() - bench.truth.alpha21).abs()
+    );
+    println!(
+        "alpha error (baseline): |d12| = {:.4}, |d21| = {:.4}",
+        (base.alpha12() - bench.truth.alpha12).abs(),
+        (base.alpha21() - bench.truth.alpha21).abs()
+    );
+    Ok(())
+}

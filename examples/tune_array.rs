@@ -1,0 +1,92 @@
+//! Tuning a linear quantum dot array: pairwise virtual gate extraction.
+//!
+//! The paper's §2.3 scales the double-dot procedure to an n-dot array by
+//! running it on every adjacent plunger pair (n−1 extractions). This
+//! example builds a 4-dot device, extracts the full 4×4 virtualization
+//! matrix with the fast method, and verifies the virtual gates give
+//! one-to-one control by probing the device at compensated voltages.
+//!
+//! ```sh
+//! cargo run --example tune_array
+//! ```
+
+use fastvg::core::extraction::FastExtractor;
+use fastvg::core::virtual_gate::{extract_chain, WindowPlan};
+use fastvg::physics::DeviceBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n_dots = 4;
+    let device = DeviceBuilder::linear_array(n_dots).build_array()?;
+    let bias = vec![0.0; n_dots];
+
+    println!("extracting virtual gates for a {n_dots}-dot array ({} pairs)...", n_dots - 1);
+    let chain = extract_chain(&device, &bias, &FastExtractor::new(), &WindowPlan::default())?;
+
+    println!(
+        "\ntotal probes: {}   simulated dwell: {:.1}s",
+        chain.total_probes,
+        chain.total_dwell.as_secs_f64()
+    );
+
+    println!("\npairwise extractions:");
+    for (i, pair) in chain.pairs.iter().enumerate() {
+        let truth = device.pair_ground_truth(i)?;
+        println!(
+            "  pair ({}, {}): slope_h {:+.3} (truth {:+.3}), slope_v {:+.3} (truth {:+.3}), {} probes",
+            i,
+            i + 1,
+            pair.slope_h,
+            truth.slope_h,
+            pair.slope_v,
+            truth.slope_v,
+            pair.probes
+        );
+    }
+
+    println!("\nassembled virtualization matrix:");
+    let v = &chain.virtualization;
+    for i in 0..v.n_gates() {
+        let row: Vec<String> = (0..v.n_gates()).map(|j| format!("{:+.4}", v.at(i, j))).collect();
+        println!("  [ {} ]", row.join("  "));
+    }
+
+    // Demonstrate one-to-one control: stepping a virtual gate should move
+    // (mostly) its own dot's chemical potential. We verify via the
+    // capacitance model's ground truth coupling: the compensated physical
+    // step for virtual gate 1 barely changes dots 0 and 2.
+    println!("\nverification: ground-state occupations along virtual gate sweeps");
+    let center = vec![40.0; n_dots];
+    for gate in 0..n_dots {
+        let mut flips = Vec::new();
+        for step in 0..42 {
+            // Invert the (near-identity) matrix action approximately by
+            // iterating v_phys ← v_virt − (G − I) v_phys twice.
+            let target: Vec<f64> = center
+                .iter()
+                .enumerate()
+                .map(|(g, &c)| c + if g == gate { step as f64 } else { 0.0 })
+                .collect();
+            let mut phys = target.clone();
+            for _ in 0..8 {
+                let virt = v.to_virtual(&phys);
+                for g in 0..n_dots {
+                    phys[g] += target[g] - virt[g];
+                }
+            }
+            let occ = device.ground_state(&phys)?;
+            flips.push(occ.occupations().to_vec());
+        }
+        let first = flips.first().expect("sweep is non-empty").clone();
+        let last = flips.last().expect("sweep is non-empty").clone();
+        let moved: Vec<usize> = (0..n_dots).filter(|&d| first[d] != last[d]).collect();
+        println!(
+            "  virtual gate {gate}: occupation {:?} -> {:?} (dots moved: {:?})",
+            first, last, moved
+        );
+    }
+
+    println!("\nEach virtual gate loads its own dot first: nearest-neighbour cross-talk");
+    println!("is compensated. Residual motion of next-nearest dots is expected — the");
+    println!("pairwise matrix of §2.3 only carries nearest-neighbour coefficients.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Unattended batch tuning: retry ladders + failure archiving.
+//!
+//! The scaling argument of the paper's introduction is that humans cannot
+//! babysit thousands of dot pairs. This example simulates that workflow:
+//! a randomized cohort of devices is tuned with [`TuningLoop`]'s retry
+//! ladder, successes are verified against ground truth, and the diagrams
+//! of any failures are archived to disk for offline inspection.
+//!
+//! ```sh
+//! cargo run --release --example unattended_batch
+//! ```
+
+use fastvg::core::report::SuccessCriteria;
+use fastvg::core::tuning::TuningLoop;
+use fastvg::dataset::{generate, random_specs, save_suite};
+use fastvg::instrument::{CsdSource, MeasurementSession};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cohort = 16usize;
+    let specs = random_specs(cohort, 2024);
+    let ladder = TuningLoop::new();
+    let criteria = SuccessCriteria::default();
+
+    println!("unattended batch: {cohort} randomized devices, {}-rung retry ladder\n", ladder.len());
+
+    let mut verified = 0usize;
+    let mut retried = 0usize;
+    let mut failures = Vec::new();
+
+    for spec in &specs {
+        let bench = generate(spec)?;
+        let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()))
+            .with_probe_budget(bench.spec.pixel_count()); // tripwire: never exceed a full CSD
+        let outcome = ladder.run(&mut session);
+        let status = match &outcome.result {
+            Ok(r) if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) => {
+                verified += 1;
+                if outcome.attempts_used > 1 {
+                    retried += 1;
+                }
+                format!(
+                    "ok   (attempt {}, {} probes, α₁₂ {:+.3}, α₂₁ {:+.3})",
+                    outcome.attempts_used,
+                    outcome.total_probes,
+                    r.alpha12(),
+                    r.alpha21()
+                )
+            }
+            Ok(_) => {
+                failures.push(bench);
+                "WRONG (passed validation but off ground truth) — archived".to_string()
+            }
+            Err(e) => {
+                failures.push(bench);
+                format!("FAIL ({e}) — archived")
+            }
+        };
+        println!("  device {:>2}: {status}", spec.index);
+    }
+
+    println!(
+        "\nverified {verified}/{cohort} ({retried} needed a retry rung), {} archived for inspection",
+        failures.len()
+    );
+
+    if !failures.is_empty() {
+        let dir = std::env::temp_dir().join("fastvg-unattended-failures");
+        save_suite(&dir, &failures)?;
+        println!("failure archive written to {}", dir.display());
+    }
+    Ok(())
+}

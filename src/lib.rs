@@ -1,0 +1,44 @@
+//! # fastvg — fast virtual gate extraction for silicon quantum dot devices
+//!
+//! Umbrella crate for the reproduction of Che et al., *"Fast Virtual Gate
+//! Extraction For Silicon Quantum Dot Devices"* (DAC 2024,
+//! arXiv:2409.15181). It re-exports the workspace crates under stable
+//! names:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `fastvg-core` | the paper's algorithm + Hough baseline |
+//! | [`physics`] | `qd-physics` | constant-interaction device models |
+//! | [`csd`] | `qd-csd` | charge stability diagrams & virtualization |
+//! | [`instrument`] | `qd-instrument` | `getCurrent` sessions, dwell clock, probe ledger |
+//! | [`numerics`] | `qd-numerics` | fitting & convolution substrate |
+//! | [`vision`] | `qd-vision` | from-scratch Canny + Hough |
+//! | [`dataset`] | `qd-dataset` | the synthetic 12-benchmark suite |
+//!
+//! See `examples/quickstart.rs` for a complete end-to-end run and
+//! `crates/bench` for the harnesses regenerating every table and figure
+//! of the paper.
+//!
+//! ```
+//! use fastvg::core::extraction::FastExtractor;
+//! use fastvg::dataset::paper_benchmark;
+//! use fastvg::instrument::{CsdSource, MeasurementSession};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = paper_benchmark(6)?;
+//! let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+//! let result = FastExtractor::new().extract(&mut session)?;
+//! assert!((result.alpha21() - bench.truth.alpha21).abs() < 0.08);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use fastvg_core as core;
+pub use qd_csd as csd;
+pub use qd_dataset as dataset;
+pub use qd_instrument as instrument;
+pub use qd_numerics as numerics;
+pub use qd_physics as physics;
+pub use qd_vision as vision;

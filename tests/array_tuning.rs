@@ -1,0 +1,89 @@
+//! Cross-crate integration: pairwise virtual gate extraction scales to
+//! linear arrays (paper §2.3: "n − 1 sequentially executed extraction
+//! processes are needed for an n-dot array").
+
+use fastvg::core::extraction::FastExtractor;
+use fastvg::core::virtual_gate::{extract_chain, WindowPlan};
+use fastvg::physics::DeviceBuilder;
+
+#[test]
+fn chains_extract_for_3_to_5_dots() {
+    for n in [3usize, 4, 5] {
+        let device = DeviceBuilder::linear_array(n)
+            .build_array()
+            .expect("array builds");
+        let chain = extract_chain(
+            &device,
+            &vec![0.0; n],
+            &FastExtractor::new(),
+            &WindowPlan::default(),
+        )
+        .unwrap_or_else(|e| panic!("{n}-dot chain failed: {e}"));
+        assert_eq!(chain.pairs.len(), n - 1, "{n}-dot array needs n-1 extractions");
+        assert_eq!(chain.virtualization.n_gates(), n);
+
+        for pair in 0..n - 1 {
+            let truth = device.pair_ground_truth(pair).expect("valid pair");
+            let a12 = chain.virtualization.at(pair, pair + 1);
+            let a21 = chain.virtualization.at(pair + 1, pair);
+            assert!(
+                (a12 - truth.alpha12).abs() < 0.1,
+                "{n}-dot pair {pair}: a12 {a12:.3} vs truth {:.3}",
+                truth.alpha12
+            );
+            assert!(
+                (a21 - truth.alpha21).abs() < 0.1,
+                "{n}-dot pair {pair}: a21 {a21:.3} vs truth {:.3}",
+                truth.alpha21
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_probe_budget_scales_linearly() {
+    let count_probes = |n: usize| -> usize {
+        let device = DeviceBuilder::linear_array(n)
+            .build_array()
+            .expect("array builds");
+        extract_chain(
+            &device,
+            &vec![0.0; n],
+            &FastExtractor::new(),
+            &WindowPlan::default(),
+        )
+        .expect("chain extracts")
+        .total_probes
+    };
+    let p3 = count_probes(3);
+    let p5 = count_probes(5);
+    // 5 dots = 4 pairs vs 3 dots = 2 pairs: roughly 2x the probes.
+    let ratio = p5 as f64 / p3 as f64;
+    assert!(
+        (1.4..2.8).contains(&ratio),
+        "probe scaling ratio {ratio:.2} not ~2 (p3 = {p3}, p5 = {p5})"
+    );
+}
+
+#[test]
+fn non_adjacent_couplings_are_zero() {
+    let device = DeviceBuilder::linear_array(4)
+        .build_array()
+        .expect("array builds");
+    let chain = extract_chain(
+        &device,
+        &[0.0; 4],
+        &FastExtractor::new(),
+        &WindowPlan::default(),
+    )
+    .expect("chain extracts");
+    let v = &chain.virtualization;
+    for i in 0..4usize {
+        for j in 0..4usize {
+            if i.abs_diff(j) >= 2 {
+                assert_eq!(v.at(i, j), 0.0, "({i},{j}) should be zero");
+            }
+        }
+        assert_eq!(v.at(i, i), 1.0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Cross-crate integration: benchmark diagrams survive serialization and
+//! replay identically through the instrument layer.
+
+use fastvg::csd::io::{from_csv, to_csv};
+use fastvg::csd::render::to_pgm;
+use fastvg::dataset::paper_benchmark;
+use fastvg::instrument::{CsdSource, CurrentSource};
+
+#[test]
+fn csv_round_trip_preserves_benchmark() {
+    let bench = paper_benchmark(3).expect("benchmark generates");
+    let text = to_csv(&bench.csd);
+    let back = from_csv(&text).expect("round trip parses");
+    assert_eq!(back, bench.csd);
+}
+
+#[test]
+fn replayed_source_is_bit_identical() {
+    let bench = paper_benchmark(4).expect("benchmark generates");
+    let text = to_csv(&bench.csd);
+    let replayed = from_csv(&text).expect("round trip parses");
+
+    let mut original = CsdSource::new(bench.csd.clone());
+    let mut replay = CsdSource::new(replayed);
+    let g = bench.csd.grid();
+    for y in (0..g.height()).step_by(7) {
+        for x in (0..g.width()).step_by(5) {
+            let (v1, v2) = g.voltage_of(x, y);
+            assert_eq!(original.current(v1, v2), replay.current(v1, v2));
+        }
+    }
+}
+
+#[test]
+fn pgm_export_has_correct_payload_size() {
+    let bench = paper_benchmark(5).expect("benchmark generates");
+    let bytes = to_pgm(&bench.csd).expect("renders");
+    let (w, h) = bench.csd.size();
+    let header = format!("P5\n{w} {h}\n255\n");
+    assert_eq!(bytes.len(), header.len() + w * h);
+    assert!(bytes.starts_with(header.as_bytes()));
+}
+
+#[test]
+fn generation_is_reproducible_across_calls() {
+    let a = paper_benchmark(10).expect("generates");
+    let b = paper_benchmark(10).expect("generates");
+    assert_eq!(a.csd, b.csd);
+    assert_eq!(a.truth.slope_h, b.truth.slope_h);
+    assert_eq!(a.truth.slope_v, b.truth.slope_v);
+}

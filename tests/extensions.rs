@@ -1,0 +1,118 @@
+//! Integration tests for the beyond-the-paper extensions: verification
+//! scoring, tuning ladders, scan patterns and dataset archiving working
+//! together.
+
+use fastvg::core::baseline::{acquire_full_csd_with, HoughBaseline};
+use fastvg::core::extraction::FastExtractor;
+use fastvg::core::tuning::TuningLoop;
+use fastvg::core::verify::{measure_steep_step_drift, score_against_truth};
+use fastvg::dataset::{load_suite, paper_benchmark, paper_suite, save_suite};
+use fastvg::instrument::{CsdSource, MeasurementSession, ScanPattern};
+
+#[test]
+fn extraction_on_archived_data_matches_live_data() {
+    let dir = std::env::temp_dir().join(format!("fastvg-ext-roundtrip-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let suite = paper_suite().expect("suite generates");
+    save_suite(&dir, &suite[5..6]).expect("archive written"); // CSD 6
+    let archived = load_suite(&dir).expect("archive read");
+    assert_eq!(archived.len(), 1);
+
+    let mut live = MeasurementSession::new(CsdSource::new(suite[5].csd.clone()));
+    let mut replay = MeasurementSession::new(CsdSource::new(archived[0].csd.clone()));
+    let a = FastExtractor::new().extract(&mut live).expect("live extracts");
+    let b = FastExtractor::new().extract(&mut replay).expect("replay extracts");
+    assert_eq!(a.slope_h, b.slope_h, "archived replay must be bit-identical");
+    assert_eq!(a.slope_v, b.slope_v);
+    assert_eq!(a.probes, b.probes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn verification_scores_track_extraction_quality() {
+    let bench = paper_benchmark(8).expect("benchmark generates");
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let result = FastExtractor::new().extract(&mut session).expect("extracts");
+
+    let score = score_against_truth(&result.matrix, &bench.truth);
+    assert!(
+        score.passes(5.0),
+        "extraction should virtualize within 5 degrees, worst tilt {:.2}",
+        score.worst_tilt_deg()
+    );
+
+    // The identity matrix (no compensation) must score much worse.
+    let naive = score_against_truth(&fastvg::csd::VirtualizationMatrix::identity(), &bench.truth);
+    assert!(naive.worst_tilt_deg() > 3.0 * score.worst_tilt_deg());
+
+    // Data-driven check without ground truth: the extracted matrix makes
+    // the steep step (nearly) vertical, the identity does not.
+    let good_drift = measure_steep_step_drift(&result.matrix, &bench.csd);
+    let naive_drift = measure_steep_step_drift(
+        &fastvg::csd::VirtualizationMatrix::identity(),
+        &bench.csd,
+    );
+    if let (Some(g), Some(n)) = (good_drift, naive_drift) {
+        assert!(g < n, "virtualized drift {g} should beat identity drift {n}");
+    }
+}
+
+#[test]
+fn tuning_ladder_is_never_worse_than_single_shot() {
+    // On every healthy benchmark, the ladder must succeed whenever the
+    // single-shot extractor does (rung 1 *is* the single shot).
+    for index in [3usize, 6, 9, 12] {
+        let bench = paper_benchmark(index).expect("benchmark generates");
+        let mut single = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        let single_ok = FastExtractor::new().extract(&mut single).is_ok();
+        let mut laddered = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        let outcome = TuningLoop::new().run(&mut laddered);
+        if single_ok {
+            assert!(outcome.result.is_ok(), "ladder regressed on CSD {index}");
+            assert_eq!(outcome.attempts_used, 1);
+        }
+    }
+}
+
+#[test]
+fn scan_patterns_acquire_identical_replayed_data() {
+    // On a frozen CSD the probe order cannot change the data — all three
+    // patterns must produce the same acquired diagram (and the same
+    // baseline result).
+    let bench = paper_benchmark(4).expect("benchmark generates");
+    let acquire = |pattern: ScanPattern| {
+        let mut s = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        acquire_full_csd_with(&mut s, pattern).expect("acquisition")
+    };
+    let raster = acquire(ScanPattern::RowMajorRaster);
+    let serp = acquire(ScanPattern::Serpentine);
+    let col = acquire(ScanPattern::ColumnMajorRaster);
+    assert_eq!(raster, serp);
+    assert_eq!(raster, col);
+    assert_eq!(raster, bench.csd);
+}
+
+#[test]
+fn baseline_and_fast_agree_on_clean_benchmarks() {
+    // Both methods measure the same physics: on clean data their slopes
+    // must agree with each other (not just with ground truth).
+    for index in [6usize, 8, 11] {
+        let bench = paper_benchmark(index).expect("benchmark generates");
+        let mut fs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        let fast = FastExtractor::new().extract(&mut fs).expect("fast extracts");
+        let mut bs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        let base = HoughBaseline::new().extract(&mut bs).expect("baseline extracts");
+        assert!(
+            (fast.slope_h - base.slope_h).abs() < 0.12,
+            "CSD {index}: shallow disagreement {} vs {}",
+            fast.slope_h,
+            base.slope_h
+        );
+        assert!(
+            (fast.slope_v - base.slope_v).abs() < 0.9,
+            "CSD {index}: steep disagreement {} vs {}",
+            fast.slope_v,
+            base.slope_v
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Failure-injection integration tests: every pathological input must
+//! produce a clean error (or a clean rejection), never a panic or a
+//! silently wrong matrix.
+
+use fastvg::core::baseline::HoughBaseline;
+use fastvg::core::extraction::FastExtractor;
+use fastvg::core::tuning::TuningLoop;
+use fastvg::core::ExtractError;
+use fastvg::csd::{Csd, VoltageGrid};
+use fastvg::instrument::{CsdSource, FnSource, MeasurementSession, VoltageWindow};
+
+fn window(n: usize) -> VoltageWindow {
+    VoltageWindow {
+        x_min: 0.0,
+        y_min: 0.0,
+        x_max: (n - 1) as f64,
+        y_max: (n - 1) as f64,
+        delta: 1.0,
+    }
+}
+
+#[test]
+fn flat_diagram_fails_cleanly_everywhere() {
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).expect("grid");
+    let flat = Csd::constant(grid, 2.5).expect("csd");
+
+    let mut s1 = MeasurementSession::new(CsdSource::new(flat.clone()));
+    assert!(FastExtractor::new().extract(&mut s1).is_err());
+
+    let mut s2 = MeasurementSession::new(CsdSource::new(flat.clone()));
+    assert!(HoughBaseline::new().extract(&mut s2).is_err());
+
+    let mut s3 = MeasurementSession::new(CsdSource::new(flat));
+    let outcome = TuningLoop::new().run(&mut s3);
+    assert!(outcome.result.is_err());
+}
+
+#[test]
+fn pure_noise_fails_or_is_rejected() {
+    // A deterministic hash-noise source with no structure at all.
+    let noise = FnSource::new(
+        |v1: f64, v2: f64| {
+            let h = (v1 * 12.9898 + v2 * 78.233).sin() * 43758.5453;
+            h - h.floor()
+        },
+        window(100),
+    );
+    let mut session = MeasurementSession::new(noise);
+    match FastExtractor::new().extract(&mut session) {
+        Err(_) => {} // the expected outcome
+        Ok(r) => {
+            // If a fluke geometry slips through it must at least satisfy
+            // the physics bounds (sign pattern) — never arbitrary values.
+            assert!(r.slope_v < -1.0);
+            assert!(r.slope_h < 0.0 && r.slope_h > -1.0);
+        }
+    }
+}
+
+#[test]
+fn window_too_small_is_reported() {
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 12, 12).expect("grid");
+    let csd = Csd::from_fn(grid, |v1, v2| v1 + v2).expect("csd");
+    let mut session = MeasurementSession::new(CsdSource::new(csd));
+    let err = FastExtractor::new().extract(&mut session).unwrap_err();
+    assert!(matches!(err, ExtractError::WindowTooSmall { .. }), "{err}");
+}
+
+#[test]
+fn monotone_gradient_without_lines_is_rejected() {
+    // A smooth ramp has gradients everywhere but no transition lines; the
+    // fitted "lines" must fail the physics validation.
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 80, 80).expect("grid");
+    let ramp = Csd::from_fn(grid, |v1, v2| -0.05 * (v1 + 0.5 * v2)).expect("csd");
+    let mut session = MeasurementSession::new(CsdSource::new(ramp));
+    let r = FastExtractor::new().extract(&mut session);
+    assert!(r.is_err(), "a featureless ramp must not extract: {r:?}");
+}
+
+#[test]
+fn inverted_contrast_fails_validation() {
+    // Current *rising* across the lines (inverted sensor): the feature
+    // gradient is negative on the lines, anchors/sweeps land elsewhere,
+    // and the result must not pass as physical.
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).expect("grid");
+    let inverted = Csd::from_fn(grid, |v1, v2| {
+        let mut i = 2.0 + 0.002 * (v1 + v2);
+        if v2 > -4.0 * (v1 - 62.0) {
+            i += 1.0;
+        }
+        if v2 > 58.0 - 0.3 * v1 {
+            i += 0.8;
+        }
+        i
+    })
+    .expect("csd");
+    let mut session = MeasurementSession::new(CsdSource::new(inverted));
+    let r = FastExtractor::new().extract(&mut session);
+    assert!(r.is_err(), "inverted contrast must be rejected: {r:?}");
+}
+
+#[test]
+fn errors_format_without_panicking() {
+    let errs: Vec<ExtractError> = vec![
+        ExtractError::WindowTooSmall { min: 20, got: 4 },
+        ExtractError::DegenerateAnchors { a1: (3, 3), a2: (3, 3) },
+        ExtractError::TooFewTransitionPoints { got: 0, min: 4 },
+        ExtractError::UnphysicalSlopes { slope_h: f64::NAN, slope_v: f64::INFINITY },
+    ];
+    for e in errs {
+        assert!(!format!("{e}").is_empty());
+        assert!(!format!("{e:?}").is_empty());
+    }
+}
+
+#[test]
+fn session_probe_budget_is_bounded_even_on_failure() {
+    // Failures must not spiral into unbounded probing: even on garbage
+    // data the pipeline probes at most a modest multiple of the paper's
+    // budget.
+    let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).expect("grid");
+    let garbage = Csd::from_fn(grid, |v1, v2| ((v1 * 7.3).sin() * (v2 * 3.1).cos()).abs())
+        .expect("csd");
+    let mut session = MeasurementSession::new(CsdSource::new(garbage));
+    let _ = FastExtractor::new().extract(&mut session);
+    assert!(
+        session.probe_count() < 4000,
+        "failure probed {} points",
+        session.probe_count()
+    );
+}

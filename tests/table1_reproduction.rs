@@ -1,0 +1,132 @@
+//! The headline integration test: the paper's Table 1 outcomes hold on
+//! the synthetic suite.
+//!
+//! Asserts the qualitative *shape* of the result — who succeeds where,
+//! how much of each diagram gets probed, and the speedup band — rather
+//! than any absolute timing.
+
+use fastvg::core::baseline::HoughBaseline;
+use fastvg::core::extraction::FastExtractor;
+use fastvg::core::report::SuccessCriteria;
+use fastvg::dataset::paper_suite;
+use fastvg::instrument::{CsdSource, MeasurementSession};
+
+struct Row {
+    index: usize,
+    fast_success: bool,
+    base_success: bool,
+    fast_probes: usize,
+    total_pixels: usize,
+    fast_runtime: f64,
+    base_runtime: f64,
+}
+
+fn run_suite() -> Vec<Row> {
+    let criteria = SuccessCriteria::default();
+    paper_suite()
+        .expect("suite generates")
+        .iter()
+        .map(|bench| {
+            let mut fs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+            let fast = FastExtractor::new().extract(&mut fs);
+            let fast_success = fast
+                .as_ref()
+                .map(|r| criteria.judge(r.alpha12(), r.alpha21(), &bench.truth))
+                .unwrap_or(false);
+            let fast_probes = fs.probe_count();
+            let fast_runtime = fs.simulated_dwell().as_secs_f64();
+
+            let mut bs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+            let base = HoughBaseline::new().extract(&mut bs);
+            let base_success = base
+                .as_ref()
+                .map(|r| criteria.judge(r.alpha12(), r.alpha21(), &bench.truth))
+                .unwrap_or(false);
+            let base_runtime = bs.simulated_dwell().as_secs_f64();
+
+            Row {
+                index: bench.spec.index,
+                fast_success,
+                base_success,
+                fast_probes,
+                total_pixels: bench.spec.pixel_count(),
+                fast_runtime,
+                base_runtime,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn table1_success_pattern_matches_paper() {
+    let rows = run_suite();
+    assert_eq!(rows.len(), 12);
+
+    let fast: usize = rows.iter().filter(|r| r.fast_success).count();
+    let base: usize = rows.iter().filter(|r| r.base_success).count();
+    assert_eq!(fast, 10, "paper: fast extraction succeeds on 10/12");
+    assert_eq!(base, 9, "paper: baseline succeeds on 9/12");
+
+    // The two noise-swamped benchmarks fail for both methods.
+    for r in rows.iter().filter(|r| r.index <= 2) {
+        assert!(!r.fast_success, "CSD {} should fail fast", r.index);
+        assert!(!r.base_success, "CSD {} should fail baseline", r.index);
+    }
+    // CSD 7: fast succeeds where the baseline starves for edges.
+    let csd7 = rows.iter().find(|r| r.index == 7).expect("CSD 7 in suite");
+    assert!(csd7.fast_success && !csd7.base_success);
+}
+
+#[test]
+fn fast_extraction_probes_roughly_ten_percent() {
+    let rows = run_suite();
+    let healthy: Vec<&Row> = rows.iter().filter(|r| r.fast_success).collect();
+    assert!(!healthy.is_empty());
+    let mut coverages: Vec<f64> = healthy
+        .iter()
+        .map(|r| r.fast_probes as f64 / r.total_pixels as f64)
+        .collect();
+    coverages.sort_by(|a, b| a.partial_cmp(b).expect("finite coverage"));
+    // Paper: 4.2 % – 17.1 % per benchmark, ~10 % on average.
+    assert!(coverages[0] > 0.02, "min coverage {:.3}", coverages[0]);
+    assert!(
+        *coverages.last().expect("non-empty") < 0.25,
+        "max coverage {:.3}",
+        coverages.last().expect("non-empty")
+    );
+    let mean: f64 = coverages.iter().sum::<f64>() / coverages.len() as f64;
+    assert!((0.05..0.18).contains(&mean), "mean coverage {mean:.3}");
+}
+
+#[test]
+fn speedups_fall_in_the_papers_band() {
+    let rows = run_suite();
+    let mut speedups = Vec::new();
+    for r in rows.iter().filter(|r| r.fast_success && r.base_success) {
+        speedups.push(r.base_runtime / r.fast_runtime);
+    }
+    assert!(speedups.len() >= 8, "expected ≥8 mutual successes");
+    for s in &speedups {
+        assert!(
+            (4.0..25.0).contains(s),
+            "speedup {s:.2} outside the plausible band (paper: 5.84–19.34)"
+        );
+    }
+    // Larger diagrams must show larger speedups (probe fraction shrinks).
+    let max = speedups.iter().cloned().fold(0.0, f64::max);
+    assert!(max > 12.0, "200x200 benchmark should exceed 12x, got {max:.2}");
+}
+
+#[test]
+fn baseline_always_probes_everything() {
+    let rows = run_suite();
+    for r in &rows {
+        assert!(
+            (r.base_runtime - r.total_pixels as f64 * 0.05).abs() < 1.0,
+            "CSD {}: baseline dwell {:.2}s != pixels x 50ms",
+            r.index,
+            r.base_runtime
+        );
+        assert!(r.fast_probes < r.total_pixels / 4);
+    }
+}

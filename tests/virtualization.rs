@@ -1,0 +1,85 @@
+//! Cross-crate integration: the extracted virtualization matrix actually
+//! orthogonalizes the device — the end goal of the whole pipeline
+//! (paper §2.3, Figure 3).
+
+use fastvg::core::extraction::FastExtractor;
+use fastvg::csd::VirtualizationMatrix;
+use fastvg::dataset::paper_benchmark;
+use fastvg::instrument::{CsdSource, MeasurementSession};
+
+#[test]
+fn extracted_matrix_orthogonalizes_true_lines() {
+    let bench = paper_benchmark(6).expect("benchmark generates");
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let result = FastExtractor::new()
+        .extract(&mut session)
+        .expect("extraction succeeds on CSD 6");
+
+    // Push the *device's true* line slopes through the *extracted*
+    // matrix: the steep image must be near-vertical, the shallow image
+    // near-horizontal.
+    let steep_image = result.matrix.map_slope(bench.truth.slope_v);
+    let shallow_image = result.matrix.map_slope(bench.truth.slope_h);
+    assert!(
+        steep_image.abs() > 15.0,
+        "steep line image slope {steep_image:.2} not near vertical"
+    );
+    assert!(
+        shallow_image.abs() < 0.12,
+        "shallow line image slope {shallow_image:.4} not near horizontal"
+    );
+}
+
+#[test]
+fn ground_truth_matrix_is_exactly_orthogonal() {
+    let bench = paper_benchmark(8).expect("benchmark generates");
+    let m = VirtualizationMatrix::from_slopes(bench.truth.slope_h, bench.truth.slope_v)
+        .expect("truth slopes are regular");
+    assert!(m.map_slope(bench.truth.slope_v).is_infinite());
+    assert!(m.map_slope(bench.truth.slope_h).abs() < 1e-12);
+}
+
+#[test]
+fn virtualized_diagram_has_axis_aligned_steps() {
+    // Extract on a clean benchmark, resample the CSD into virtual
+    // coordinates and verify the steep transition is (nearly) the same
+    // column across the middle rows.
+    let bench = paper_benchmark(8).expect("benchmark generates");
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let result = FastExtractor::new()
+        .extract(&mut session)
+        .expect("extraction succeeds on CSD 8");
+    let virt = result.matrix.virtualize(&bench.csd).expect("resample");
+
+    let (w, h) = virt.size();
+    // Find the strongest negative step along each middle row, right half
+    // of the image (where the steep line lives after warping).
+    let mut cols = Vec::new();
+    for y in (h / 3)..(2 * h / 3) {
+        let mut best = (0usize, 0.0f64);
+        for x in (w / 3)..(w - 2) {
+            let drop = virt.at(x, y) - virt.at(x + 2, y);
+            if drop > best.1 {
+                best = (x, drop);
+            }
+        }
+        if best.1 > 0.2 {
+            cols.push(best.0);
+        }
+    }
+    assert!(cols.len() > h / 6, "too few step rows found: {}", cols.len());
+    let lo = *cols.iter().min().expect("non-empty");
+    let hi = *cols.iter().max().expect("non-empty");
+    assert!(
+        hi - lo <= w / 12,
+        "steep step drifts {lo}..{hi} across rows; not vertical after virtualization"
+    );
+}
+
+#[test]
+fn identity_matrix_leaves_slopes_alone() {
+    let m = VirtualizationMatrix::identity();
+    for s in [-4.0, -0.3, 1.5] {
+        assert_eq!(m.map_slope(s), s);
+    }
+}
