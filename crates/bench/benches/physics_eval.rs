@@ -11,12 +11,16 @@ use qd_physics::{ChargeStateSolver, DeviceBuilder};
 use std::hint::black_box;
 
 fn bench_device_eval(c: &mut Criterion) {
-    let device = DeviceBuilder::double_dot().build_array().expect("device builds");
+    let device = DeviceBuilder::double_dot()
+        .build_array()
+        .expect("device builds");
     c.bench_function("physics/current_double_dot", |b| {
         b.iter(|| black_box(device.current(black_box(&[40.0, 45.0]))));
     });
 
-    let triple = DeviceBuilder::linear_array(3).build_array().expect("device builds");
+    let triple = DeviceBuilder::linear_array(3)
+        .build_array()
+        .expect("device builds");
     c.bench_function("physics/current_triple_dot", |b| {
         b.iter(|| black_box(triple.current(black_box(&[40.0, 45.0, 35.0]))));
     });

@@ -32,14 +32,22 @@ fn bench_stages(c: &mut Criterion) {
     c.bench_function("stages/row_major_sweep", |b| {
         b.iter(|| {
             let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            black_box(row_major_sweep(&mut session, region, &SweepConfig::default()))
+            black_box(row_major_sweep(
+                &mut session,
+                region,
+                &SweepConfig::default(),
+            ))
         });
     });
 
     c.bench_function("stages/column_major_sweep", |b| {
         b.iter(|| {
             let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            black_box(column_major_sweep(&mut session, region, &SweepConfig::default()))
+            black_box(column_major_sweep(
+                &mut session,
+                region,
+                &SweepConfig::default(),
+            ))
         });
     });
 

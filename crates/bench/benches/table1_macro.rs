@@ -23,8 +23,7 @@ fn bench_fast_extraction(c: &mut Criterion) {
             &bench,
             |b, bench| {
                 b.iter(|| {
-                    let mut session =
-                        MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+                    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
                     black_box(FastExtractor::new().extract(&mut session).ok())
                 });
             },
@@ -43,8 +42,7 @@ fn bench_baseline(c: &mut Criterion) {
             &bench,
             |b, bench| {
                 b.iter(|| {
-                    let mut session =
-                        MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+                    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
                     black_box(HoughBaseline::new().extract(&mut session).ok())
                 });
             },

@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// and reports successes, mean probes and mean |alpha error|.
 fn sweep_suite(config: ExtractorConfig, criteria: &SuccessCriteria) -> (usize, f64, f64) {
     let suite = paper_suite().expect("suite generates");
-    let healthy: Vec<&GeneratedBenchmark> =
-        suite.iter().filter(|b| b.spec.index >= 3).collect();
+    let healthy: Vec<&GeneratedBenchmark> = suite.iter().filter(|b| b.spec.index >= 3).collect();
     let extractor = FastExtractor::with_config(config);
     let mut successes = 0;
     let mut probes = 0usize;
@@ -77,7 +76,11 @@ fn sweep_suite(config: ExtractorConfig, criteria: &SuccessCriteria) -> (usize, f
         }
     }
     let mean_probes = probes as f64 / healthy.len() as f64;
-    let mean_err = if err_count > 0 { err_sum / err_count as f64 } else { f64::NAN };
+    let mean_err = if err_count > 0 {
+        err_sum / err_count as f64
+    } else {
+        f64::NAN
+    };
     (successes, mean_probes, mean_err)
 }
 
@@ -85,7 +88,10 @@ fn sweep_suite(config: ExtractorConfig, criteria: &SuccessCriteria) -> (usize, f
 fn ablate_shrink() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A1: dynamic triangle shrinking (10 healthy benchmarks) ===");
-    println!("{:<12} {:>9} {:>13} {:>12}", "shrink", "success", "mean probes", "mean |aerr|");
+    println!(
+        "{:<12} {:>9} {:>13} {:>12}",
+        "shrink", "success", "mean probes", "mean |aerr|"
+    );
     for shrink in [true, false] {
         let cfg = ExtractorConfig {
             sweep: SweepConfig { shrink },
@@ -102,8 +108,15 @@ fn ablate_shrink() -> Result<(), Box<dyn std::error::Error>> {
 fn ablate_sweeps() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A2: sweep selection (10 healthy benchmarks) ===");
-    println!("{:<14} {:>9} {:>13} {:>12}", "sweeps", "success", "mean probes", "mean |aerr|");
-    for (label, row, col) in [("both", true, true), ("row-only", true, false), ("col-only", false, true)] {
+    println!(
+        "{:<14} {:>9} {:>13} {:>12}",
+        "sweeps", "success", "mean probes", "mean |aerr|"
+    );
+    for (label, row, col) in [
+        ("both", true, true),
+        ("row-only", true, false),
+        ("col-only", false, true),
+    ] {
         let cfg = ExtractorConfig {
             row_sweep: row,
             column_sweep: col,
@@ -120,7 +133,10 @@ fn ablate_sweeps() -> Result<(), Box<dyn std::error::Error>> {
 fn ablate_postproc() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A3: erroneous-point filtering (10 healthy benchmarks) ===");
-    println!("{:<12} {:>9} {:>13} {:>12}", "postproc", "success", "mean probes", "mean |aerr|");
+    println!(
+        "{:<12} {:>9} {:>13} {:>12}",
+        "postproc", "success", "mean probes", "mean |aerr|"
+    );
     for postprocess in [true, false] {
         let cfg = ExtractorConfig {
             postprocess,
@@ -139,7 +155,10 @@ fn ablate_postproc() -> Result<(), Box<dyn std::error::Error>> {
 fn ablate_anchors() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A4: anchor preprocessing (10 healthy benchmarks) ===");
-    println!("{:<22} {:>9} {:>13} {:>12}", "anchor config", "success", "mean probes", "mean |aerr|");
+    println!(
+        "{:<22} {:>9} {:>13} {:>12}",
+        "anchor config", "success", "mean probes", "mean |aerr|"
+    );
     for (label, cfg) in [
         ("paper (masks+gauss)", AnchorConfig::default()),
         (
@@ -172,7 +191,10 @@ fn ablate_anchors() -> Result<(), Box<dyn std::error::Error>> {
 fn ablate_fit() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A-fit: intersection optimizer (10 healthy benchmarks) ===");
-    println!("{:<22} {:>9} {:>13} {:>12}", "fitter", "success", "mean probes", "mean |aerr|");
+    println!(
+        "{:<22} {:>9} {:>13} {:>12}",
+        "fitter", "success", "mean probes", "mean |aerr|"
+    );
     for (label, method) in [
         ("nelder-mead (paper)", FitMethod::NelderMead),
         ("levenberg-marquardt", FitMethod::LevenbergMarquardt),
@@ -193,30 +215,34 @@ fn ablate_fit() -> Result<(), Box<dyn std::error::Error>> {
 /// drifting source it rotates the noise streaks, which is visible in the
 /// acquired image statistics.
 fn ablate_scan() -> Result<(), Box<dyn std::error::Error>> {
-    use qd_physics::{DeviceBuilder, DriftNoise, SensorModel};
     use qd_instrument::PhysicsSource;
+    use qd_physics::{DeviceBuilder, DriftNoise, SensorModel};
 
     println!("=== A-scan: acquisition pattern vs drift streak orientation ===");
-    println!("{:<22} {:>16} {:>16}", "pattern", "row-streak index", "col-streak index");
+    println!(
+        "{:<22} {:>16} {:>16}",
+        "pattern", "row-streak index", "col-streak index"
+    );
 
-    let make_session = || -> Result<MeasurementSession<PhysicsSource>, Box<dyn std::error::Error>> {
-        let sensor = SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008])?;
-        let device = DeviceBuilder::double_dot()
-            .temperature(0.0015)
-            .sensor(sensor)
-            .build_array()?;
-        let (ix, iy) = device.pair_line_intersection(0, &[0.0, 0.0])?;
-        let window = qd_instrument::VoltageWindow {
-            x_min: ix - 37.2,
-            y_min: iy - 34.8,
-            x_max: ix + 22.8,
-            y_max: iy + 25.2,
-            delta: 60.0 / 99.0,
+    let make_session =
+        || -> Result<MeasurementSession<PhysicsSource>, Box<dyn std::error::Error>> {
+            let sensor = SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008])?;
+            let device = DeviceBuilder::double_dot()
+                .temperature(0.0015)
+                .sensor(sensor)
+                .build_array()?;
+            let (ix, iy) = device.pair_line_intersection(0, &[0.0, 0.0])?;
+            let window = qd_instrument::VoltageWindow {
+                x_min: ix - 37.2,
+                y_min: iy - 34.8,
+                x_max: ix + 22.8,
+                y_max: iy + 25.2,
+                delta: 60.0 / 99.0,
+            };
+            let source = PhysicsSource::new(device, 0, 1, vec![0.0, 0.0], window)
+                .with_noise(DriftNoise::new(0.02, 0.002), 99);
+            Ok(MeasurementSession::new(source))
         };
-        let source = PhysicsSource::new(device, 0, 1, vec![0.0, 0.0], window)
-            .with_noise(DriftNoise::new(0.02, 0.002), 99);
-        Ok(MeasurementSession::new(source))
-    };
 
     for (label, pattern) in [
         ("row-major raster", ScanPattern::RowMajorRaster),

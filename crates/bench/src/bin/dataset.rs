@@ -30,13 +30,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let pgm = to_pgm(&b.csd)?;
                 std::fs::write(dir.join(format!("csd_{:02}.pgm", b.spec.index)), pgm)?;
             }
-            println!("exported 12 benchmarks (CSV + PGM + manifest) to {}", dir.display());
+            println!(
+                "exported 12 benchmarks (CSV + PGM + manifest) to {}",
+                dir.display()
+            );
         }
         Some("render") => {
-            let index: usize = args
-                .next()
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(6);
+            let index: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
             let bench = paper_benchmark(index)?;
             println!(
                 "CSD {index} ({0}x{0}): slope_h {1:+.4}, slope_v {2:+.4}, alpha12 {3:.4}, alpha21 {4:.4}",
@@ -49,8 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("{}", AsciiRenderer::new().max_width(120).render(&bench.csd));
         }
         Some("info") | None => {
-            println!("{:>3} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7} {:>7}",
-                "CSD", "size", "slope_h", "slope_v", "alpha12", "alpha21", "fast?", "base?");
+            println!(
+                "{:>3} {:>9} {:>10} {:>10} {:>9} {:>9} {:>7} {:>7}",
+                "CSD", "size", "slope_h", "slope_v", "alpha12", "alpha21", "fast?", "base?"
+            );
             for b in paper_suite()? {
                 println!(
                     "{:>3} {:>9} {:>10.4} {:>10.4} {:>9.4} {:>9.4} {:>7} {:>7}",

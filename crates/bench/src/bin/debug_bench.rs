@@ -7,7 +7,10 @@ use qd_dataset::paper_benchmark;
 use qd_instrument::{CsdSource, MeasurementSession};
 
 fn main() {
-    let idx: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let idx: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let bench = paper_benchmark(idx).unwrap();
     // Overlay the analytic truth lines on the diagram.
     let grid = bench.csd.grid();
@@ -48,7 +51,10 @@ fn main() {
                 "extracted: slope_h {:+.4} slope_v {:+.4}  ({} probes)",
                 r.slope_h, r.slope_v, r.probes
             );
-            println!("anchors: a1 {} a2 {} start {}", r.anchors.a1, r.anchors.a2, r.anchors.start);
+            println!(
+                "anchors: a1 {} a2 {} start {}",
+                r.anchors.a1, r.anchors.a2, r.anchors.start
+            );
             println!(
                 "fit intersection ({:.1}, {:.1}) rms {:.2}",
                 r.fit.intersection.0, r.fit.intersection.1, r.fit.rms

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let virtualized = result.matrix.virtualize(&bench.csd)?;
     println!("=== Figure 3 (right): virtualized CSD, virtual gate voltages ===");
-    println!("{}", AsciiRenderer::new().max_width(100).render(&virtualized));
+    println!(
+        "{}",
+        AsciiRenderer::new().max_width(100).render(&virtualized)
+    );
 
     println!("extracted matrix: {}", result.matrix);
     let steep_image = result.matrix.map_slope(result.slope_v);

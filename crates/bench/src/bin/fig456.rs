@@ -83,7 +83,9 @@ fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    let mut renderer = AsciiRenderer::new().max_width(100).with_overlays(overlay, '+');
+    let mut renderer = AsciiRenderer::new()
+        .max_width(100)
+        .with_overlays(overlay, '+');
     for tp in &hc.triple_points {
         if let Some(p) = grid.pixel_of(tp.0, tp.1) {
             renderer = renderer.with_overlay(p, 'X');
@@ -101,7 +103,9 @@ fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
             "  {:?} -> {:?}: slope {}  length {:.1} V",
             seg.from,
             seg.to,
-            seg.slope().map(|m| format!("{m:+.3}")).unwrap_or_else(|| "vertical".into()),
+            seg.slope()
+                .map(|m| format!("{m:+.3}"))
+                .unwrap_or_else(|| "vertical".into()),
             seg.length()
         );
     }
@@ -126,8 +130,11 @@ fn fig2() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let (v1, v2) = grid.voltage_of((fx * 99.0) as usize, (fy * 99.0) as usize);
         let state = device.ground_state(&[v1, v2])?;
-        println!("corner ({fx:.0}%, {fy:.0}%): charge state {state} — expected {label}",
-            fx = fx * 100.0, fy = fy * 100.0);
+        println!(
+            "corner ({fx:.0}%, {fy:.0}%): charge state {state} — expected {label}",
+            fx = fx * 100.0,
+            fy = fy * 100.0
+        );
     }
     println!();
     Ok(())

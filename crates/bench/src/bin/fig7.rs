@@ -34,7 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|&(x, y)| Pixel::new(x as usize, y as usize))
             .collect();
-        let mut renderer = AsciiRenderer::new().max_width(110).with_overlays(probed, 'o');
+        let mut renderer = AsciiRenderer::new()
+            .max_width(110)
+            .with_overlays(probed, 'o');
         if let Some(result) = &run.result {
             renderer = renderer
                 .with_overlay(result.anchors.a1, 'A')
@@ -44,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // CSV for external plotting.
         println!("# csv: x,y (probe order)");
-        let csv: Vec<String> = run.scatter.iter().map(|(x, y)| format!("{x},{y}")).collect();
+        let csv: Vec<String> = run
+            .scatter
+            .iter()
+            .map(|(x, y)| format!("{x},{y}"))
+            .collect();
         println!("{}", csv.join(" "));
         println!();
     }

@@ -16,8 +16,14 @@ use fastvg_core::report::SuccessCriteria;
 use qd_dataset::{generate, random_specs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
-    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
     let criteria = SuccessCriteria::default();
 
     println!("robustness cohort: {n} randomized devices (seed {seed})");
@@ -59,8 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let pct = |k: usize| 100.0 * k as f64 / n as f64;
-    println!("\nsuccess rate: fast {fast_ok}/{n} ({:.0}%), baseline {base_ok}/{n} ({:.0}%)",
-        pct(fast_ok), pct(base_ok));
+    println!(
+        "\nsuccess rate: fast {fast_ok}/{n} ({:.0}%), baseline {base_ok}/{n} ({:.0}%)",
+        pct(fast_ok),
+        pct(base_ok)
+    );
 
     let summarize = |label: &str, v: &[f64]| {
         if v.is_empty() {

@@ -17,7 +17,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 1: Result Summary (synthetic qflow-like suite)");
     println!(
         "{:>3} {:>9} | {:>7} {:>9} | {:>16} {:>9} | {:>10} {:>10} | {:>8}",
-        "CSD", "Size", "Fast", "Baseline", "Fast probes", "Baseline", "Fast time", "Base time", "Speedup"
+        "CSD",
+        "Size",
+        "Fast",
+        "Baseline",
+        "Fast probes",
+        "Baseline",
+        "Fast time",
+        "Base time",
+        "Speedup"
     );
     println!("{}", "-".repeat(105));
 
@@ -33,11 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fast_successes += f.success as usize;
         base_successes += b.success as usize;
 
-        let speedup = if f.success {
-            f.speedup_versus(b)
-        } else {
-            None
-        };
+        let speedup = if f.success { f.speedup_versus(b) } else { None };
         if let (true, Some(s)) = (f.success && b.success, speedup) {
             speedups.push(s);
         }
@@ -73,7 +77,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if !speedups.is_empty() {
         let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = speedups.iter().cloned().fold(0.0, f64::max);
-        println!("speedup range on mutual successes: {lo:.2}x .. {hi:.2}x (paper: 5.84x .. 19.34x)");
+        println!(
+            "speedup range on mutual successes: {lo:.2}x .. {hi:.2}x (paper: 5.84x .. 19.34x)"
+        );
     }
     Ok(())
 }

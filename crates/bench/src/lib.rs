@@ -50,7 +50,11 @@ pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> Metho
                     ))
                 },
             };
-            MethodRun { report, scatter, result: Some(r) }
+            MethodRun {
+                report,
+                scatter,
+                result: Some(r),
+            }
         }
         Err(e) => MethodRun {
             report: ExtractionReport::failed(
@@ -96,7 +100,11 @@ pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> M
                     ))
                 },
             };
-            MethodRun { report, scatter, result: None }
+            MethodRun {
+                report,
+                scatter,
+                result: None,
+            }
         }
         Err(e) => MethodRun {
             report: ExtractionReport::failed(

@@ -347,6 +347,9 @@ mod tests {
         // The line intersection (solving x = 62 - y/4 against
         // y = 58 - 0.3 x gives ≈ (51.3, 42.6)) must be inside the
         // triangle.
-        assert!(region.contains(51, 43), "region {region:?} misses the corner");
+        assert!(
+            region.contains(51, 43),
+            "region {region:?} misses the corner"
+        );
     }
 }

@@ -171,14 +171,20 @@ impl HoughBaseline {
         let mut slope_v = steep.slope().unwrap_or(f64::NEG_INFINITY);
         let mut slope_h = shallow.slope().expect("shallow class always has a slope");
         if self.config.refine != RefineMethod::None {
-            if let Some(m) =
-                refine_slope(&edges, &steep, self.config.refine_distance, self.config.refine)
-            {
+            if let Some(m) = refine_slope(
+                &edges,
+                &steep,
+                self.config.refine_distance,
+                self.config.refine,
+            ) {
                 slope_v = m;
             }
-            if let Some(m) =
-                refine_slope(&edges, &shallow, self.config.refine_distance, self.config.refine)
-            {
+            if let Some(m) = refine_slope(
+                &edges,
+                &shallow,
+                self.config.refine_distance,
+                self.config.refine,
+            ) {
                 slope_h = m;
             }
         }
@@ -334,13 +340,16 @@ mod tests {
     fn single_line_diagram_fails_classification() {
         // Only a steep line, no shallow partner.
         let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).unwrap();
-        let csd = Csd::from_fn(grid, |v1, v2| {
-            if v2 > -4.0 * (v1 - 40.0) {
-                2.0
-            } else {
-                5.0
-            }
-        })
+        let csd = Csd::from_fn(
+            grid,
+            |v1, v2| {
+                if v2 > -4.0 * (v1 - 40.0) {
+                    2.0
+                } else {
+                    5.0
+                }
+            },
+        )
         .unwrap();
         let mut session = MeasurementSession::new(CsdSource::new(csd));
         let r = HoughBaseline::new().extract(&mut session);
@@ -362,7 +371,9 @@ mod tests {
             refine: RefineMethod::None,
             ..BaselineConfig::default()
         };
-        let r = HoughBaseline::with_config(cfg).extract(&mut session).unwrap();
+        let r = HoughBaseline::with_config(cfg)
+            .extract(&mut session)
+            .unwrap();
         assert!(r.slope_v < -1.0);
 
         // RANSAC refinement also recovers the slopes.
@@ -371,8 +382,18 @@ mod tests {
             refine: RefineMethod::Ransac,
             ..BaselineConfig::default()
         };
-        let r = HoughBaseline::with_config(cfg).extract(&mut session2).unwrap();
-        assert!((r.slope_v + 4.0).abs() < 1.2, "ransac slope_v {}", r.slope_v);
-        assert!((r.slope_h + 0.3).abs() < 0.1, "ransac slope_h {}", r.slope_h);
+        let r = HoughBaseline::with_config(cfg)
+            .extract(&mut session2)
+            .unwrap();
+        assert!(
+            (r.slope_v + 4.0).abs() < 1.2,
+            "ransac slope_v {}",
+            r.slope_v
+        );
+        assert!(
+            (r.slope_h + 0.3).abs() < 0.1,
+            "ransac slope_h {}",
+            r.slope_h
+        );
     }
 }

@@ -66,7 +66,10 @@ impl fmt::Display for ExtractError {
                 "anchor points {a1:?} and {a2:?} do not span a critical region"
             ),
             ExtractError::TooFewTransitionPoints { got, min } => {
-                write!(f, "located only {got} transition points, need at least {min}")
+                write!(
+                    f,
+                    "located only {got} transition points, need at least {min}"
+                )
             }
             ExtractError::UnphysicalSlopes { slope_h, slope_v } => write!(
                 f,
@@ -120,9 +123,15 @@ mod tests {
     fn display_forms() {
         let cases: Vec<ExtractError> = vec![
             ExtractError::WindowTooSmall { min: 20, got: 5 },
-            ExtractError::DegenerateAnchors { a1: (1, 2), a2: (3, 4) },
+            ExtractError::DegenerateAnchors {
+                a1: (1, 2),
+                a2: (3, 4),
+            },
             ExtractError::TooFewTransitionPoints { got: 1, min: 4 },
-            ExtractError::UnphysicalSlopes { slope_h: 0.5, slope_v: -0.1 },
+            ExtractError::UnphysicalSlopes {
+                slope_h: 0.5,
+                slope_v: -0.1,
+            },
             ExtractError::Vision(qd_vision::VisionError::NoEdges),
             ExtractError::Numerics(qd_numerics::NumericsError::EmptyInput),
         ];

@@ -118,6 +118,10 @@ mod tests {
         assert_eq!(s.probe_count() - before, 3);
         // Adjacent evaluation shares two pixels via the cache.
         let _ = feature_gradient(&mut s, 10.0, 9.0);
-        assert_eq!(s.probe_count(), 5, "expected 2 new probes, cache sharing the rest");
+        assert_eq!(
+            s.probe_count(),
+            5,
+            "expected 2 new probes, cache sharing the rest"
+        );
     }
 }

@@ -123,9 +123,8 @@ pub fn fit_transition_lines_with(
 
     let slope_h = fit.slope_h;
     let slope_v = fit.slope_v;
-    let physical = slope_v < bounds.steep_max
-        && slope_h < bounds.shallow_max
-        && slope_h > bounds.shallow_min;
+    let physical =
+        slope_v < bounds.steep_max && slope_h < bounds.shallow_max && slope_h > bounds.shallow_min;
     if !physical {
         return Err(ExtractError::UnphysicalSlopes { slope_h, slope_v });
     }
@@ -263,8 +262,9 @@ mod tests {
         let a1 = Pixel::new(10, 64);
         let a2 = Pixel::new(70, 14);
         let pts = line_points(a1, a2, (60.0, 54.0), 25);
-        let nm = fit_transition_lines_with(a1, a2, &pts, &SlopeBounds::default(), FitMethod::NelderMead)
-            .unwrap();
+        let nm =
+            fit_transition_lines_with(a1, a2, &pts, &SlopeBounds::default(), FitMethod::NelderMead)
+                .unwrap();
         let lm = fit_transition_lines_with(
             a1,
             a2,
@@ -273,8 +273,18 @@ mod tests {
             FitMethod::LevenbergMarquardt,
         )
         .unwrap();
-        assert!((nm.slope_h - lm.slope_h).abs() < 0.05, "h: {} vs {}", nm.slope_h, lm.slope_h);
-        assert!((nm.slope_v - lm.slope_v).abs() < 0.5, "v: {} vs {}", nm.slope_v, lm.slope_v);
+        assert!(
+            (nm.slope_h - lm.slope_h).abs() < 0.05,
+            "h: {} vs {}",
+            nm.slope_h,
+            lm.slope_h
+        );
+        assert!(
+            (nm.slope_v - lm.slope_v).abs() < 0.5,
+            "v: {} vs {}",
+            nm.slope_v,
+            lm.slope_v
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub struct SuccessCriteria {
 
 impl Default for SuccessCriteria {
     fn default() -> Self {
-        Self { alpha_tolerance: 0.08 }
+        Self {
+            alpha_tolerance: 0.08,
+        }
     }
 }
 
@@ -135,7 +137,9 @@ mod tests {
 
     #[test]
     fn judge_respects_custom_tolerance() {
-        let strict = SuccessCriteria { alpha_tolerance: 0.01 };
+        let strict = SuccessCriteria {
+            alpha_tolerance: 0.01,
+        };
         assert!(!strict.judge(0.27, 0.30, &truth()));
         assert!(strict.judge(0.255, 0.295, &truth()));
     }

@@ -137,7 +137,7 @@ mod tests {
         // row y = 4 in bottom-origin 15-row coordinates.
         let region = CriticalRegion::new(Pixel::new(0, 13), Pixel::new(12, 4)).unwrap();
         let (lo, hi) = region.row_range(5).unwrap(); // paper row 10 → y = 14 - 10 = ...
-        // Chord from (0,13) to (12,4) at y=5: x = 0 + (5-13)*(12)/(4-13) = 10.67 → lo = 11.
+                                                     // Chord from (0,13) to (12,4) at y=5: x = 0 + (5-13)*(12)/(4-13) = 10.67 → lo = 11.
         assert_eq!((lo, hi), (11, 12));
     }
 

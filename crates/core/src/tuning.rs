@@ -99,9 +99,8 @@ impl TuningLoop {
             }
         }
         // All rungs failed; re-run the last attempt's error for the caller.
-        let extractor = FastExtractor::with_config(
-            self.attempts.last().expect("non-empty ladder").clone(),
-        );
+        let extractor =
+            FastExtractor::with_config(self.attempts.last().expect("non-empty ladder").clone());
         let result = extractor.extract(session);
         TuningOutcome {
             attempts_used: self.attempts.len(),
@@ -171,10 +170,8 @@ mod tests {
         let probes_once = first.total_probes;
 
         let mut session2 = clean_session();
-        let double = TuningLoop::with_attempts(vec![
-            ExtractorConfig::default(),
-            ExtractorConfig::default(),
-        ]);
+        let double =
+            TuningLoop::with_attempts(vec![ExtractorConfig::default(), ExtractorConfig::default()]);
         let outcome = double.run(&mut session2);
         // Succeeds on rung 1, so identical cost.
         assert_eq!(outcome.total_probes, probes_once);

@@ -76,10 +76,7 @@ pub fn score_against_truth(
 /// across the middle half of the virtualized image, or `None` if no
 /// consistent step is visible (fewer than a quarter of the rows show
 /// one).
-pub fn measure_steep_step_drift(
-    matrix: &VirtualizationMatrix,
-    csd: &Csd,
-) -> Option<usize> {
+pub fn measure_steep_step_drift(matrix: &VirtualizationMatrix, csd: &Csd) -> Option<usize> {
     let virt = matrix.virtualize(csd).ok()?;
     let (w, h) = virt.size();
     if w < 8 || h < 8 {
@@ -139,8 +136,16 @@ mod tests {
         let s = score_against_truth(&VirtualizationMatrix::identity(), &t);
         // Without compensation, the steep line is tilted by atan(1/4) and
         // the shallow line by atan(0.3).
-        assert!((s.steep_tilt_deg - 14.0).abs() < 0.1, "{}", s.steep_tilt_deg);
-        assert!((s.shallow_tilt_deg - 16.7).abs() < 0.1, "{}", s.shallow_tilt_deg);
+        assert!(
+            (s.steep_tilt_deg - 14.0).abs() < 0.1,
+            "{}",
+            s.steep_tilt_deg
+        );
+        assert!(
+            (s.shallow_tilt_deg - 16.7).abs() < 0.1,
+            "{}",
+            s.shallow_tilt_deg
+        );
         assert!(s.residual_coupling > 0.9);
         assert!(!s.passes(5.0));
     }
@@ -160,13 +165,16 @@ mod tests {
         // Steep line of slope -4 through x=40 at y=0; correct matrix must
         // make the virtualized step vertical.
         let grid = VoltageGrid::new(0.0, 0.0, 1.0, 64, 64).unwrap();
-        let csd = Csd::from_fn(grid, |v1, v2| {
-            if v2 > -4.0 * (v1 - 40.0) {
-                2.0
-            } else {
-                5.0
-            }
-        })
+        let csd = Csd::from_fn(
+            grid,
+            |v1, v2| {
+                if v2 > -4.0 * (v1 - 40.0) {
+                    2.0
+                } else {
+                    5.0
+                }
+            },
+        )
         .unwrap();
         let good = VirtualizationMatrix::from_slopes(-0.3, -4.0).unwrap();
         let drift_good = measure_steep_step_drift(&good, &csd).expect("step visible");

@@ -125,9 +125,13 @@ pub fn plan_pair_window(
     bias: &[f64],
     plan: &WindowPlan,
 ) -> Result<VoltageWindow, ExtractError> {
-    let (ix, iy) = device
-        .pair_line_intersection(pair, bias)
-        .map_err(|_| ExtractError::DegenerateAnchors { a1: (0, 0), a2: (0, 0) })?;
+    let (ix, iy) =
+        device
+            .pair_line_intersection(pair, bias)
+            .map_err(|_| ExtractError::DegenerateAnchors {
+                a1: (0, 0),
+                a2: (0, 0),
+            })?;
     let x_min = ix - plan.intersect_at.0 * plan.span;
     let y_min = iy - plan.intersect_at.1 * plan.span;
     Ok(VoltageWindow {
@@ -237,7 +241,10 @@ mod tests {
         .unwrap();
         assert_eq!(chain.pairs.len(), 2);
         assert_eq!(chain.virtualization.n_gates(), 3);
-        assert_eq!(chain.total_probes, chain.pairs.iter().map(|p| p.probes).sum::<usize>());
+        assert_eq!(
+            chain.total_probes,
+            chain.pairs.iter().map(|p| p.probes).sum::<usize>()
+        );
 
         // Extracted α's should match the device ground truth reasonably.
         for pair in 0..2 {

@@ -88,7 +88,11 @@ mod tests {
     /// A device plus a WIDE search window (120 V span) at coarse pixels.
     fn coarse_session(
         coarse_pixels: usize,
-    ) -> (qd_physics::LinearArrayDevice, (f64, f64), MeasurementSession<PhysicsSource>) {
+    ) -> (
+        qd_physics::LinearArrayDevice,
+        (f64, f64),
+        MeasurementSession<PhysicsSource>,
+    ) {
         let sensor =
             SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008]).unwrap();
         let device = DeviceBuilder::double_dot()
@@ -134,7 +138,9 @@ mod tests {
         let fine_window = plan_window_around(est.corner, 60.0, 100);
         let source = PhysicsSource::new(device.clone(), 0, 1, vec![0.0, 0.0], fine_window);
         let mut fine = MeasurementSession::new(source);
-        let result = FastExtractor::new().extract(&mut fine).expect("fine pass extracts");
+        let result = FastExtractor::new()
+            .extract(&mut fine)
+            .expect("fine pass extracts");
 
         let truth = device.pair_ground_truth(0).unwrap();
         assert!(

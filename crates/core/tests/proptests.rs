@@ -1,8 +1,8 @@
 //! Property-based tests for the extraction pipeline's invariants.
 
-use proptest::prelude::*;
 use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
 use fastvg_core::triangle::CriticalRegion;
+use proptest::prelude::*;
 use qd_csd::Pixel;
 
 fn pixels() -> impl Strategy<Value = Vec<Pixel>> {

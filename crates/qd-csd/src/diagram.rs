@@ -162,7 +162,10 @@ impl Csd {
         } else {
             self.data.iter().map(|v| (v - lo) / span).collect()
         };
-        Csd { grid: self.grid, data }
+        Csd {
+            grid: self.grid,
+            data,
+        }
     }
 
     /// Crops to the window starting at `(x, y)` with `width × height`
@@ -236,7 +239,10 @@ impl Csd {
             .collect();
         let a = qd_numerics::stats::median(&residuals).unwrap_or(0.0);
         let data = residuals.into_iter().map(|r| r - a).collect();
-        Csd { grid: self.grid, data }
+        Csd {
+            grid: self.grid,
+            data,
+        }
     }
 
     /// Iterator over `(pixel, current)` in row-major order.

@@ -47,7 +47,12 @@ impl fmt::Display for CsdError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsdError::InvalidGrid { constraint } => write!(f, "invalid grid: {constraint}"),
-            CsdError::OutOfBounds { x, y, width, height } => {
+            CsdError::OutOfBounds {
+                x,
+                y,
+                width,
+                height,
+            } => {
                 write!(f, "pixel ({x}, {y}) outside {width}x{height} grid")
             }
             CsdError::DataLengthMismatch { got, expected } => {
@@ -55,7 +60,10 @@ impl fmt::Display for CsdError {
             }
             CsdError::InvalidCrop => write!(f, "crop window is empty or exceeds the grid"),
             CsdError::SingularTransform => {
-                write!(f, "virtualization matrix is singular (alpha12 * alpha21 = 1)")
+                write!(
+                    f,
+                    "virtualization matrix is singular (alpha12 * alpha21 = 1)"
+                )
             }
             CsdError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
             CsdError::Io(e) => write!(f, "io error: {e}"),
@@ -85,12 +93,25 @@ mod tests {
     #[test]
     fn display_forms() {
         let cases: Vec<CsdError> = vec![
-            CsdError::InvalidGrid { constraint: "width must be non-zero" },
-            CsdError::OutOfBounds { x: 5, y: 6, width: 4, height: 4 },
-            CsdError::DataLengthMismatch { got: 3, expected: 16 },
+            CsdError::InvalidGrid {
+                constraint: "width must be non-zero",
+            },
+            CsdError::OutOfBounds {
+                x: 5,
+                y: 6,
+                width: 4,
+                height: 4,
+            },
+            CsdError::DataLengthMismatch {
+                got: 3,
+                expected: 16,
+            },
             CsdError::InvalidCrop,
             CsdError::SingularTransform,
-            CsdError::Parse { line: 2, message: "bad float".into() },
+            CsdError::Parse {
+                line: 2,
+                message: "bad float".into(),
+            },
             CsdError::Io(std::io::Error::other("x")),
         ];
         for c in cases {

@@ -5,7 +5,9 @@ use serde::{Deserialize, Serialize};
 
 /// An integer pixel coordinate in a CSD: `x` is the column (maps to
 /// `V_P1`), `y` is the row (maps to `V_P2`, increasing upward).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub struct Pixel {
     /// Column index (`V_P1` direction).
     pub x: usize,
@@ -65,15 +67,27 @@ impl VoltageGrid {
         height: usize,
     ) -> Result<Self, CsdError> {
         if width == 0 || height == 0 {
-            return Err(CsdError::InvalidGrid { constraint: "dimensions must be non-zero" });
+            return Err(CsdError::InvalidGrid {
+                constraint: "dimensions must be non-zero",
+            });
         }
         if delta <= 0.0 || !delta.is_finite() {
-            return Err(CsdError::InvalidGrid { constraint: "delta must be positive and finite" });
+            return Err(CsdError::InvalidGrid {
+                constraint: "delta must be positive and finite",
+            });
         }
         if !x0.is_finite() || !y0.is_finite() {
-            return Err(CsdError::InvalidGrid { constraint: "origin must be finite" });
+            return Err(CsdError::InvalidGrid {
+                constraint: "origin must be finite",
+            });
         }
-        Ok(Self { x0, y0, delta, width, height })
+        Ok(Self {
+            x0,
+            y0,
+            delta,
+            width,
+            height,
+        })
     }
 
     /// Grid width in pixels (number of `V_P1` steps).
@@ -112,7 +126,10 @@ impl VoltageGrid {
     /// evaluates voltages one pixel beyond the grid edge (the paper's
     /// `GetGradient` probes right/upper-right neighbours).
     pub fn voltage_of(&self, x: usize, y: usize) -> (f64, f64) {
-        (self.x0 + x as f64 * self.delta, self.y0 + y as f64 * self.delta)
+        (
+            self.x0 + x as f64 * self.delta,
+            self.y0 + y as f64 * self.delta,
+        )
     }
 
     /// Voltages of a [`Pixel`].

@@ -36,7 +36,9 @@ pub fn to_csv(csd: &Csd) -> String {
         g.height()
     ));
     for y in 0..g.height() {
-        let row: Vec<String> = (0..g.width()).map(|x| format!("{}", csd.at(x, y))).collect();
+        let row: Vec<String> = (0..g.width())
+            .map(|x| format!("{}", csd.at(x, y)))
+            .collect();
         out.push_str(&row.join(" "));
         out.push('\n');
     }

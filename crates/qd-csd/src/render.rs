@@ -72,9 +72,7 @@ impl AsciiRenderer {
                 let marker = self
                     .overlays
                     .iter()
-                    .find(|(p, _)| {
-                        p.x / stride == x / stride && p.y / stride == y / stride
-                    })
+                    .find(|(p, _)| p.x / stride == x / stride && p.y / stride == y / stride)
                     .map(|&(_, ch)| ch);
                 match marker {
                     Some(ch) => out.push(ch),
@@ -155,14 +153,16 @@ mod tests {
     #[test]
     fn with_overlays_bulk() {
         let pts = vec![Pixel::new(1, 0), Pixel::new(2, 0)];
-        let s = AsciiRenderer::new().with_overlays(pts, 'o').render(&ramp_csd());
+        let s = AsciiRenderer::new()
+            .with_overlays(pts, 'o')
+            .render(&ramp_csd());
         let bottom = s.lines().last().unwrap();
         assert_eq!(&bottom[1..3], "oo");
     }
 
     #[test]
     fn wide_diagrams_are_downsampled() {
-        let g = VoltageGrid::new(0.0, 0.0, 1.0, 400, 40, ).unwrap();
+        let g = VoltageGrid::new(0.0, 0.0, 1.0, 400, 40).unwrap();
         let c = Csd::constant(g, 1.0).unwrap();
         let s = AsciiRenderer::new().max_width(100).render(&c);
         let w = s.lines().next().unwrap().len();

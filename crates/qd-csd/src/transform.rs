@@ -44,7 +44,10 @@ impl VirtualizationMatrix {
 
     /// Identity (no cross-capacitance compensation).
     pub fn identity() -> Self {
-        Self { alpha12: 0.0, alpha21: 0.0 }
+        Self {
+            alpha12: 0.0,
+            alpha21: 0.0,
+        }
     }
 
     /// Builds the matrix from measured transition-line slopes:
@@ -61,7 +64,11 @@ impl VirtualizationMatrix {
             return Err(CsdError::SingularTransform);
         }
         // A perfectly vertical steep line needs no V_P2 compensation.
-        let alpha12 = if slope_v.is_infinite() { 0.0 } else { -1.0 / slope_v };
+        let alpha12 = if slope_v.is_infinite() {
+            0.0
+        } else {
+            -1.0 / slope_v
+        };
         let alpha21 = -slope_h;
         Self::new(alpha12, alpha21)
     }

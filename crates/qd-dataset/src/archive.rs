@@ -87,8 +87,8 @@ pub fn save_suite(dir: &Path, suite: &[GeneratedBenchmark]) -> Result<(), Datase
 /// Returns [`DatasetError::InvalidSpec`] for a malformed manifest and
 /// [`DatasetError::Csd`] for unreadable diagram files.
 pub fn load_suite(dir: &Path) -> Result<Vec<ArchivedBenchmark>, DatasetError> {
-    let manifest = fs::read_to_string(dir.join("manifest.csv"))
-        .map_err(|e| DatasetError::Csd(e.into()))?;
+    let manifest =
+        fs::read_to_string(dir.join("manifest.csv")).map_err(|e| DatasetError::Csd(e.into()))?;
     let mut out = Vec::new();
     for (line_no, line) in manifest.lines().enumerate().skip(1) {
         if line.trim().is_empty() {
@@ -105,27 +105,47 @@ pub fn load_suite(dir: &Path) -> Result<Vec<ArchivedBenchmark>, DatasetError> {
             });
         }
         let parse = |i: usize| -> Result<f64, DatasetError> {
-            fields[i].parse::<f64>().map_err(|e| DatasetError::InvalidSpec {
-                message: format!("manifest line {}: bad number `{}`: {e}", line_no + 1, fields[i]),
-            })
+            fields[i]
+                .parse::<f64>()
+                .map_err(|e| DatasetError::InvalidSpec {
+                    message: format!(
+                        "manifest line {}: bad number `{}`: {e}",
+                        line_no + 1,
+                        fields[i]
+                    ),
+                })
         };
         let parse_usize = |i: usize| -> Result<usize, DatasetError> {
-            fields[i].parse::<usize>().map_err(|e| DatasetError::InvalidSpec {
-                message: format!("manifest line {}: bad integer `{}`: {e}", line_no + 1, fields[i]),
-            })
+            fields[i]
+                .parse::<usize>()
+                .map_err(|e| DatasetError::InvalidSpec {
+                    message: format!(
+                        "manifest line {}: bad integer `{}`: {e}",
+                        line_no + 1,
+                        fields[i]
+                    ),
+                })
         };
         let parse_bool = |i: usize| -> Result<bool, DatasetError> {
-            fields[i].parse::<bool>().map_err(|e| DatasetError::InvalidSpec {
-                message: format!("manifest line {}: bad bool `{}`: {e}", line_no + 1, fields[i]),
-            })
+            fields[i]
+                .parse::<bool>()
+                .map_err(|e| DatasetError::InvalidSpec {
+                    message: format!(
+                        "manifest line {}: bad bool `{}`: {e}",
+                        line_no + 1,
+                        fields[i]
+                    ),
+                })
         };
 
         let spec = BenchmarkSpec {
             index: parse_usize(0)?,
             size: parse_usize(1)?,
-            seed: fields[2].parse::<u64>().map_err(|e| DatasetError::InvalidSpec {
-                message: format!("manifest line {}: bad seed: {e}", line_no + 1),
-            })?,
+            seed: fields[2]
+                .parse::<u64>()
+                .map_err(|e| DatasetError::InvalidSpec {
+                    message: format!("manifest line {}: bad seed: {e}", line_no + 1),
+                })?,
             lever_arms: [[parse(3)?, parse(4)?], [parse(5)?, parse(6)?]],
             mutual: parse(7)?,
             temperature: parse(8)?,
@@ -160,7 +180,8 @@ mod tests {
     use crate::generator::generate;
 
     fn tmp_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("fastvg-archive-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("fastvg-archive-{name}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

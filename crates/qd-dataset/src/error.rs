@@ -57,7 +57,9 @@ mod tests {
         let e = DatasetError::from(qd_physics::PhysicsError::SingularCapacitance);
         assert!(e.to_string().contains("device model"));
         assert!(e.source().is_some());
-        let s = DatasetError::InvalidSpec { message: "x".into() };
+        let s = DatasetError::InvalidSpec {
+            message: "x".into(),
+        };
         assert!(s.source().is_none());
     }
 }

@@ -75,16 +75,18 @@ pub fn build_device(spec: &BenchmarkSpec) -> Result<DoubleDotDevice, DatasetErro
 ///
 /// Returns [`DatasetError::InvalidSpec`] if the two transition lines are
 /// parallel (degenerate lever arms).
-pub fn window_for(spec: &BenchmarkSpec, device: &DoubleDotDevice) -> Result<VoltageGrid, DatasetError> {
+pub fn window_for(
+    spec: &BenchmarkSpec,
+    device: &DoubleDotDevice,
+) -> Result<VoltageGrid, DatasetError> {
     let m = device.capacitance_model();
     // Line i: Σ_j E_{ij} (C_g V)_j = E_ii / 2, i.e. b_i · V = c_i.
     let beta = |dot: usize, gate: usize| -> f64 {
-        (0..2).map(|k| m.interaction(dot, k) * m.lever_arm(k, gate)).sum()
+        (0..2)
+            .map(|k| m.interaction(dot, k) * m.lever_arm(k, gate))
+            .sum()
     };
-    let b = [
-        [beta(0, 0), beta(0, 1)],
-        [beta(1, 0), beta(1, 1)],
-    ];
+    let b = [[beta(0, 0), beta(0, 1)], [beta(1, 0), beta(1, 1)]];
     let c = [m.interaction(0, 0) / 2.0, m.interaction(1, 1) / 2.0];
     let det = b[0][0] * b[1][1] - b[0][1] * b[1][0];
     if det.abs() < 1e-15 {
@@ -98,7 +100,9 @@ pub fn window_for(spec: &BenchmarkSpec, device: &DoubleDotDevice) -> Result<Volt
     let delta = SPAN / spec.size as f64;
     let origin_x = vx - INTERSECT_AT.0 * SPAN;
     let origin_y = vy - INTERSECT_AT.1 * SPAN;
-    Ok(VoltageGrid::new(origin_x, origin_y, delta, spec.size, spec.size)?)
+    Ok(VoltageGrid::new(
+        origin_x, origin_y, delta, spec.size, spec.size,
+    )?)
 }
 
 /// Generates the benchmark diagram for a spec.
@@ -193,7 +197,11 @@ mod tests {
             let x = (fx * (grid.width() - 1) as f64) as usize;
             let y = (fy * (grid.height() - 1) as f64) as usize;
             let (v1, v2) = grid.voltage_of(x, y);
-            g.device.ground_state(&[v1, v2]).unwrap().occupations().to_vec()
+            g.device
+                .ground_state(&[v1, v2])
+                .unwrap()
+                .occupations()
+                .to_vec()
         };
         assert_eq!(occ(0.05, 0.05), vec![0, 0], "lower-left must be (0,0)");
         assert_eq!(occ(0.95, 0.05), vec![1, 0], "lower-right must be (1,0)");

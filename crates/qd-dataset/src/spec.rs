@@ -66,9 +66,7 @@ impl NoiseRecipe {
 
     /// Whether this recipe produces any noise at all.
     pub fn is_silent(&self) -> bool {
-        self.white_sigma == 0.0
-            && self.drift_step == 0.0
-            && self.telegraph_amplitude == 0.0
+        self.white_sigma == 0.0 && self.drift_step == 0.0 && self.telegraph_amplitude == 0.0
     }
 }
 
@@ -161,6 +159,9 @@ mod tests {
 
     #[test]
     fn seeds_differ_per_index() {
-        assert_ne!(BenchmarkSpec::clean(1, 63).seed, BenchmarkSpec::clean(2, 63).seed);
+        assert_ne!(
+            BenchmarkSpec::clean(1, 63).seed,
+            BenchmarkSpec::clean(2, 63).seed
+        );
     }
 }

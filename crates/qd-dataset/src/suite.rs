@@ -26,7 +26,10 @@ pub fn paper_specs() -> Vec<BenchmarkSpec> {
         let k = i as f64;
         s.lever_arms = [
             [0.0100 + 0.0003 * (k % 4.0), 0.0016 + 0.00022 * (k % 5.0)],
-            [0.0019 + 0.00025 * ((k + 2.0) % 5.0), 0.0104 + 0.00028 * ((k + 1.0) % 4.0)],
+            [
+                0.0019 + 0.00025 * ((k + 2.0) % 5.0),
+                0.0104 + 0.00028 * ((k + 1.0) % 4.0),
+            ],
         ];
         s.mutual = 0.12 + 0.015 * (k % 4.0);
         // Keep transition lines about one pixel wide (the qflow regime):
@@ -148,7 +151,10 @@ mod tests {
         let specs = paper_specs();
         assert_eq!(specs.len(), 12);
         let sizes: Vec<usize> = specs.iter().map(|s| s.size).collect();
-        assert_eq!(sizes, vec![200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200]);
+        assert_eq!(
+            sizes,
+            vec![200, 200, 63, 63, 63, 100, 100, 100, 100, 100, 100, 200]
+        );
     }
 
     #[test]
@@ -170,7 +176,11 @@ mod tests {
             .iter()
             .map(|s| format!("{:?}", s.lever_arms))
             .collect();
-        assert!(slopes.len() >= 6, "lever arms too uniform: {}", slopes.len());
+        assert!(
+            slopes.len() >= 6,
+            "lever arms too uniform: {}",
+            slopes.len()
+        );
     }
 
     #[test]
@@ -190,7 +200,12 @@ mod tests {
             let (w, h) = b.csd.size();
             assert_eq!(w, b.spec.size);
             assert_eq!(h, b.spec.size);
-            assert!(b.truth.slope_v < -1.0, "benchmark {}: slope_v {}", b.spec.index, b.truth.slope_v);
+            assert!(
+                b.truth.slope_v < -1.0,
+                "benchmark {}: slope_v {}",
+                b.spec.index,
+                b.truth.slope_v
+            );
             assert!(
                 b.truth.slope_h > -1.0 && b.truth.slope_h < 0.0,
                 "benchmark {}: slope_h {}",
@@ -216,7 +231,12 @@ mod tests {
     fn random_specs_stay_in_the_healthy_regime() {
         for s in random_specs(30, 42) {
             let g = generate(&s).unwrap();
-            assert!(g.truth.slope_v < -1.0, "spec {}: slope_v {}", s.index, g.truth.slope_v);
+            assert!(
+                g.truth.slope_v < -1.0,
+                "spec {}: slope_v {}",
+                s.index,
+                g.truth.slope_v
+            );
             assert!(
                 g.truth.slope_h > -1.0 && g.truth.slope_h < 0.0,
                 "spec {}: slope_h {}",

@@ -71,8 +71,7 @@ impl ScanPattern {
         for pair in order.windows(2) {
             let (x0, y0) = pair[0];
             let (x1, y1) = pair[1];
-            slew += window.delta
-                * ((x1 as f64 - x0 as f64).abs() + (y1 as f64 - y0 as f64).abs());
+            slew += window.delta * ((x1 as f64 - x0 as f64).abs() + (y1 as f64 - y0 as f64).abs());
         }
         slew
     }

@@ -64,7 +64,8 @@ impl<S: CurrentSource> MeasurementSession<S> {
 
     /// Probes left before the budget trips, or `None` if uncapped.
     pub fn remaining_budget(&self) -> Option<usize> {
-        self.budget.map(|b| b.saturating_sub(self.ledger.total_probes()))
+        self.budget
+            .map(|b| b.saturating_sub(self.ledger.total_probes()))
     }
 
     /// The paper's `getCurrent(v1, v2)`: quantizes to the source's pixel
@@ -262,8 +263,7 @@ mod tests {
     #[test]
     fn custom_clock_dwell() {
         let src = FnSource::new(|_, _| 0.0, window());
-        let mut s =
-            MeasurementSession::with_clock(src, DwellClock::new(Duration::from_millis(10)));
+        let mut s = MeasurementSession::with_clock(src, DwellClock::new(Duration::from_millis(10)));
         let _ = s.get_current(0.0, 0.0);
         let _ = s.get_current(1.0, 0.0);
         assert_eq!(s.simulated_dwell(), Duration::from_millis(20));

@@ -168,7 +168,10 @@ impl PhysicsSource {
         window: VoltageWindow,
     ) -> Self {
         let n = device.n_dots();
-        assert!(gate_x < n && gate_y < n && gate_x != gate_y, "bad gate indices");
+        assert!(
+            gate_x < n && gate_y < n && gate_x != gate_y,
+            "bad gate indices"
+        );
         assert_eq!(bias.len(), n, "bias must have one entry per gate");
         Self {
             device,
@@ -223,7 +226,9 @@ pub struct FnSource<F> {
 
 impl<F> std::fmt::Debug for FnSource<F> {
     fn fmt(&self, fmt: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        fmt.debug_struct("FnSource").field("window", &self.window).finish()
+        fmt.debug_struct("FnSource")
+            .field("window", &self.window)
+            .finish()
     }
 }
 
@@ -329,8 +334,7 @@ mod tests {
         };
         let make = || {
             let device = DeviceBuilder::double_dot().build_array().unwrap();
-            PhysicsSource::new(device, 0, 1, vec![0.0, 0.0], w)
-                .with_noise(WhiteNoise::new(0.1), 7)
+            PhysicsSource::new(device, 0, 1, vec![0.0, 0.0], w).with_noise(WhiteNoise::new(0.1), 7)
         };
         let mut a = make();
         let mut b = make();

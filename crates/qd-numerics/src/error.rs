@@ -38,7 +38,10 @@ impl fmt::Display for NumericsError {
         match self {
             NumericsError::EmptyInput => write!(f, "input data was empty"),
             NumericsError::LengthMismatch { left, right } => {
-                write!(f, "paired inputs have mismatched lengths {left} and {right}")
+                write!(
+                    f,
+                    "paired inputs have mismatched lengths {left} and {right}"
+                )
             }
             NumericsError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter `{name}` violated constraint: {constraint}")

@@ -277,13 +277,7 @@ mod tests {
 
     #[test]
     fn already_at_minimum_converges_immediately() {
-        let out = fit(
-            |p, r| r[0] = p[0] - 5.0,
-            &[5.0],
-            1,
-            Options::default(),
-        )
-        .unwrap();
+        let out = fit(|p, r| r[0] = p[0] - 5.0, &[5.0], 1, Options::default()).unwrap();
         assert!(out.converged);
         assert!(out.sse < 1e-20);
     }

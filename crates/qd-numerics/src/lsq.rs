@@ -251,8 +251,14 @@ mod tests {
 
     #[test]
     fn line_eval_and_intersection() {
-        let a = Line { slope: 1.0, intercept: 0.0 };
-        let b = Line { slope: -1.0, intercept: 4.0 };
+        let a = Line {
+            slope: 1.0,
+            intercept: 0.0,
+        };
+        let b = Line {
+            slope: -1.0,
+            intercept: 4.0,
+        };
         let x = a.intersect_x(&b).unwrap();
         assert!((x - 2.0).abs() < 1e-12);
         assert!(a.intersect_x(&a).is_none());
@@ -326,6 +332,9 @@ mod tests {
     fn solve_dense_singular() {
         let mut a = vec![1.0, 2.0, 2.0, 4.0];
         let mut b = vec![1.0, 2.0];
-        assert_eq!(solve_dense(&mut a, &mut b, 2), Err(NumericsError::SingularSystem));
+        assert_eq!(
+            solve_dense(&mut a, &mut b, 2),
+            Err(NumericsError::SingularSystem)
+        );
     }
 }

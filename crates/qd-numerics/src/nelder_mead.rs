@@ -112,8 +112,16 @@ where
         // Order vertices best → worst (NaN treated as +inf).
         let mut order: Vec<usize> = (0..=n).collect();
         order.sort_by(|&a, &b| {
-            let fa = if values[a].is_nan() { f64::INFINITY } else { values[a] };
-            let fb = if values[b].is_nan() { f64::INFINITY } else { values[b] };
+            let fa = if values[a].is_nan() {
+                f64::INFINITY
+            } else {
+                values[a]
+            };
+            let fb = if values[b].is_nan() {
+                f64::INFINITY
+            } else {
+                values[b]
+            };
             fa.partial_cmp(&fb).unwrap_or(std::cmp::Ordering::Equal)
         });
         let best = order[0];

@@ -248,21 +248,37 @@ mod tests {
 
     #[test]
     fn segment_distance_inside_projection() {
-        let d = segment_distance_sq(Point::new(1.0, 1.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let d = segment_distance_sq(
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+        );
         assert!((d - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn segment_distance_clamps_to_endpoints() {
-        let d = segment_distance_sq(Point::new(-1.0, 0.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let d = segment_distance_sq(
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+        );
         assert!((d - 1.0).abs() < 1e-12);
-        let d2 = segment_distance_sq(Point::new(3.0, 0.0), Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let d2 = segment_distance_sq(
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+        );
         assert!((d2 - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn segment_distance_degenerate() {
-        let d = segment_distance_sq(Point::new(1.0, 1.0), Point::new(0.0, 0.0), Point::new(0.0, 0.0));
+        let d = segment_distance_sq(
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+        );
         assert!((d - 2.0).abs() < 1e-12);
     }
 
@@ -282,8 +298,16 @@ mod tests {
         let model = TwoSegmentModel::new(a_h, a_v).unwrap();
         let fit = model.fit(&pts).unwrap();
         assert!(fit.sse < 1e-4, "sse = {}", fit.sse);
-        assert!((fit.intersection.x - 60.0).abs() < 0.2, "cx = {}", fit.intersection.x);
-        assert!((fit.intersection.y - 58.0).abs() < 0.2, "cy = {}", fit.intersection.y);
+        assert!(
+            (fit.intersection.x - 60.0).abs() < 0.2,
+            "cx = {}",
+            fit.intersection.x
+        );
+        assert!(
+            (fit.intersection.y - 58.0).abs() < 0.2,
+            "cy = {}",
+            fit.intersection.y
+        );
         assert!((fit.slope_h + 0.2).abs() < 0.02, "m_h = {}", fit.slope_h);
         assert!((fit.slope_v + 4.0).abs() < 0.2, "m_v = {}", fit.slope_v);
     }
@@ -307,15 +331,13 @@ mod tests {
 
     #[test]
     fn fit_rejects_empty_points() {
-        let model =
-            TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(10.0, 0.0)).unwrap();
+        let model = TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(10.0, 0.0)).unwrap();
         assert_eq!(model.fit(&[]), Err(NumericsError::EmptyInput));
     }
 
     #[test]
     fn slopes_handle_vertical_segment() {
-        let model =
-            TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(5.0, 0.0)).unwrap();
+        let model = TwoSegmentModel::new(Point::new(0.0, 10.0), Point::new(5.0, 0.0)).unwrap();
         let (_, m_v) = model.slopes(Point::new(5.0, 8.0));
         assert!(m_v.is_infinite());
     }

@@ -79,7 +79,11 @@ pub struct RansacFit {
 /// # Ok(())
 /// # }
 /// ```
-pub fn ransac_line(xs: &[f64], ys: &[f64], params: RansacParams) -> Result<RansacFit, NumericsError> {
+pub fn ransac_line(
+    xs: &[f64],
+    ys: &[f64],
+    params: RansacParams,
+) -> Result<RansacFit, NumericsError> {
     if xs.len() != ys.len() {
         return Err(NumericsError::LengthMismatch {
             left: xs.len(),
@@ -121,7 +125,10 @@ pub fn ransac_line(xs: &[f64], ys: &[f64], params: RansacParams) -> Result<Ransa
             .filter(|&k| (a * xs[k] + b * ys[k] - c).abs() <= params.inlier_distance)
             .collect();
         if inliers.len() >= params.min_inliers
-            && best.as_ref().map(|b| inliers.len() > b.len()).unwrap_or(true)
+            && best
+                .as_ref()
+                .map(|b| inliers.len() > b.len())
+                .unwrap_or(true)
         {
             best = Some(inliers);
         }
@@ -143,9 +150,7 @@ struct XorShift64 {
 
 impl XorShift64 {
     fn new(seed: u64) -> Self {
-        Self {
-            state: seed.max(1),
-        }
+        Self { state: seed.max(1) }
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -225,7 +230,10 @@ mod tests {
                 ..RansacParams::default()
             },
         );
-        assert!(matches!(r, Err(NumericsError::NoConvergence { .. })), "{r:?}");
+        assert!(
+            matches!(r, Err(NumericsError::NoConvergence { .. })),
+            "{r:?}"
+        );
     }
 
     #[test]

@@ -49,14 +49,18 @@ impl CapacitanceModel {
             return Err(PhysicsError::BadDimensions { what: "dots" });
         }
         if lever_arms.len() != n {
-            return Err(PhysicsError::BadDimensions { what: "lever-arm rows" });
+            return Err(PhysicsError::BadDimensions {
+                what: "lever-arm rows",
+            });
         }
         let g = lever_arms[0].len();
         if g == 0 {
             return Err(PhysicsError::BadDimensions { what: "gates" });
         }
         if lever_arms.iter().any(|row| row.len() != g) {
-            return Err(PhysicsError::BadDimensions { what: "lever-arm columns" });
+            return Err(PhysicsError::BadDimensions {
+                what: "lever-arm columns",
+            });
         }
         if totals.iter().any(|&t| t <= 0.0 || !t.is_finite()) {
             return Err(PhysicsError::InvalidParameter {
@@ -116,7 +120,10 @@ impl CapacitanceModel {
     ///
     /// Panics if an index is out of bounds.
     pub fn capacitance(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n_dots && j < self.n_dots, "dot index out of bounds");
+        assert!(
+            i < self.n_dots && j < self.n_dots,
+            "dot index out of bounds"
+        );
         self.c[i * self.n_dots + j]
     }
 
@@ -126,7 +133,10 @@ impl CapacitanceModel {
     ///
     /// Panics if an index is out of bounds.
     pub fn interaction(&self, i: usize, j: usize) -> f64 {
-        assert!(i < self.n_dots && j < self.n_dots, "dot index out of bounds");
+        assert!(
+            i < self.n_dots && j < self.n_dots,
+            "dot index out of bounds"
+        );
         self.e[i * self.n_dots + j]
     }
 
@@ -176,7 +186,9 @@ impl CapacitanceModel {
     ///   from [`Self::n_dots`].
     pub fn energy(&self, occupations: &[u32], voltages: &[f64]) -> Result<f64, PhysicsError> {
         if occupations.len() != self.n_dots {
-            return Err(PhysicsError::BadDimensions { what: "occupations" });
+            return Err(PhysicsError::BadDimensions {
+                what: "occupations",
+            });
         }
         let q = self.induced_charge(voltages)?;
         let d: Vec<f64> = occupations
@@ -343,8 +355,7 @@ mod tests {
             CapacitanceModel::new(&[1.0, 1.0], &[(0, 0, 0.1)], &[vec![0.01], vec![0.01]]).is_err()
         );
         assert!(
-            CapacitanceModel::new(&[1.0, 1.0], &[(0, 1, -0.1)], &[vec![0.01], vec![0.01]])
-                .is_err()
+            CapacitanceModel::new(&[1.0, 1.0], &[(0, 1, -0.1)], &[vec![0.01], vec![0.01]]).is_err()
         );
     }
 
@@ -362,7 +373,10 @@ mod tests {
         let m = simple_double();
         assert!(matches!(
             m.induced_charge(&[1.0]),
-            Err(PhysicsError::GateCountMismatch { expected: 2, got: 1 })
+            Err(PhysicsError::GateCountMismatch {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -394,7 +408,10 @@ mod tests {
         // Near-horizontal line: dot 1 loads as gate 1 sweeps (y-axis).
         let m_h = m.transition_slope(1, 0, 1).unwrap();
         assert!(m_v < -1.0, "near-vertical slope {m_v} should be steep");
-        assert!(m_h > -1.0 && m_h < 0.0, "near-horizontal slope {m_h} should be shallow");
+        assert!(
+            m_h > -1.0 && m_h < 0.0,
+            "near-horizontal slope {m_h} should be shallow"
+        );
     }
 
     #[test]
@@ -407,8 +424,8 @@ mod tests {
             let mut hi = 200.0;
             for _ in 0..60 {
                 let mid = 0.5 * (lo + hi);
-                let d = m.energy(&[1, 0], &[mid, v2]).unwrap()
-                    - m.energy(&[0, 0], &[mid, v2]).unwrap();
+                let d =
+                    m.energy(&[1, 0], &[mid, v2]).unwrap() - m.energy(&[0, 0], &[mid, v2]).unwrap();
                 if d > 0.0 {
                     lo = mid;
                 } else {

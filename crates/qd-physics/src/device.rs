@@ -209,7 +209,9 @@ impl LinearArrayDevice {
         let (gx, gy) = (pair, pair + 1);
         // β[dot][gate] = Σ_k E_{dot,k} C_g[k, gate].
         let beta = |dot: usize, gate: usize| -> f64 {
-            (0..n).map(|k| self.model.interaction(dot, k) * self.model.lever_arm(k, gate)).sum()
+            (0..n)
+                .map(|k| self.model.interaction(dot, k) * self.model.lever_arm(k, gate))
+                .sum()
         };
         // Constant contribution of the fixed gates to each line equation.
         let fixed = |dot: usize| -> f64 {
@@ -357,7 +359,9 @@ impl DeviceBuilder {
     /// 2-dot, plus any parameter validation error from the submodels.
     pub fn build(self) -> Result<DoubleDotDevice, PhysicsError> {
         if self.n_dots != 2 {
-            return Err(PhysicsError::BadDimensions { what: "double dot requires 2 dots" });
+            return Err(PhysicsError::BadDimensions {
+                what: "double dot requires 2 dots",
+            });
         }
         Ok(DoubleDotDevice {
             inner: self.build_array()?,
@@ -378,8 +382,9 @@ impl DeviceBuilder {
             });
         }
         let n = self.n_dots;
-        let mutuals: Vec<(usize, usize, f64)> =
-            (0..n.saturating_sub(1)).map(|i| (i, i + 1, self.mutual)).collect();
+        let mutuals: Vec<(usize, usize, f64)> = (0..n.saturating_sub(1))
+            .map(|i| (i, i + 1, self.mutual))
+            .collect();
         let lever_arms = match self.lever_arms {
             Some(arms) => arms,
             None => default_lever_arms(n),
@@ -390,7 +395,9 @@ impl DeviceBuilder {
             None => SensorModel::with_defaults(n, n)?,
         };
         if sensor.n_dots() != n || sensor.n_gates() != model.n_gates() {
-            return Err(PhysicsError::BadDimensions { what: "sensor shape" });
+            return Err(PhysicsError::BadDimensions {
+                what: "sensor shape",
+            });
         }
         let solver = ChargeStateSolver::new(self.max_electrons)?;
         Ok(LinearArrayDevice {
@@ -461,7 +468,10 @@ mod tests {
 
     #[test]
     fn builder_rejects_negative_temperature() {
-        assert!(DeviceBuilder::double_dot().temperature(-0.1).build().is_err());
+        assert!(DeviceBuilder::double_dot()
+            .temperature(-0.1)
+            .build()
+            .is_err());
     }
 
     #[test]
@@ -476,7 +486,10 @@ mod tests {
             .unwrap();
         let a_strong = strong_cross.ground_truth().unwrap().alpha12;
         let a_weak = weak_cross.ground_truth().unwrap().alpha12;
-        assert!(a_strong > a_weak, "stronger cross-coupling → bigger α ({a_strong} !> {a_weak})");
+        assert!(
+            a_strong > a_weak,
+            "stronger cross-coupling → bigger α ({a_strong} !> {a_weak})"
+        );
     }
 
     #[test]
@@ -546,7 +559,10 @@ mod tests {
         // Raising gate 2 (strongly coupled to dot 1) lowers the voltage
         // gate 1 needs to load dot 1.
         assert!(b.1 < a.1, "{a:?} vs {b:?}");
-        assert!((a.0 - b.0).abs() > 1e-6, "gate-2 bias must move the crossing");
+        assert!(
+            (a.0 - b.0).abs() > 1e-6,
+            "gate-2 bias must move the crossing"
+        );
         assert!(d.pair_line_intersection(2, &[0.0; 3]).is_err());
         assert!(d.pair_line_intersection(0, &[0.0; 2]).is_err());
     }

@@ -36,7 +36,10 @@ impl fmt::Display for PhysicsError {
                 write!(f, "model dimension for {what} is zero or inconsistent")
             }
             PhysicsError::SingularCapacitance => {
-                write!(f, "dot capacitance matrix is singular; check mutual capacitances")
+                write!(
+                    f,
+                    "dot capacitance matrix is singular; check mutual capacitances"
+                )
             }
             PhysicsError::InvalidParameter { name, constraint } => {
                 write!(f, "parameter `{name}` violated constraint: {constraint}")
@@ -63,7 +66,10 @@ mod tests {
                 name: "temperature",
                 constraint: "must be non-negative",
             },
-            PhysicsError::GateCountMismatch { expected: 2, got: 3 },
+            PhysicsError::GateCountMismatch {
+                expected: 2,
+                got: 3,
+            },
         ];
         for e in errs {
             let s = e.to_string();

@@ -105,7 +105,9 @@ pub fn trace_honeycomb(
     resolution: usize,
 ) -> Result<Honeycomb, PhysicsError> {
     if model.n_gates() != 2 {
-        return Err(PhysicsError::BadDimensions { what: "honeycomb requires 2 gates" });
+        return Err(PhysicsError::BadDimensions {
+            what: "honeycomb requires 2 gates",
+        });
     }
     let (x_min, y_min, x_max, y_max) = window;
     if !(x_max > x_min && y_max > y_min) {
@@ -218,8 +220,12 @@ pub fn trace_honeycomb(
     let mut triple_points = Vec::new();
     for iy in 0..ny - 1 {
         for ix in 0..nx - 1 {
-            let mut distinct: Vec<&Vec<u32>> =
-                vec![at(ix, iy), at(ix + 1, iy), at(ix, iy + 1), at(ix + 1, iy + 1)];
+            let mut distinct: Vec<&Vec<u32>> = vec![
+                at(ix, iy),
+                at(ix + 1, iy),
+                at(ix, iy + 1),
+                at(ix + 1, iy + 1),
+            ];
             distinct.sort();
             distinct.dedup();
             if distinct.len() >= 3 {
@@ -366,7 +372,10 @@ mod tests {
         // The lower triple point coincides with the analytic pairwise
         // crossing; the upper one is displaced up-right along the interdot
         // line by the mutual-capacitance gap.
-        let device = DeviceBuilder::double_dot().mutual_capacitance(0.2).build().unwrap();
+        let device = DeviceBuilder::double_dot()
+            .mutual_capacitance(0.2)
+            .build()
+            .unwrap();
         let (ix, iy) = device
             .as_array()
             .pair_line_intersection(0, &[0.0, 0.0])
@@ -377,12 +386,19 @@ mod tests {
             .iter()
             .map(dist)
             .fold(f64::INFINITY, f64::min);
-        assert!(nearest < 2.0, "nearest triple point {nearest:.2} from the crossing");
+        assert!(
+            nearest < 2.0,
+            "nearest triple point {nearest:.2} from the crossing"
+        );
         let upper = hc
             .triple_points
             .iter()
             .find(|p| p.0 > ix + 2.0 && p.1 > iy + 2.0);
-        assert!(upper.is_some(), "no displaced upper triple point: {:?}", hc.triple_points);
+        assert!(
+            upper.is_some(),
+            "no displaced upper triple point: {:?}",
+            hc.triple_points
+        );
     }
 
     #[test]
@@ -409,7 +425,10 @@ mod tests {
             })
             .map(|s| s.length())
             .sum();
-        assert!(interdot_len < 2.0, "interdot length {interdot_len} with Cm = 0");
+        assert!(
+            interdot_len < 2.0,
+            "interdot length {interdot_len} with Cm = 0"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl WhiteNoise {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         Self { sigma, spare: None }
     }
 
@@ -198,7 +201,10 @@ impl PinkNoise {
     /// Panics if `sigma` is negative/non-finite, `n_octaves == 0`, or
     /// `base_relaxation` outside `(0, 1)`.
     pub fn new(sigma: f64, n_octaves: usize, base_relaxation: f64) -> Self {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         assert!(n_octaves > 0, "need at least one octave");
         assert!(
             base_relaxation > 0.0 && base_relaxation < 1.0,
@@ -445,8 +451,7 @@ mod tests {
         }
         let samples: Vec<f64> = (0..60_000).map(|_| p.sample(&mut r)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let std = var.sqrt();
         assert!(
             (std - sigma).abs() < 0.2 * sigma,
@@ -467,8 +472,7 @@ mod tests {
         }
         let samples: Vec<f64> = (0..40_000).map(|_| p.sample(&mut r)).collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let lag = 20;
         let cov = samples
             .windows(lag + 1)
@@ -476,7 +480,10 @@ mod tests {
             .sum::<f64>()
             / (samples.len() - lag) as f64;
         let rho = cov / var;
-        assert!(rho > 0.2, "lag-{lag} autocorrelation {rho} too weak for 1/f");
+        assert!(
+            rho > 0.2,
+            "lag-{lag} autocorrelation {rho} too weak for 1/f"
+        );
     }
 
     #[test]

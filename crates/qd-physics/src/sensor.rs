@@ -73,7 +73,9 @@ impl SensorModel {
             });
         }
         if electron_shifts.is_empty() {
-            return Err(PhysicsError::BadDimensions { what: "electron shifts" });
+            return Err(PhysicsError::BadDimensions {
+                what: "electron shifts",
+            });
         }
         if electron_shifts.iter().any(|&k| k <= 0.0 || !k.is_finite()) {
             return Err(PhysicsError::InvalidParameter {
@@ -82,7 +84,9 @@ impl SensorModel {
             });
         }
         if gate_crosstalk.is_empty() {
-            return Err(PhysicsError::BadDimensions { what: "gate crosstalk" });
+            return Err(PhysicsError::BadDimensions {
+                what: "gate crosstalk",
+            });
         }
         Ok(Self {
             base_current,
@@ -143,7 +147,9 @@ impl SensorModel {
     /// [`PhysicsError::GateCountMismatch`] on shape mismatches.
     pub fn current(&self, occupations: &[f64], voltages: &[f64]) -> Result<f64, PhysicsError> {
         if occupations.len() != self.electron_shifts.len() {
-            return Err(PhysicsError::BadDimensions { what: "occupations" });
+            return Err(PhysicsError::BadDimensions {
+                what: "occupations",
+            });
         }
         if voltages.len() != self.gate_crosstalk.len() {
             return Err(PhysicsError::GateCountMismatch {
@@ -197,7 +203,10 @@ mod tests {
         let v = [10.0, 10.0];
         let empty = s.current(&[0.0, 0.0], &v).unwrap();
         let one = s.current(&[1.0, 0.0], &v).unwrap();
-        assert!(one < empty, "electron must reduce current ({one} !< {empty})");
+        assert!(
+            one < empty,
+            "electron must reduce current ({one} !< {empty})"
+        );
     }
 
     #[test]
@@ -217,7 +226,10 @@ mod tests {
         let s = sensor();
         let i_low = s.current(&[0.0, 0.0], &[0.0, 0.0]).unwrap();
         let i_high = s.current(&[0.0, 0.0], &[100.0, 100.0]).unwrap();
-        assert!(i_high < i_low, "negative default crosstalk must lower current");
+        assert!(
+            i_high < i_low,
+            "negative default crosstalk must lower current"
+        );
         // A custom positive crosstalk tilts the other way.
         let pos = SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.7], vec![0.002, 0.002]).unwrap();
         let p_low = pos.current(&[0.0, 0.0], &[0.0, 0.0]).unwrap();

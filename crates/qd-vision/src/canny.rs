@@ -123,7 +123,10 @@ pub fn canny(csd: &Csd, params: CannyParams) -> Result<EdgeMap, VisionError> {
     }
     let (low, high) = match params.absolute_thresholds {
         Some((lo, hi)) => (lo, hi),
-        None => (params.low_fraction * max_mag, params.high_fraction * max_mag),
+        None => (
+            params.low_fraction * max_mag,
+            params.high_fraction * max_mag,
+        ),
     };
 
     // Non-maximum suppression: quantize direction to 4 sectors and keep
@@ -242,8 +245,7 @@ mod tests {
             );
         }
         // Edge should span most rows.
-        let rows: std::collections::HashSet<usize> =
-            e.edge_pixels().iter().map(|p| p.y).collect();
+        let rows: std::collections::HashSet<usize> = e.edge_pixels().iter().map(|p| p.y).collect();
         assert!(rows.len() >= 28, "edge spans only {} rows", rows.len());
     }
 
@@ -262,8 +264,11 @@ mod tests {
 
     #[test]
     fn diagonal_edge_detected() {
-        let c = Csd::from_fn(grid(32, 32), |v1, v2| if v1 + v2 < 30.0 { 4.0 } else { 1.0 })
-            .unwrap();
+        let c = Csd::from_fn(
+            grid(32, 32),
+            |v1, v2| if v1 + v2 < 30.0 { 4.0 } else { 1.0 },
+        )
+        .unwrap();
         let e = canny(&c, CannyParams::default()).unwrap();
         assert!(e.edge_count() >= 20);
         for p in e.edge_pixels() {
@@ -294,9 +299,11 @@ mod tests {
         )
         .unwrap();
         // The weak (low-contrast) bottom rows connect to the strong top.
-        let rows: std::collections::HashSet<usize> =
-            e.edge_pixels().iter().map(|p| p.y).collect();
-        assert!(rows.iter().any(|&r| r < 8), "weak rows not linked by hysteresis");
+        let rows: std::collections::HashSet<usize> = e.edge_pixels().iter().map(|p| p.y).collect();
+        assert!(
+            rows.iter().any(|&r| r < 8),
+            "weak rows not linked by hysteresis"
+        );
     }
 
     #[test]

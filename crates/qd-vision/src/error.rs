@@ -47,7 +47,10 @@ mod tests {
     #[test]
     fn display_forms() {
         for e in [
-            VisionError::InvalidParameter { name: "sigma", constraint: "positive" },
+            VisionError::InvalidParameter {
+                name: "sigma",
+                constraint: "positive",
+            },
             VisionError::ImageTooSmall { min: 5, got: 3 },
             VisionError::NoEdges,
         ] {

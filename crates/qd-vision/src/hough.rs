@@ -215,13 +215,16 @@ mod tests {
     #[test]
     fn detects_sloped_line_slope() {
         // Step across y = -0.5 x + 30 → slope -0.5.
-        let c = Csd::from_fn(grid(60, 60), |v1, v2| {
-            if v2 + 0.5 * v1 < 30.0 {
-                4.0
-            } else {
-                1.0
-            }
-        })
+        let c = Csd::from_fn(
+            grid(60, 60),
+            |v1, v2| {
+                if v2 + 0.5 * v1 < 30.0 {
+                    4.0
+                } else {
+                    1.0
+                }
+            },
+        )
         .unwrap();
         let lines = hough_lines(&edges_of(&c), HoughParams::default()).unwrap();
         let m = lines[0].slope().unwrap();
@@ -284,11 +287,26 @@ mod tests {
         let c = Csd::from_fn(grid(20, 20), |v1, _| v1).unwrap();
         let e = edges_of(&c);
         for bad in [
-            HoughParams { n_theta: 0, ..HoughParams::default() },
-            HoughParams { max_lines: 0, ..HoughParams::default() },
-            HoughParams { rho_resolution: 0.0, ..HoughParams::default() },
-            HoughParams { peak_fraction: 0.0, ..HoughParams::default() },
-            HoughParams { peak_fraction: 1.5, ..HoughParams::default() },
+            HoughParams {
+                n_theta: 0,
+                ..HoughParams::default()
+            },
+            HoughParams {
+                max_lines: 0,
+                ..HoughParams::default()
+            },
+            HoughParams {
+                rho_resolution: 0.0,
+                ..HoughParams::default()
+            },
+            HoughParams {
+                peak_fraction: 0.0,
+                ..HoughParams::default()
+            },
+            HoughParams {
+                peak_fraction: 1.5,
+                ..HoughParams::default()
+            },
         ] {
             assert!(hough_lines(&e, bad).is_err());
         }

@@ -141,7 +141,11 @@ pub fn extract_segments(
             }
         }
     }
-    segments.sort_by(|a, b| b.length().partial_cmp(&a.length()).unwrap_or(std::cmp::Ordering::Equal));
+    segments.sort_by(|a, b| {
+        b.length()
+            .partial_cmp(&a.length())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(segments)
 }
 
@@ -269,9 +273,18 @@ mod tests {
     fn rejects_bad_parameters() {
         let e = corner_edges();
         for bad in [
-            SegmentParams { support_distance: 0.0, ..SegmentParams::default() },
-            SegmentParams { max_gap: -1.0, ..SegmentParams::default() },
-            SegmentParams { min_length: 0.0, ..SegmentParams::default() },
+            SegmentParams {
+                support_distance: 0.0,
+                ..SegmentParams::default()
+            },
+            SegmentParams {
+                max_gap: -1.0,
+                ..SegmentParams::default()
+            },
+            SegmentParams {
+                min_length: 0.0,
+                ..SegmentParams::default()
+            },
         ] {
             assert!(extract_segments(&e, bad).is_err());
         }
@@ -279,7 +292,11 @@ mod tests {
 
     #[test]
     fn segment_helpers() {
-        let line = HoughLine { rho: 0.0, theta: 0.0, votes: 5 };
+        let line = HoughLine {
+            rho: 0.0,
+            theta: 0.0,
+            votes: 5,
+        };
         let s = LineSegment {
             start: (0.0, 0.0),
             end: (6.0, 8.0),

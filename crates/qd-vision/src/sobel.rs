@@ -87,16 +87,17 @@ impl GradientField {
 pub fn sobel(csd: &Csd) -> Result<GradientField, VisionError> {
     let (w, h) = csd.size();
     if w < 3 || h < 3 {
-        return Err(VisionError::ImageTooSmall { min: 3, got: w.min(h) });
+        return Err(VisionError::ImageTooSmall {
+            min: 3,
+            got: w.min(h),
+        });
     }
     let kx = Kernel2::new(3, 3, vec![-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0])
         .expect("static kernel is valid");
     let ky = Kernel2::new(3, 3, vec![-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0])
         .expect("static kernel is valid");
-    let gx = correlate2(csd.data(), h, w, &kx, Boundary::Replicate)
-        .expect("shape verified above");
-    let gy = correlate2(csd.data(), h, w, &ky, Boundary::Replicate)
-        .expect("shape verified above");
+    let gx = correlate2(csd.data(), h, w, &kx, Boundary::Replicate).expect("shape verified above");
+    let gy = correlate2(csd.data(), h, w, &ky, Boundary::Replicate).expect("shape verified above");
     let magnitude = gx
         .iter()
         .zip(&gy)
@@ -123,7 +124,10 @@ mod tests {
     #[test]
     fn rejects_tiny_images() {
         let c = Csd::constant(grid(2, 5), 0.0).unwrap();
-        assert_eq!(sobel(&c), Err(VisionError::ImageTooSmall { min: 3, got: 2 }));
+        assert_eq!(
+            sobel(&c),
+            Err(VisionError::ImageTooSmall { min: 3, got: 2 })
+        );
     }
 
     #[test]

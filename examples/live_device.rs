@@ -16,7 +16,9 @@ use fastvg::core::extraction::FastExtractor;
 use fastvg::csd::render::AsciiRenderer;
 use fastvg::csd::{Csd, Pixel, VoltageGrid};
 use fastvg::instrument::{MeasurementSession, PhysicsSource, VoltageWindow};
-use fastvg::physics::{CompositeNoise, DeviceBuilder, DriftNoise, SensorModel, TelegraphNoise, WhiteNoise};
+use fastvg::physics::{
+    CompositeNoise, DeviceBuilder, DriftNoise, SensorModel, TelegraphNoise, WhiteNoise,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sharp lines (low electron temperature) and a visible background

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = [11u64, 22, 33];
 
     println!("white-noise sigma vs success (sensor step ≈ 0.6 nA)");
-    println!("{:>8} | {:^16} | {:^16}", "sigma", "fast extraction", "hough baseline");
+    println!(
+        "{:>8} | {:^16} | {:^16}",
+        "sigma", "fast extraction", "hough baseline"
+    );
     println!("{:->8}-+-{:-^16}-+-{:-^16}", "", "", "");
 
     for &sigma in &levels {

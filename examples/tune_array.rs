@@ -19,8 +19,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceBuilder::linear_array(n_dots).build_array()?;
     let bias = vec![0.0; n_dots];
 
-    println!("extracting virtual gates for a {n_dots}-dot array ({} pairs)...", n_dots - 1);
-    let chain = extract_chain(&device, &bias, &FastExtractor::new(), &WindowPlan::default())?;
+    println!(
+        "extracting virtual gates for a {n_dots}-dot array ({} pairs)...",
+        n_dots - 1
+    );
+    let chain = extract_chain(
+        &device,
+        &bias,
+        &FastExtractor::new(),
+        &WindowPlan::default(),
+    )?;
 
     println!(
         "\ntotal probes: {}   simulated dwell: {:.1}s",
@@ -46,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nassembled virtualization matrix:");
     let v = &chain.virtualization;
     for i in 0..v.n_gates() {
-        let row: Vec<String> = (0..v.n_gates()).map(|j| format!("{:+.4}", v.at(i, j))).collect();
+        let row: Vec<String> = (0..v.n_gates())
+            .map(|j| format!("{:+.4}", v.at(i, j)))
+            .collect();
         println!("  [ {} ]", row.join("  "));
     }
 

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ladder = TuningLoop::new();
     let criteria = SuccessCriteria::default();
 
-    println!("unattended batch: {cohort} randomized devices, {}-rung retry ladder\n", ladder.len());
+    println!(
+        "unattended batch: {cohort} randomized devices, {}-rung retry ladder\n",
+        ladder.len()
+    );
 
     let mut verified = 0usize;
     let mut retried = 0usize;

@@ -19,7 +19,11 @@ fn chains_extract_for_3_to_5_dots() {
             &WindowPlan::default(),
         )
         .unwrap_or_else(|e| panic!("{n}-dot chain failed: {e}"));
-        assert_eq!(chain.pairs.len(), n - 1, "{n}-dot array needs n-1 extractions");
+        assert_eq!(
+            chain.pairs.len(),
+            n - 1,
+            "{n}-dot array needs n-1 extractions"
+        );
         assert_eq!(chain.virtualization.n_gates(), n);
 
         for pair in 0..n - 1 {

@@ -20,9 +20,16 @@ fn extraction_on_archived_data_matches_live_data() {
 
     let mut live = MeasurementSession::new(CsdSource::new(suite[5].csd.clone()));
     let mut replay = MeasurementSession::new(CsdSource::new(archived[0].csd.clone()));
-    let a = FastExtractor::new().extract(&mut live).expect("live extracts");
-    let b = FastExtractor::new().extract(&mut replay).expect("replay extracts");
-    assert_eq!(a.slope_h, b.slope_h, "archived replay must be bit-identical");
+    let a = FastExtractor::new()
+        .extract(&mut live)
+        .expect("live extracts");
+    let b = FastExtractor::new()
+        .extract(&mut replay)
+        .expect("replay extracts");
+    assert_eq!(
+        a.slope_h, b.slope_h,
+        "archived replay must be bit-identical"
+    );
     assert_eq!(a.slope_v, b.slope_v);
     assert_eq!(a.probes, b.probes);
     let _ = std::fs::remove_dir_all(&dir);
@@ -32,7 +39,9 @@ fn extraction_on_archived_data_matches_live_data() {
 fn verification_scores_track_extraction_quality() {
     let bench = paper_benchmark(8).expect("benchmark generates");
     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-    let result = FastExtractor::new().extract(&mut session).expect("extracts");
+    let result = FastExtractor::new()
+        .extract(&mut session)
+        .expect("extracts");
 
     let score = score_against_truth(&result.matrix, &bench.truth);
     assert!(
@@ -48,12 +57,13 @@ fn verification_scores_track_extraction_quality() {
     // Data-driven check without ground truth: the extracted matrix makes
     // the steep step (nearly) vertical, the identity does not.
     let good_drift = measure_steep_step_drift(&result.matrix, &bench.csd);
-    let naive_drift = measure_steep_step_drift(
-        &fastvg::csd::VirtualizationMatrix::identity(),
-        &bench.csd,
-    );
+    let naive_drift =
+        measure_steep_step_drift(&fastvg::csd::VirtualizationMatrix::identity(), &bench.csd);
     if let (Some(g), Some(n)) = (good_drift, naive_drift) {
-        assert!(g < n, "virtualized drift {g} should beat identity drift {n}");
+        assert!(
+            g < n,
+            "virtualized drift {g} should beat identity drift {n}"
+        );
     }
 }
 
@@ -99,9 +109,13 @@ fn baseline_and_fast_agree_on_clean_benchmarks() {
     for index in [6usize, 8, 11] {
         let bench = paper_benchmark(index).expect("benchmark generates");
         let mut fs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-        let fast = FastExtractor::new().extract(&mut fs).expect("fast extracts");
+        let fast = FastExtractor::new()
+            .extract(&mut fs)
+            .expect("fast extracts");
         let mut bs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-        let base = HoughBaseline::new().extract(&mut bs).expect("baseline extracts");
+        let base = HoughBaseline::new()
+            .extract(&mut bs)
+            .expect("baseline extracts");
         assert!(
             (fast.slope_h - base.slope_h).abs() < 0.12,
             "CSD {index}: shallow disagreement {} vs {}",

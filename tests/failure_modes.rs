@@ -103,9 +103,15 @@ fn inverted_contrast_fails_validation() {
 fn errors_format_without_panicking() {
     let errs: Vec<ExtractError> = vec![
         ExtractError::WindowTooSmall { min: 20, got: 4 },
-        ExtractError::DegenerateAnchors { a1: (3, 3), a2: (3, 3) },
+        ExtractError::DegenerateAnchors {
+            a1: (3, 3),
+            a2: (3, 3),
+        },
         ExtractError::TooFewTransitionPoints { got: 0, min: 4 },
-        ExtractError::UnphysicalSlopes { slope_h: f64::NAN, slope_v: f64::INFINITY },
+        ExtractError::UnphysicalSlopes {
+            slope_h: f64::NAN,
+            slope_v: f64::INFINITY,
+        },
     ];
     for e in errs {
         assert!(!format!("{e}").is_empty());
@@ -119,8 +125,8 @@ fn session_probe_budget_is_bounded_even_on_failure() {
     // data the pipeline probes at most a modest multiple of the paper's
     // budget.
     let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).expect("grid");
-    let garbage = Csd::from_fn(grid, |v1, v2| ((v1 * 7.3).sin() * (v2 * 3.1).cos()).abs())
-        .expect("csd");
+    let garbage =
+        Csd::from_fn(grid, |v1, v2| ((v1 * 7.3).sin() * (v2 * 3.1).cos()).abs()).expect("csd");
     let mut session = MeasurementSession::new(CsdSource::new(garbage));
     let _ = FastExtractor::new().extract(&mut session);
     assert!(

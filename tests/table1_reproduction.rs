@@ -114,7 +114,10 @@ fn speedups_fall_in_the_papers_band() {
     }
     // Larger diagrams must show larger speedups (probe fraction shrinks).
     let max = speedups.iter().cloned().fold(0.0, f64::max);
-    assert!(max > 12.0, "200x200 benchmark should exceed 12x, got {max:.2}");
+    assert!(
+        max > 12.0,
+        "200x200 benchmark should exceed 12x, got {max:.2}"
+    );
 }
 
 #[test]

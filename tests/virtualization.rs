@@ -67,7 +67,11 @@ fn virtualized_diagram_has_axis_aligned_steps() {
             cols.push(best.0);
         }
     }
-    assert!(cols.len() > h / 6, "too few step rows found: {}", cols.len());
+    assert!(
+        cols.len() > h / 6,
+        "too few step rows found: {}",
+        cols.len()
+    );
     let lo = *cols.iter().min().expect("non-empty");
     let hi = *cols.iter().max().expect("non-empty");
     assert!(

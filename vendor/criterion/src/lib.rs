@@ -1,0 +1,244 @@
+//! Minimal, dependency-free stand-in for `criterion`.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! shim implements just the surface the `fastvg-bench` benches use:
+//! [`Criterion`] with `bench_function` / `bench_with_input` /
+//! `benchmark_group`, [`BenchmarkId`], [`Bencher::iter`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Mode selection follows cargo's harness protocol: `cargo bench` passes
+//! `--bench` to the binary, which triggers real timed runs (warm-up, then
+//! a sampling budget; the median per-iteration time is printed). Any other
+//! invocation — notably `cargo test`, which builds and runs bench targets
+//! for liveness — executes each benchmark body exactly once as a smoke
+//! test, so the test suite stays fast.
+//!
+//! No statistics, plots, or baselines: swap in the real `criterion` when
+//! registry access is available; call sites are source-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock time budget per benchmark in measurement mode.
+const MEASURE_BUDGET: Duration = Duration::from_secs(2);
+/// Warm-up budget per benchmark in measurement mode.
+const WARMUP_BUDGET: Duration = Duration::from_millis(300);
+
+/// Identifier for one benchmark: a function/group name and an optional
+/// parameter rendering.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only the parameter; the group supplies the prefix.
+    pub fn from_parameter(parameter: impl ToString) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    measure: bool,
+    /// Median per-iteration time, filled in after a measured run.
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its per-iteration time.
+    ///
+    /// In smoke mode (anything but `cargo bench`) the routine runs exactly
+    /// once and no timing is recorded.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up: run until the budget elapses.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Choose a batch size that keeps each sample around 10 ms.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let batch = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let mut samples = Vec::new();
+        let run_start = Instant::now();
+        while run_start.elapsed() < MEASURE_BUDGET && samples.len() < 512 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        self.elapsed = Some(Duration::from_secs_f64(median));
+    }
+}
+
+fn humanize(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    measure: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    /// Configures from the command line, following cargo's harness
+    /// protocol: `--bench` selects measurement mode, the first free
+    /// argument is a substring filter.
+    ///
+    /// Unknown `--flag value` pairs (real-criterion options such as
+    /// `--save-baseline main`) are skipped whole, so the value is not
+    /// mistaken for a name filter.
+    fn default() -> Self {
+        let mut measure = false;
+        let mut filter = None;
+        let mut skip_value = false;
+        for arg in std::env::args().skip(1) {
+            if skip_value {
+                skip_value = false;
+                continue;
+            }
+            match arg.as_str() {
+                "--bench" => measure = true,
+                "--test" => measure = false,
+                // Common valueless libtest/criterion flags must not
+                // swallow the argument after them.
+                "--verbose" | "--quiet" | "--nocapture" | "--exact" | "--list" | "--ignored"
+                | "--include-ignored" | "--show-output" => {}
+                a if a.starts_with("--") => skip_value = !a.contains('='),
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { measure, filter }
+    }
+}
+
+impl Criterion {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            elapsed: None,
+        };
+        f(&mut b);
+        if self.measure {
+            match b.elapsed {
+                Some(d) => println!("{name:<50} time: {}", humanize(d)),
+                None => println!("{name:<50} (no iterations recorded)"),
+            }
+        } else {
+            println!("{name}: ok (smoke run)");
+        }
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        self.run(name, f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.name, |b| f(b, input));
+    }
+
+    /// Opens a named group; ids inside it are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A prefix namespace for related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's time-budget sampler ignores
+    /// the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in this group, parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.name);
+        self.criterion.run(&full, |b| f(b, input));
+    }
+
+    /// Runs one named benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        let full = format!("{}/{name}", self.name);
+        self.criterion.run(&full, f);
+    }
+
+    /// Closes the group (a no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,464 @@
+//! Minimal, dependency-free stand-in for `proptest`.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! shim implements the slice of proptest the workspace's property tests
+//! use: the [`proptest!`] macro, [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`], the [`strategy::Strategy`] trait with `prop_map` and
+//! `prop_filter`, range and tuple strategies, and
+//! [`collection::vec`].
+//!
+//! Semantics versus the real crate:
+//!
+//! - **Deterministic sampling, no shrinking.** Each test runs
+//!   [`DEFAULT_CASES`] cases (override with `PROPTEST_CASES`) from a seed
+//!   derived from the test name, so failures reproduce exactly; a failing
+//!   case reports its inputs via the assertion message but is not
+//!   minimized.
+//! - **Rejection budget.** `prop_assume!` and `prop_filter` discard the
+//!   case without counting it; exceeding [`MAX_REJECTS`] total discards
+//!   fails the test, matching proptest's global-reject guard.
+//!
+//! Swap in the real `proptest` when registry access is available; call
+//! sites are source-compatible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Cases per property unless `PROPTEST_CASES` overrides it.
+pub const DEFAULT_CASES: u32 = 64;
+/// Total discarded cases allowed per property before giving up.
+pub const MAX_REJECTS: u32 = 65_536;
+
+/// Why a test case did not produce a verdict of "pass".
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was discarded (`prop_assume!` failed or a filter rejected
+    /// every sampling attempt); it does not count toward the case budget.
+    Reject(String),
+    /// A `prop_assert!`-style check failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant; used by the assertion macros.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant; used by `prop_assume!`.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The deterministic generator backing every strategy (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds a generator; the runner derives the seed from the test name.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::{TestCaseError, TestRng};
+
+    /// How many times `prop_filter` re-samples before rejecting the case.
+    const FILTER_ATTEMPTS: u32 = 64;
+
+    /// A recipe for generating values of [`Strategy::Value`].
+    ///
+    /// Unlike real proptest there is no value tree: strategies sample
+    /// directly and never shrink.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or rejects the test case.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`TestCaseError::Reject`] when a filter could not find
+        /// an acceptable value; the runner discards the case.
+        fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `f`, re-sampling on misses.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            f: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                f,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> Result<O, TestCaseError> {
+            self.inner.sample(rng).map(&self.f)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Result<S::Value, TestCaseError> {
+            for _ in 0..FILTER_ATTEMPTS {
+                let v = self.inner.sample(rng)?;
+                if (self.f)(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(TestCaseError::reject(self.reason))
+        }
+    }
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> Result<f64, TestCaseError> {
+            Ok(self.start + rng.unit_f64() * (self.end - self.start))
+        }
+    }
+
+    macro_rules! impl_strategy_int_range {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> Result<$t, TestCaseError> {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "cannot sample empty range");
+                    let offset = (rng.next_u64() as u128) % span;
+                    Ok((self.start as i128 + offset as i128) as $t)
+                }
+            }
+        )*};
+    }
+    impl_strategy_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_strategy_tuple {
+        ($($S:ident/$idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Result<Self::Value, TestCaseError> {
+                    Ok(($(self.$idx.sample(rng)?,)+))
+                }
+            }
+        };
+    }
+    impl_strategy_tuple!(S0 / 0);
+    impl_strategy_tuple!(S0 / 0, S1 / 1);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+    impl_strategy_tuple!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5, S6 / 6);
+    impl_strategy_tuple!(
+        S0 / 0,
+        S1 / 1,
+        S2 / 2,
+        S3 / 3,
+        S4 / 4,
+        S5 / 5,
+        S6 / 6,
+        S7 / 7
+    );
+}
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::strategy::Strategy;
+    use super::{TestCaseError, TestRng};
+
+    /// Strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec()`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Result<Vec<S::Value>, TestCaseError> {
+            let len = self.size.clone().sample(rng)?;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Drives one property: samples cases, tracks rejections, panics on the
+/// first failure with the offending case index and seed.
+///
+/// Called by the [`proptest!`] expansion — not part of the public
+/// proptest API, but public so the macro can reach it.
+pub fn run_property<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases: u32 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_CASES);
+    // FNV-1a over the test name: stable, deterministic seeds per property.
+    let seed = name.bytes().fold(0xcbf29ce484222325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100000001b3)
+    });
+    let mut rng = TestRng::new(seed);
+    let mut passed = 0;
+    let mut rejected = 0;
+    while passed < cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < MAX_REJECTS,
+                    "property `{name}`: too many rejected cases \
+                     ({rejected} rejects for {passed} accepted)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed after {passed} passing cases \
+                     (seed {seed:#x}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs: the macros, [`Strategy`] and
+/// the `prop::` namespace.
+///
+/// [`Strategy`]: crate::strategy::Strategy
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, TestCaseError};
+
+    /// The `prop::` namespace (`prop::collection::vec` and friends).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Declares property tests: each `fn` runs its body against sampled
+/// inputs.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(stringify!($name), |__proptest_rng| {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(
+                            &($strat),
+                            __proptest_rng,
+                        )?;
+                    )+
+                    let __proptest_outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                    __proptest_outcome
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current test case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    // The no-message arm must not route the stringified condition
+    // through `format!` — conditions containing braces (e.g. `matches!`
+    // struct patterns) would be parsed as format specs.
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current test case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right,
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Discards the current test case unless `cond` holds (does not count as
+/// a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5..4.5f64) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..4.5).contains(&y));
+        }
+
+        /// Conditions containing braces (struct patterns in `matches!`)
+        /// must survive the no-message `prop_assert!` arm.
+        #[test]
+        fn brace_conditions_compile(n in 0u32..4) {
+            struct Wrap {
+                v: u32,
+            }
+            let w = Wrap { v: n };
+            prop_assert!(matches!(w, Wrap { .. }));
+            prop_assert!(w.v < 4);
+        }
+
+        #[test]
+        fn map_and_filter_compose(
+            v in prop::collection::vec((0usize..10, 0usize..10), 1..20)
+                .prop_map(|v| v.into_iter().map(|(a, b)| a + b).collect::<Vec<_>>())
+        ) {
+            prop_assert!(!v.is_empty());
+            for s in &v {
+                prop_assert!(*s <= 18);
+            }
+        }
+
+        #[test]
+        fn filter_keeps_predicate(
+            pair in (0u32..100, 0u32..100).prop_filter("must differ", |(a, b)| a != b)
+        ) {
+            prop_assert!(pair.0 != pair.1, "{} == {}", pair.0, pair.1);
+        }
+
+        #[test]
+        fn assume_discards(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failures_panic_with_context() {
+        proptest! {
+            fn always_fails(_n in 0u32..10) {
+                prop_assert!(false, "intentional");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no access to the crates.io registry. The
+//! workspace only *derives* `Serialize`/`Deserialize` (no code currently
+//! serializes through serde's data model — `qd_csd::io` implements its
+//! CSV/binary formats by hand), so this shim provides the two traits as
+//! markers plus derive macros that implement them. Replacing this crate
+//! with the real `serde` (the derives keep the same names and call sites)
+//! upgrades the markers to full serialization without touching any
+//! downstream code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that a serde serializer could encode.
+///
+/// Implemented via `#[derive(Serialize)]`; carries no methods in this
+/// offline shim.
+pub trait Serialize {}
+
+/// Marker for types that a serde deserializer could decode.
+///
+/// Implemented via `#[derive(Deserialize)]`; carries no methods in this
+/// offline shim.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for types deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

@@ -1,0 +1,58 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Each derive scans the item's token stream for the type name following
+//! the `struct`/`enum`/`union` keyword and emits an empty marker-trait
+//! impl. Generic types are rejected with a compile error rather than
+//! silently miscompiled — no type in this workspace needs them.
+
+#![warn(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum`/`union` definition and
+/// reports whether a generic parameter list follows it.
+fn parse_type_name(input: TokenStream) -> Result<String, String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                return match tokens.next() {
+                    Some(TokenTree::Ident(name)) => match tokens.next() {
+                        Some(TokenTree::Punct(p)) if p.as_char() == '<' => Err(format!(
+                            "the offline serde shim cannot derive for generic type `{name}`"
+                        )),
+                        _ => Ok(name.to_string()),
+                    },
+                    other => Err(format!("expected type name after `{kw}`, found {other:?}")),
+                };
+            }
+        }
+    }
+    Err("expected a struct, enum or union definition".to_string())
+}
+
+fn derive_marker(input: TokenStream, template: impl Fn(&str) -> String) -> TokenStream {
+    match parse_type_name(input) {
+        Ok(name) => template(&name).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("error parses"),
+    }
+}
+
+/// Implements the shim's marker `serde::Serialize` for the annotated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, |name| {
+        format!("impl ::serde::Serialize for {name} {{}}")
+    })
+}
+
+/// Implements the shim's marker `serde::Deserialize` for the annotated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive_marker(input, |name| {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    })
+}
