@@ -10,69 +10,102 @@
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin ablation            # all
 //! cargo run --release -p fastvg-bench --bin ablation -- shrink  # one
+//! cargo run --release -p fastvg-bench --bin ablation -- --jobs 4
 //! ```
+//!
+//! Every configuration sweep fans its benchmarks out over a
+//! [`fastvg_core::batch::BatchExtractor`] (`--jobs N`, default one per
+//! core); results are bit-identical for every `N`. The `scan` study is
+//! the deliberate exception: it measures how *probe order* interacts with
+//! live drift, so its acquisitions must stay serial.
 
+use fastvg_bench::{args_without_jobs, jobs_from_args, run_suite, session_for};
 use fastvg_core::anchors::AnchorConfig;
-use fastvg_core::baseline::{acquire_full_csd_with, HoughBaseline};
+use fastvg_core::baseline::acquire_full_csd_with;
+use fastvg_core::batch::BatchExtractor;
 use fastvg_core::extraction::{ExtractorConfig, FastExtractor};
 use fastvg_core::fit::FitMethod;
 use fastvg_core::report::SuccessCriteria;
 use fastvg_core::sweep::SweepConfig;
-use qd_dataset::{generate, paper_suite, BenchmarkSpec, GeneratedBenchmark, NoiseRecipe};
-use qd_instrument::{CsdSource, MeasurementSession, ScanPattern};
+use qd_dataset::{
+    generate_suite, paper_suite_jobs, BenchmarkSpec, GeneratedBenchmark, NoiseRecipe,
+};
+use qd_instrument::{MeasurementSession, ScanPattern};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which: Option<String> = std::env::args().nth(1);
+    let jobs = jobs_from_args();
+    let which: Option<String> = args_without_jobs().into_iter().next();
     let all = which.is_none();
     let is = |name: &str| all || which.as_deref() == Some(name);
 
+    // The healthy benchmarks (3..=12) every configuration sweep reuses —
+    // rendered only if a sweep study actually runs (`scan`/`noise` build
+    // their own inputs).
+    let needs_suite = is("shrink") || is("sweeps") || is("postproc") || is("anchors") || is("fit");
+    let healthy: Vec<GeneratedBenchmark> = if needs_suite {
+        paper_suite_jobs(jobs)?
+            .into_iter()
+            .filter(|b| b.spec.index >= 3)
+            .collect()
+    } else {
+        Vec::new()
+    };
+
     if is("shrink") {
-        ablate_shrink()?;
+        ablate_shrink(&healthy, jobs)?;
     }
     if is("sweeps") {
-        ablate_sweeps()?;
+        ablate_sweeps(&healthy, jobs)?;
     }
     if is("postproc") {
-        ablate_postproc()?;
+        ablate_postproc(&healthy, jobs)?;
     }
     if is("anchors") {
-        ablate_anchors()?;
+        ablate_anchors(&healthy, jobs)?;
     }
     if is("fit") {
-        ablate_fit()?;
+        ablate_fit(&healthy, jobs)?;
     }
     if is("scan") {
         ablate_scan()?;
     }
     if is("noise") {
-        ablate_noise()?;
+        ablate_noise(jobs)?;
     }
     Ok(())
 }
 
-/// Runs a configured extractor over the healthy suite benchmarks (3..=12)
-/// and reports successes, mean probes and mean |alpha error|.
-fn sweep_suite(config: ExtractorConfig, criteria: &SuccessCriteria) -> (usize, f64, f64) {
-    let suite = paper_suite().expect("suite generates");
-    let healthy: Vec<&GeneratedBenchmark> = suite.iter().filter(|b| b.spec.index >= 3).collect();
-    let extractor = FastExtractor::with_config(config);
+/// Runs a configured extractor over the healthy suite benchmarks with up
+/// to `jobs` concurrent sessions and reports successes, mean probes and
+/// mean |alpha error|.
+fn sweep_suite(
+    healthy: &[GeneratedBenchmark],
+    config: ExtractorConfig,
+    criteria: &SuccessCriteria,
+    jobs: usize,
+) -> (usize, f64, f64) {
+    let runner = BatchExtractor::new()
+        .with_jobs(jobs)
+        .with_extractor(FastExtractor::with_config(config));
+    let outcomes = runner.run_fast(healthy.len(), |i| session_for(&healthy[i]));
+
     let mut successes = 0;
     let mut probes = 0usize;
     let mut err_sum = 0.0;
     let mut err_count = 0usize;
-    for bench in &healthy {
-        let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-        if let Ok(r) = extractor.extract(&mut session) {
-            probes += r.probes;
-            let e12 = (r.alpha12() - bench.truth.alpha12).abs();
-            let e21 = (r.alpha21() - bench.truth.alpha21).abs();
-            err_sum += e12 + e21;
-            err_count += 2;
-            if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                successes += 1;
+    for (bench, outcome) in healthy.iter().zip(&outcomes) {
+        match &outcome.outcome {
+            Ok(r) => {
+                probes += r.probes;
+                let e12 = (r.alpha12() - bench.truth.alpha12).abs();
+                let e21 = (r.alpha21() - bench.truth.alpha21).abs();
+                err_sum += e12 + e21;
+                err_count += 2;
+                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
+                    successes += 1;
+                }
             }
-        } else {
-            probes += session.probe_count();
+            Err(_) => probes += outcome.probes,
         }
     }
     let mean_probes = probes as f64 / healthy.len() as f64;
@@ -85,7 +118,10 @@ fn sweep_suite(config: ExtractorConfig, criteria: &SuccessCriteria) -> (usize, f
 }
 
 /// A1: triangle shrinking on/off.
-fn ablate_shrink() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_shrink(
+    healthy: &[GeneratedBenchmark],
+    jobs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A1: dynamic triangle shrinking (10 healthy benchmarks) ===");
     println!(
@@ -97,7 +133,7 @@ fn ablate_shrink() -> Result<(), Box<dyn std::error::Error>> {
             sweep: SweepConfig { shrink },
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(cfg, &criteria);
+        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
         println!("{:<12} {:>7}/10 {:>13.0} {:>12.4}", shrink, s, p, e);
     }
     println!("shrinking buys a large probe reduction at equal or better accuracy\n");
@@ -105,7 +141,10 @@ fn ablate_shrink() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// A2: which sweeps run.
-fn ablate_sweeps() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_sweeps(
+    healthy: &[GeneratedBenchmark],
+    jobs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A2: sweep selection (10 healthy benchmarks) ===");
     println!(
@@ -122,7 +161,7 @@ fn ablate_sweeps() -> Result<(), Box<dyn std::error::Error>> {
             column_sweep: col,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(cfg, &criteria);
+        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
         println!("{:<14} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
     }
     println!("single sweeps are cheaper but miss one line's geometry (§4.3.2)\n");
@@ -130,7 +169,10 @@ fn ablate_sweeps() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// A3: post-processing filter on/off.
-fn ablate_postproc() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_postproc(
+    healthy: &[GeneratedBenchmark],
+    jobs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A3: erroneous-point filtering (10 healthy benchmarks) ===");
     println!(
@@ -142,7 +184,7 @@ fn ablate_postproc() -> Result<(), Box<dyn std::error::Error>> {
             postprocess,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(cfg, &criteria);
+        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
         println!("{:<12} {:>7}/10 {:>13.0} {:>12.4}", postprocess, s, p, e);
     }
     println!();
@@ -152,7 +194,10 @@ fn ablate_postproc() -> Result<(), Box<dyn std::error::Error>> {
 /// A4: anchor preprocessing quality — paper masks vs a single-pixel
 /// feature-gradient scan (no 3-px masks, no Gaussian weighting, emulated
 /// by a tiny mask-response window).
-fn ablate_anchors() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_anchors(
+    healthy: &[GeneratedBenchmark],
+    jobs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A4: anchor preprocessing (10 healthy benchmarks) ===");
     println!(
@@ -180,7 +225,7 @@ fn ablate_anchors() -> Result<(), Box<dyn std::error::Error>> {
             anchors: cfg,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(config, &criteria);
+        let (s, p, e) = sweep_suite(healthy, config, &criteria, jobs);
         println!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
     }
     println!();
@@ -188,7 +233,10 @@ fn ablate_anchors() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// A-fit: Nelder–Mead (paper/SciPy-style) vs Levenberg–Marquardt.
-fn ablate_fit() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_fit(
+    healthy: &[GeneratedBenchmark],
+    jobs: usize,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A-fit: intersection optimizer (10 healthy benchmarks) ===");
     println!(
@@ -203,7 +251,7 @@ fn ablate_fit() -> Result<(), Box<dyn std::error::Error>> {
             fit_method: method,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(cfg, &criteria);
+        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
         println!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
     }
     println!("both fitters agree on this objective; NM handles the kinks natively\n");
@@ -214,6 +262,9 @@ fn ablate_fit() -> Result<(), Box<dyn std::error::Error>> {
 /// With a frozen (replayed) CSD the pattern is irrelevant; on a live
 /// drifting source it rotates the noise streaks, which is visible in the
 /// acquired image statistics.
+///
+/// Deliberately serial: probe *order* is the variable under study, so
+/// batching the acquisitions would perturb the experiment.
 fn ablate_scan() -> Result<(), Box<dyn std::error::Error>> {
     use qd_instrument::PhysicsSource;
     use qd_physics::{DeviceBuilder, DriftNoise, SensorModel};
@@ -277,35 +328,29 @@ fn ablate_scan() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-/// A5: noise sensitivity of both methods.
-fn ablate_noise() -> Result<(), Box<dyn std::error::Error>> {
+/// A5: noise sensitivity of both methods. Each sigma's three seeded
+/// benchmarks generate and extract through the batch layer.
+fn ablate_noise(jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     println!("=== A5: success vs white-noise sigma (3 seeds each, 100x100) ===");
     println!("{:>8} {:>8} {:>10}", "sigma", "fast", "baseline");
     for sigma in [0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.85] {
-        let mut fast_ok = 0;
-        let mut base_ok = 0;
-        for seed in [5u64, 17, 29] {
-            let mut spec = BenchmarkSpec::clean(6, 100);
-            spec.seed = seed;
-            spec.noise = NoiseRecipe {
-                white_sigma: sigma,
-                ..NoiseRecipe::silent()
-            };
-            let bench = generate(&spec)?;
-            let mut fs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            if let Ok(r) = FastExtractor::new().extract(&mut fs) {
-                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                    fast_ok += 1;
-                }
-            }
-            let mut bs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            if let Ok(r) = HoughBaseline::new().extract(&mut bs) {
-                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                    base_ok += 1;
-                }
-            }
-        }
+        let specs: Vec<BenchmarkSpec> = [5u64, 17, 29]
+            .iter()
+            .map(|&seed| {
+                let mut spec = BenchmarkSpec::clean(6, 100);
+                spec.seed = seed;
+                spec.noise = NoiseRecipe {
+                    white_sigma: sigma,
+                    ..NoiseRecipe::silent()
+                };
+                spec
+            })
+            .collect();
+        let benches = generate_suite(&specs, jobs)?;
+        let runs = run_suite(&benches, &criteria, jobs);
+        let fast_ok = runs.iter().filter(|r| r.fast.report.success).count();
+        let base_ok = runs.iter().filter(|r| r.baseline.report.success).count();
         println!("{sigma:>8.2} {fast_ok:>6}/3 {base_ok:>8}/3");
     }
     println!();

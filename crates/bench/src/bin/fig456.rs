@@ -12,33 +12,62 @@
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin fig456 -- fig4
 //! cargo run --release -p fastvg-bench --bin fig456          # all of them
+//! cargo run --release -p fastvg-bench --bin fig456 -- --jobs 2
 //! ```
+//!
+//! The two paper benchmarks the figures draw on (CSD 6 for Figure 4,
+//! CSD 10 for Figure 6) are rendered concurrently through the batch
+//! layer (`--jobs N`, default one worker per core); the figures
+//! themselves are order-sensitive probe traces and stay serial.
 
+use fastvg_bench::{args_without_jobs, jobs_from_args};
 use fastvg_core::anchors::{find_anchors, AnchorConfig};
 use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
 use fastvg_core::sweep::{column_major_sweep, row_major_sweep, SweepConfig, SweepKind};
 use qd_csd::render::AsciiRenderer;
 use qd_csd::{Csd, Pixel, VoltageGrid};
-use qd_dataset::paper_benchmark;
+use qd_dataset::{generate_suite, paper_specs, GeneratedBenchmark};
 use qd_instrument::{CsdSource, MeasurementSession};
 use qd_physics::DeviceBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which: Option<String> = std::env::args().nth(1);
+    let jobs = jobs_from_args();
+    let which: Option<String> = args_without_jobs().into_iter().next();
     let all = which.is_none();
     let is = |name: &str| all || which.as_deref() == Some(name);
+
+    // Pre-render whichever paper benchmarks the selected figures need,
+    // in parallel.
+    let mut wanted = Vec::new();
+    if is("fig4") {
+        wanted.push(6);
+    }
+    if is("fig6") {
+        wanted.push(10);
+    }
+    let specs: Vec<_> = paper_specs()
+        .into_iter()
+        .filter(|s| wanted.contains(&s.index))
+        .collect();
+    let benches = generate_suite(&specs, jobs)?;
+    let by_index = |index: usize| -> &GeneratedBenchmark {
+        benches
+            .iter()
+            .find(|b| b.spec.index == index)
+            .expect("requested benchmark was pre-rendered")
+    };
 
     if is("fig2") {
         fig2()?;
     }
     if is("fig4") {
-        fig4()?;
+        fig4(by_index(6))?;
     }
     if is("fig5") {
         fig5()?;
     }
     if is("fig6") {
-        fig6()?;
+        fig6(by_index(10))?;
     }
     if is("honeycomb") {
         honeycomb()?;
@@ -141,8 +170,7 @@ fn fig2() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Figure 4: the critical region spanned by the anchors.
-fn fig4() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = paper_benchmark(6)?;
+fn fig4(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;
@@ -235,8 +263,7 @@ fn fig5() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Figure 6: post-processing stages on a real benchmark.
-fn fig6() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = paper_benchmark(10)?;
+fn fig6(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;

@@ -9,25 +9,28 @@
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin robustness -- 60 7
 //! #                                     cohort size ^   ^ seed
+//! cargo run --release -p fastvg-bench --bin robustness -- 60 7 --jobs 4
 //! ```
+//!
+//! Generation and extraction both fan out over the batch layer
+//! (`--jobs N`, default one worker per core); every spec carries its own
+//! seed, so results are bit-identical for every `N`.
 
-use fastvg_bench::{run_baseline, run_fast};
+use fastvg_bench::{args_without_jobs, jobs_from_args, run_suite};
 use fastvg_core::report::SuccessCriteria;
-use qd_dataset::{generate, random_specs};
+use qd_dataset::{generate_suite, random_specs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40);
-    let seed: u64 = std::env::args()
-        .nth(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(7);
+    let jobs = jobs_from_args();
+    let rest = args_without_jobs();
+    let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(40);
+    let seed: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
     let criteria = SuccessCriteria::default();
 
     println!("robustness cohort: {n} randomized devices (seed {seed})");
     let specs = random_specs(n, seed);
+    let benches = generate_suite(&specs, jobs)?;
+    let runs = run_suite(&benches, &criteria, jobs);
 
     let mut fast_ok = 0usize;
     let mut base_ok = 0usize;
@@ -36,10 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut base_errors = Vec::new();
     let mut speedups = Vec::new();
 
-    for spec in &specs {
-        let bench = generate(spec)?;
-        let fast = run_fast(&bench, &criteria);
-        let base = run_baseline(&bench, &criteria);
+    for (bench, run) in benches.iter().zip(&runs) {
+        let fast = &run.fast;
+        let base = &run.baseline;
         if fast.report.success {
             fast_ok += 1;
             coverages.push(fast.report.coverage);

@@ -4,15 +4,66 @@
 //!
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin table1
+//! cargo run --release -p fastvg-bench --bin table1 -- --jobs 4
+//! cargo run --release -p fastvg-bench --bin table1 -- --gate --out artifacts
 //! ```
+//!
+//! Flags:
+//!
+//! * `--jobs N` — run up to `N` benchmark sessions concurrently through
+//!   [`fastvg_core::batch::BatchExtractor`] (default: one per core).
+//!   Results are bit-identical for every `N`.
+//! * `--out DIR` — artifact directory for `table1.csv` / `table1.json`
+//!   (default `target/artifacts`).
+//! * `--gate` — exit non-zero unless the reproduction holds the paper's
+//!   quality bar: fast extractor ≥ 10/12 successes **and** mean speedup
+//!   over mutual successes ≥ 5×. This is what CI's `table1-gate` job
+//!   runs, so a quality regression fails the build instead of merging
+//!   silently.
 
-use fastvg_bench::{fmt_secs, run_baseline, run_fast};
+use fastvg_bench::{args_without_jobs, fmt_secs, jobs_from_args, run_suite};
 use fastvg_core::report::SuccessCriteria;
-use qd_dataset::paper_suite;
+use qd_dataset::paper_suite_jobs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Gate thresholds (paper: 10/12 successes, speedups 5.84×–19.34×).
+const GATE_MIN_FAST_SUCCESSES: usize = 10;
+const GATE_MIN_MEAN_SPEEDUP: f64 = 5.0;
+
+struct Row {
+    benchmark: usize,
+    size: usize,
+    fast_success: bool,
+    base_success: bool,
+    fast_probes: usize,
+    fast_coverage: f64,
+    base_probes: usize,
+    fast_runtime: std::time::Duration,
+    base_runtime: std::time::Duration,
+    speedup: Option<f64>,
+    alpha12: f64,
+    alpha21: f64,
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let jobs = jobs_from_args();
+    let rest = args_without_jobs();
+    let gate = rest.iter().any(|a| a == "--gate");
+    let out_dir = match rest.iter().position(|a| a == "--out") {
+        Some(i) => match rest.get(i + 1) {
+            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
+            _ => {
+                eprintln!("--out expects a directory path");
+                std::process::exit(2);
+            }
+        },
+        None => PathBuf::from("target/artifacts"),
+    };
+
     let criteria = SuccessCriteria::default();
-    let suite = paper_suite()?;
+    let suite = paper_suite_jobs(jobs)?;
+    let runs = run_suite(&suite, &criteria, jobs);
 
     println!("Table 1: Result Summary (synthetic qflow-like suite)");
     println!(
@@ -29,15 +80,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("{}", "-".repeat(105));
 
+    let mut rows = Vec::with_capacity(runs.len());
     let mut fast_successes = 0;
     let mut base_successes = 0;
     let mut speedups: Vec<f64> = Vec::new();
 
-    for bench in &suite {
-        let fast = run_fast(bench, &criteria);
-        let base = run_baseline(bench, &criteria);
-        let f = &fast.report;
-        let b = &base.report;
+    for run in &runs {
+        let f = &run.fast.report;
+        let b = &run.baseline.report;
         fast_successes += f.success as usize;
         base_successes += b.success as usize;
 
@@ -68,18 +118,154 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if let Some(reason) = &b.failure {
             println!("      baseline failure: {reason}");
         }
+        rows.push(Row {
+            benchmark: f.benchmark,
+            size: f.size,
+            fast_success: f.success,
+            base_success: b.success,
+            fast_probes: f.probes,
+            fast_coverage: f.coverage,
+            base_probes: b.probes,
+            fast_runtime: f.runtime,
+            base_runtime: b.runtime,
+            speedup: if f.success && b.success {
+                speedup
+            } else {
+                None
+            },
+            alpha12: f.alpha12,
+            alpha21: f.alpha21,
+        });
     }
 
     println!("{}", "-".repeat(105));
     println!(
         "fast extraction: {fast_successes}/12 success (paper: 10/12)   baseline: {base_successes}/12 (paper: 9/12)"
     );
+    let mean_speedup = if speedups.is_empty() {
+        f64::NAN
+    } else {
+        speedups.iter().sum::<f64>() / speedups.len() as f64
+    };
     if !speedups.is_empty() {
         let lo = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = speedups.iter().cloned().fold(0.0, f64::max);
         println!(
-            "speedup range on mutual successes: {lo:.2}x .. {hi:.2}x (paper: 5.84x .. 19.34x)"
+            "speedup on mutual successes: {lo:.2}x .. {hi:.2}x, mean {mean_speedup:.2}x (paper: 5.84x .. 19.34x)"
+        );
+    }
+
+    write_artifacts(
+        &out_dir,
+        &rows,
+        fast_successes,
+        base_successes,
+        mean_speedup,
+    )?;
+    println!("artifacts: {}", out_dir.display());
+
+    if gate {
+        let successes_ok = fast_successes >= GATE_MIN_FAST_SUCCESSES;
+        let speedup_ok = mean_speedup >= GATE_MIN_MEAN_SPEEDUP;
+        if !(successes_ok && speedup_ok) {
+            eprintln!(
+                "table1 gate FAILED: fast successes {fast_successes}/12 (need >= {GATE_MIN_FAST_SUCCESSES}), \
+                 mean speedup {mean_speedup:.2}x (need >= {GATE_MIN_MEAN_SPEEDUP:.2}x)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "table1 gate passed: {fast_successes}/12 successes, mean speedup {mean_speedup:.2}x"
         );
     }
     Ok(())
+}
+
+/// Writes `table1.csv` (per-benchmark rows) and `table1.json` (summary +
+/// rows) for CI artifact upload. JSON is emitted by hand — the vendored
+/// serde shim has no serializer.
+fn write_artifacts(
+    dir: &std::path::Path,
+    rows: &[Row],
+    fast_successes: usize,
+    base_successes: usize,
+    mean_speedup: f64,
+) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+
+    let mut csv = std::fs::File::create(dir.join("table1.csv"))?;
+    writeln!(
+        csv,
+        "benchmark,size,fast_success,baseline_success,fast_probes,fast_coverage,baseline_probes,fast_runtime_s,baseline_runtime_s,speedup,alpha12,alpha21"
+    )?;
+    for r in rows {
+        writeln!(
+            csv,
+            "{},{},{},{},{},{:.6},{},{:.3},{:.3},{},{},{}",
+            r.benchmark,
+            r.size,
+            r.fast_success,
+            r.base_success,
+            r.fast_probes,
+            r.fast_coverage,
+            r.base_probes,
+            r.fast_runtime.as_secs_f64(),
+            r.base_runtime.as_secs_f64(),
+            r.speedup.map_or("".into(), |s| format!("{s:.4}")),
+            csv_f64(r.alpha12),
+            csv_f64(r.alpha21),
+        )?;
+    }
+
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"benchmark\": {}, \"size\": {}, \"fast_success\": {}, \"baseline_success\": {}, \
+                 \"fast_probes\": {}, \"fast_coverage\": {:.6}, \"baseline_probes\": {}, \
+                 \"fast_runtime_s\": {:.3}, \"baseline_runtime_s\": {:.3}, \"speedup\": {}, \
+                 \"alpha12\": {}, \"alpha21\": {}}}",
+                r.benchmark,
+                r.size,
+                r.fast_success,
+                r.base_success,
+                r.fast_probes,
+                r.fast_coverage,
+                r.base_probes,
+                r.fast_runtime.as_secs_f64(),
+                r.base_runtime.as_secs_f64(),
+                r.speedup.map_or("null".into(), |s| format!("{s:.4}")),
+                json_f64(r.alpha12),
+                json_f64(r.alpha21),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"fast_successes\": {fast_successes},\n  \"baseline_successes\": {base_successes},\n  \
+         \"benchmarks\": {},\n  \"mean_speedup\": {},\n  \"gate\": {{\"min_fast_successes\": {GATE_MIN_FAST_SUCCESSES}, \
+         \"min_mean_speedup\": {GATE_MIN_MEAN_SPEEDUP:.1}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.len(),
+        json_f64(mean_speedup),
+        json_rows.join(",\n"),
+    );
+    std::fs::write(dir.join("table1.json"), json)
+}
+
+/// Renders an `f64` as JSON (NaN has no literal; emit `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Renders an `f64` as a CSV cell (empty for NaN on hard failures, so
+/// strict float parsers never see a literal `NaN`).
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        String::new()
+    }
 }

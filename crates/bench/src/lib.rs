@@ -2,11 +2,20 @@
 //!
 //! The binaries in `src/bin` regenerate every table and figure of the
 //! DAC'24 paper (see DESIGN.md §4 for the experiment index); this library
-//! holds the code they share: running both extraction methods on a
-//! benchmark and assembling Table 1-style report rows.
+//! holds the code they share: running both extraction methods on
+//! benchmarks — serially or batched across a worker pool — and assembling
+//! Table 1-style report rows.
+//!
+//! # Batch execution
+//!
+//! All suite-level harnesses go through [`run_suite`], which fans the
+//! benchmarks out over a [`fastvg_core::batch::BatchExtractor`]. Results
+//! are bit-identical for every `--jobs` value (the scoring below never
+//! depends on execution order); only wall-clock changes.
 
-use fastvg_core::baseline::HoughBaseline;
-use fastvg_core::extraction::{ExtractionResult, FastExtractor};
+use fastvg_core::baseline::BaselineResult;
+use fastvg_core::batch::{BatchExtractor, BatchOutcome};
+use fastvg_core::extraction::ExtractionResult;
 use fastvg_core::report::{ExtractionReport, Method, SuccessCriteria};
 use qd_dataset::GeneratedBenchmark;
 use qd_instrument::{CsdSource, MeasurementSession};
@@ -22,12 +31,26 @@ pub struct MethodRun {
     pub result: Option<ExtractionResult>,
 }
 
-/// Runs the fast extraction on a benchmark and scores it.
-pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
-    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-    let extraction = FastExtractor::new().extract(&mut session);
-    let scatter = session.ledger().scatter();
-    match extraction {
+/// Both methods' outcomes on one benchmark.
+pub struct SuiteRun {
+    /// The fast extraction outcome.
+    pub fast: MethodRun,
+    /// The Canny+Hough baseline outcome.
+    pub baseline: MethodRun,
+}
+
+/// A fresh replay session over a generated benchmark's diagram.
+pub fn session_for(bench: &GeneratedBenchmark) -> MeasurementSession<CsdSource> {
+    MeasurementSession::new(CsdSource::new(bench.csd.clone()))
+}
+
+/// Scores a batched fast-extraction outcome into a Table 1 row.
+pub fn score_fast(
+    bench: &GeneratedBenchmark,
+    criteria: &SuccessCriteria,
+    outcome: BatchOutcome<ExtractionResult>,
+) -> MethodRun {
+    match outcome.outcome {
         Ok(r) => {
             let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
             let report = ExtractionReport {
@@ -52,7 +75,7 @@ pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> Metho
             };
             MethodRun {
                 report,
-                scatter,
+                scatter: outcome.scatter,
                 result: Some(r),
             }
         }
@@ -61,23 +84,25 @@ pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> Metho
                 bench.spec.index,
                 bench.spec.size,
                 Method::FastExtraction,
-                session.probe_count(),
-                session.coverage(),
-                session.simulated_dwell(),
+                outcome.probes,
+                outcome.coverage,
+                outcome.simulated_dwell,
                 e.to_string(),
             ),
-            scatter,
+            scatter: outcome.scatter,
             result: None,
         },
     }
 }
 
-/// Runs the Hough baseline on a benchmark and scores it.
-pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
-    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-    let extraction = HoughBaseline::new().extract(&mut session);
-    let scatter = Vec::new(); // the baseline probes everything; no scatter needed
-    match extraction {
+/// Scores a batched baseline outcome into a Table 1 row.
+pub fn score_baseline(
+    bench: &GeneratedBenchmark,
+    criteria: &SuccessCriteria,
+    outcome: BatchOutcome<BaselineResult>,
+) -> MethodRun {
+    // The baseline probes everything; no scatter needed.
+    match outcome.outcome {
         Ok(r) => {
             let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
             let report = ExtractionReport {
@@ -102,7 +127,7 @@ pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> M
             };
             MethodRun {
                 report,
-                scatter,
+                scatter: Vec::new(),
                 result: None,
             }
         }
@@ -111,15 +136,98 @@ pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> M
                 bench.spec.index,
                 bench.spec.size,
                 Method::HoughBaseline,
-                session.probe_count(),
-                session.coverage(),
-                session.simulated_dwell(),
+                outcome.probes,
+                outcome.coverage,
+                outcome.simulated_dwell,
                 e.to_string(),
             ),
-            scatter,
+            scatter: Vec::new(),
             result: None,
         },
     }
+}
+
+/// Runs the fast extraction on a benchmark and scores it.
+pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
+    let mut outcomes = BatchExtractor::new()
+        .with_jobs(1)
+        .run_fast(1, |_| session_for(bench));
+    score_fast(bench, criteria, outcomes.remove(0))
+}
+
+/// Runs the Hough baseline on a benchmark and scores it.
+pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
+    let mut outcomes = BatchExtractor::new()
+        .with_jobs(1)
+        .run_baseline(1, |_| session_for(bench));
+    score_baseline(bench, criteria, outcomes.remove(0))
+}
+
+/// Runs both methods over a benchmark suite with up to `jobs` concurrent
+/// sessions per method, returning scored rows in suite order.
+pub fn run_suite(
+    benches: &[GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+    jobs: usize,
+) -> Vec<SuiteRun> {
+    run_suite_with(&BatchExtractor::new().with_jobs(jobs), benches, criteria)
+}
+
+/// [`run_suite`] with a custom-configured [`BatchExtractor`] (ablation
+/// configurations, custom baselines).
+pub fn run_suite_with(
+    runner: &BatchExtractor,
+    benches: &[GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+) -> Vec<SuiteRun> {
+    let fast = runner.run_fast(benches.len(), |i| session_for(&benches[i]));
+    let base = runner.run_baseline(benches.len(), |i| session_for(&benches[i]));
+    fast.into_iter()
+        .zip(base)
+        .zip(benches)
+        .map(|((f, b), bench)| SuiteRun {
+            fast: score_fast(bench, criteria, f),
+            baseline: score_baseline(bench, criteria, b),
+        })
+        .collect()
+}
+
+/// Parses a `--jobs N` / `--jobs=N` flag from the process arguments.
+/// Returns 0 (auto: one worker per core) when absent.
+pub fn jobs_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("--jobs expects a number"));
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            return v
+                .parse()
+                .unwrap_or_else(|_| panic!("--jobs expects a number"));
+        }
+    }
+    0
+}
+
+/// The process arguments with any `--jobs` flag (and its value) removed —
+/// what's left over for a binary's own positional arguments.
+pub fn args_without_jobs() -> Vec<String> {
+    let mut out = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            args.next();
+            continue;
+        }
+        if a.starts_with("--jobs=") {
+            continue;
+        }
+        out.push(a);
+    }
+    out
 }
 
 /// Formats a duration as seconds with two decimals (Table 1 style).

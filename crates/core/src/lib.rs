@@ -28,6 +28,8 @@
 //! [`qd_instrument::MeasurementSession`]; [`baseline::HoughBaseline`] is
 //! the paper's full-CSD Canny+Hough comparison method, and
 //! [`virtual_gate`] extends both to `n`-dot arrays pairwise (§2.3).
+//! [`batch::BatchExtractor`] fans either method out over many sessions
+//! concurrently with deterministic, bit-identical results.
 //!
 //! # Quickstart
 //!
@@ -62,6 +64,7 @@
 
 pub mod anchors;
 pub mod baseline;
+pub mod batch;
 pub mod extraction;
 pub mod feature;
 pub mod fit;
@@ -76,6 +79,7 @@ pub mod window_search;
 
 mod error;
 
+pub use batch::{BatchExtractor, BatchOutcome};
 pub use error::ExtractError;
 pub use extraction::{ExtractionResult, FastExtractor};
 pub use report::{ExtractionReport, Method, SuccessCriteria};

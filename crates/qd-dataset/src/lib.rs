@@ -50,4 +50,6 @@ pub use archive::{load_suite, save_suite, ArchivedBenchmark};
 pub use error::DatasetError;
 pub use generator::{generate, GeneratedBenchmark};
 pub use spec::{BenchmarkSpec, NoiseRecipe};
-pub use suite::{paper_benchmark, paper_specs, paper_suite, random_specs};
+pub use suite::{
+    generate_suite, paper_benchmark, paper_specs, paper_suite, paper_suite_jobs, random_specs,
+};

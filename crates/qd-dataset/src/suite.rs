@@ -9,6 +9,7 @@
 
 use crate::generator::{generate, GeneratedBenchmark};
 use crate::{BenchmarkSpec, DatasetError, NoiseRecipe};
+use mini_rayon::ThreadPool;
 
 /// The 12 benchmark specs of the suite, Table 1 order (index 1..=12).
 pub fn paper_specs() -> Vec<BenchmarkSpec> {
@@ -76,14 +77,53 @@ pub fn paper_specs() -> Vec<BenchmarkSpec> {
     specs
 }
 
-/// Generates the full 12-benchmark suite.
+/// Generates the full 12-benchmark suite serially.
 ///
 /// # Errors
 ///
 /// Propagates generation failures (cannot happen for the built-in specs
 /// unless the physics model is changed incompatibly).
 pub fn paper_suite() -> Result<Vec<GeneratedBenchmark>, DatasetError> {
-    paper_specs().iter().map(generate).collect()
+    paper_suite_jobs(1)
+}
+
+/// Generates the full 12-benchmark suite with up to `jobs` benchmarks
+/// rendered concurrently (`0` = one worker per core). Output is
+/// bit-identical to [`paper_suite`] for any `jobs` (see
+/// [`generate_suite`]).
+///
+/// # Errors
+///
+/// Same as [`paper_suite`].
+pub fn paper_suite_jobs(jobs: usize) -> Result<Vec<GeneratedBenchmark>, DatasetError> {
+    generate_suite(&paper_specs(), jobs)
+}
+
+/// Generates one benchmark per spec, up to `jobs` concurrently (`0` =
+/// one worker per core, matching `BatchExtractor`; `1` runs serially),
+/// returned in spec order.
+///
+/// Safe to parallelize because every spec carries its own noise seed —
+/// [`generate`] builds a fresh per-benchmark RNG from `spec.seed` rather
+/// than consuming a shared RNG stream — so the output is bit-identical
+/// for every `jobs` value.
+///
+/// # Errors
+///
+/// Propagates the first generation failure in spec order.
+pub fn generate_suite(
+    specs: &[BenchmarkSpec],
+    jobs: usize,
+) -> Result<Vec<GeneratedBenchmark>, DatasetError> {
+    let workers = if jobs == 0 {
+        mini_rayon::available_workers()
+    } else {
+        jobs
+    };
+    ThreadPool::new(workers)
+        .par_map(specs, |_, spec| generate(spec))
+        .into_iter()
+        .collect()
 }
 
 /// Specs for `n` randomized devices drawn from the healthy-device regime
@@ -213,6 +253,30 @@ mod tests {
                 b.truth.slope_h
             );
         }
+    }
+
+    #[test]
+    fn parallel_suite_generation_is_bit_identical() {
+        let serial = paper_suite().unwrap();
+        let parallel = paper_suite_jobs(4).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(
+                a.csd, b.csd,
+                "benchmark {} diverged under jobs=4",
+                a.spec.index
+            );
+            assert_eq!(a.truth, b.truth);
+        }
+    }
+
+    #[test]
+    fn generate_suite_preserves_spec_order() {
+        let specs = random_specs(9, 3);
+        let out = generate_suite(&specs, 4).unwrap();
+        let indices: Vec<usize> = out.iter().map(|b| b.spec.index).collect();
+        assert_eq!(indices, (1..=9).collect::<Vec<_>>());
     }
 
     #[test]

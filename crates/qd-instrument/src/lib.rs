@@ -46,9 +46,11 @@ pub mod ledger;
 pub mod scan;
 pub mod session;
 pub mod source;
+pub mod throttle;
 
 pub use clock::DwellClock;
 pub use ledger::{ProbeEvent, ProbeLedger};
 pub use scan::ScanPattern;
 pub use session::MeasurementSession;
 pub use source::{CsdSource, CurrentSource, FnSource, PhysicsSource, VoltageWindow};
+pub use throttle::ThrottledSource;

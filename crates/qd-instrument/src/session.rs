@@ -261,6 +261,18 @@ mod tests {
     }
 
     #[test]
+    fn sessions_over_send_sources_are_send() {
+        // The batch layer moves whole sessions into worker threads; this
+        // pins the Send guarantee at compile time for every shipped source.
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::CsdSource>();
+        assert_send::<crate::PhysicsSource>();
+        assert_send::<MeasurementSession<crate::CsdSource>>();
+        assert_send::<MeasurementSession<crate::PhysicsSource>>();
+        assert_send::<MeasurementSession<crate::ThrottledSource<crate::CsdSource>>>();
+    }
+
+    #[test]
     fn custom_clock_dwell() {
         let src = FnSource::new(|_, _| 0.0, window());
         let mut s = MeasurementSession::with_clock(src, DwellClock::new(Duration::from_millis(10)));

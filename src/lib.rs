@@ -14,6 +14,7 @@
 //! | [`numerics`] | `qd-numerics` | fitting & convolution substrate |
 //! | [`vision`] | `qd-vision` | from-scratch Canny + Hough |
 //! | [`dataset`] | `qd-dataset` | the synthetic 12-benchmark suite |
+//! | [`par`] | `mini-rayon` | scoped worker pool behind [`core::batch`] |
 //!
 //! See `examples/quickstart.rs` for a complete end-to-end run and
 //! `crates/bench` for the harnesses regenerating every table and figure
@@ -36,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub use fastvg_core as core;
+pub use mini_rayon as par;
 pub use qd_csd as csd;
 pub use qd_dataset as dataset;
 pub use qd_instrument as instrument;

@@ -1,0 +1,287 @@
+//! Minimal, dependency-free stand-in for `rayon`.
+//!
+//! The build environment has no access to the crates.io registry, so this
+//! shim provides the small data-parallel surface the workspace needs: a
+//! [`ThreadPool`] whose [`par_map`](ThreadPool::par_map) fans work out
+//! over `std::thread::scope` workers and whose
+//! [`par_chunks_mut`](ThreadPool::par_chunks_mut) splits a mutable buffer
+//! into per-worker contiguous chunks (aligned to a caller-chosen unit,
+//! e.g. an image row).
+//!
+//! # Determinism by construction
+//!
+//! Parallelism here never changes *results*, only wall-clock time:
+//!
+//! * `par_map` collects results **in input order** regardless of which
+//!   worker computed what or in what order tasks finished;
+//! * `par_chunks_mut` hands every worker a disjoint slice whose contents
+//!   depend only on the slice's own offset;
+//! * nothing in the pool provides shared mutable state — tasks that need
+//!   randomness must derive a seed from their own index (the convention
+//!   the workspace follows), never from a pool-global RNG.
+//!
+//! Workers are spawned per call inside a [`std::thread::scope`], so
+//! borrowed (non-`'static`) data can flow into tasks and panics propagate
+//! to the caller instead of being swallowed. Spawn cost is a few tens of
+//! microseconds per worker — negligible against the coarse tasks
+//! (benchmark extractions, image passes) this workspace parallelizes.
+//!
+//! Swap in the real `rayon` when registry access is available; call sites
+//! are a mechanical `par_iter().map().collect()` away.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width scoped worker pool.
+///
+/// The pool is a parallelism *degree*, not a set of live threads: each
+/// parallel call spawns up to `workers` scoped threads and joins them
+/// before returning, so there is no background state between calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    workers: usize,
+}
+
+impl Default for ThreadPool {
+    /// A pool as wide as [`available_workers`].
+    fn default() -> Self {
+        Self::new(available_workers())
+    }
+}
+
+/// Degree of hardware parallelism available to this process, at least 1.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+impl ThreadPool {
+    /// A pool running at most `workers` tasks concurrently.
+    ///
+    /// `workers == 0` is treated as 1 (serial); 1 never spawns threads.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured parallelism degree.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Maps `f` over `items` in parallel, returning results **in input
+    /// order**.
+    ///
+    /// `f` receives the item index alongside the item so per-task state
+    /// (an RNG seed, a job id) can be derived deterministically. Tasks
+    /// are pulled from a shared counter, so uneven task costs balance
+    /// across workers automatically.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first worker panic on the calling thread.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let parts: Vec<Vec<(usize, R)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i, &items[i])));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(part) => part,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in parts.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("pool computed every index exactly once"))
+            .collect()
+    }
+
+    /// Runs `f` over up to `workers` disjoint contiguous chunks of
+    /// `data`, each chunk's length a multiple of `unit` (except possibly
+    /// the last).
+    ///
+    /// `unit` is the indivisible stride of the buffer — pass an image's
+    /// row length to guarantee chunks never split a row. `f` receives the
+    /// chunk's element offset into `data` plus the chunk itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit == 0`; worker panics propagate to the caller.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], unit: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(unit > 0, "chunk unit must be non-zero");
+        let n = data.len();
+        if n == 0 {
+            return;
+        }
+        let units = n.div_ceil(unit);
+        let workers = self.workers.min(units);
+        if workers <= 1 {
+            f(0, data);
+            return;
+        }
+        let chunk_len = units.div_ceil(workers) * unit;
+        std::thread::scope(|s| {
+            for (ci, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                let f = &f;
+                s.spawn(move || f(ci * chunk_len, chunk));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..100).collect();
+        let out = pool.par_map(&items, |i, &x| {
+            // Stagger completion times so out-of-order finishes are likely.
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_serial_exactly() {
+        let items: Vec<f64> = (0..500).map(|i| i as f64 * 0.37).collect();
+        let f = |i: usize, x: &f64| (x.sin() * i as f64).to_bits();
+        let serial = ThreadPool::new(1).par_map(&items, f);
+        let parallel = ThreadPool::new(8).par_map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let pool = ThreadPool::new(4);
+        let empty: Vec<i32> = Vec::new();
+        assert!(pool.par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(pool.par_map(&[41], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_passes_the_index() {
+        let pool = ThreadPool::new(3);
+        let items = vec![10, 20, 30, 40];
+        let out = pool.par_map(&items, |i, &x| (i, x));
+        assert_eq!(out, vec![(0, 10), (1, 20), (2, 30), (3, 40)]);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.par_map(&[1, 2, 3], |_, &x| x), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_every_element_once() {
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0u64; 103];
+        pool.par_chunks_mut(&mut data, 1, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v += (offset + i) as u64;
+            }
+        });
+        let expect: Vec<u64> = (0..103).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_respects_unit_alignment() {
+        let cols = 7;
+        let rows = 23;
+        let pool = ThreadPool::new(4);
+        let mut data = vec![0usize; cols * rows];
+        pool.par_chunks_mut(&mut data, cols, |offset, chunk| {
+            assert_eq!(offset % cols, 0, "chunk must start on a row boundary");
+            if offset + chunk.len() < cols * rows {
+                assert_eq!(chunk.len() % cols, 0, "interior chunk must hold whole rows");
+            }
+            for v in chunk.iter_mut() {
+                *v = offset / cols;
+            }
+        });
+        // Every row was written with one single chunk id.
+        for r in 0..rows {
+            let row = &data[r * cols..(r + 1) * cols];
+            assert!(
+                row.iter().all(|&v| v == row[0]),
+                "row {r} split across chunks"
+            );
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_serial_when_one_worker() {
+        let pool = ThreadPool::new(1);
+        let mut data = vec![1i32; 10];
+        pool.par_chunks_mut(&mut data, 3, |offset, chunk| {
+            assert_eq!(offset, 0);
+            assert_eq!(chunk.len(), 10);
+            chunk.iter_mut().for_each(|v| *v = 5);
+        });
+        assert_eq!(data, vec![5; 10]);
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let pool = ThreadPool::new(4);
+        let items: Vec<usize> = (0..16).collect();
+        let trip = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.par_map(&items, |_, &x| {
+                assert!(x != 9, "task 9 exploded");
+                x
+            })
+        }));
+        assert!(trip.is_err(), "worker panic must reach the caller");
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+}
