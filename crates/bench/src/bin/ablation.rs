@@ -5,24 +5,27 @@
 //! * `postproc` — erroneous-point filter on/off (Alg. 3);
 //! * `anchors`  — mask+Gaussian anchors vs naive max-feature-gradient
 //!   anchors (§4.4);
-//! * `noise`    — success rate vs white-noise amplitude, both methods.
+//! * `noise`    — success rate vs white-noise amplitude, per method.
 //!
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin ablation            # all
 //! cargo run --release -p fastvg-bench --bin ablation -- shrink  # one
 //! cargo run --release -p fastvg-bench --bin ablation -- --jobs 4
+//! cargo run --release -p fastvg-bench --bin ablation -- --out artifacts
 //! ```
 //!
-//! Every configuration sweep fans its benchmarks out over a
-//! [`fastvg_core::batch::BatchExtractor`] (`--jobs N`, default one per
-//! core); results are bit-identical for every `N`. The `scan` study is
-//! the deliberate exception: it measures how *probe order* interacts with
-//! live drift, so its acquisitions must stay serial.
+//! Standard flags: `--jobs N` (every configuration sweep fans its
+//! benchmarks out over the batch layer; results are bit-identical for
+//! every `N`), `--method fast|hough` (applies to the `noise` study —
+//! the configuration sweeps ablate the fast pipeline by definition),
+//! `--out DIR` (writes the rendered tables to `ablation.txt`). The
+//! `scan` study is the deliberate serial exception: it measures how
+//! *probe order* interacts with live drift, so its acquisitions must
+//! stay serial.
 
-use fastvg_bench::{args_without_jobs, jobs_from_args, run_suite, session_for};
+use fastvg_bench::{run_method, Artifacts, BenchArgs, MethodFilter, Tee};
 use fastvg_core::anchors::AnchorConfig;
 use fastvg_core::baseline::acquire_full_csd_with;
-use fastvg_core::batch::BatchExtractor;
 use fastvg_core::extraction::{ExtractorConfig, FastExtractor};
 use fastvg_core::fit::FitMethod;
 use fastvg_core::report::SuccessCriteria;
@@ -33,17 +36,18 @@ use qd_dataset::{
 use qd_instrument::{MeasurementSession, ScanPattern};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let jobs = jobs_from_args();
-    let which: Option<String> = args_without_jobs().into_iter().next();
+    let args = BenchArgs::parse();
+    let which: Option<String> = args.positionals().first().map(|s| s.to_string());
     let all = which.is_none();
     let is = |name: &str| all || which.as_deref() == Some(name);
+    let mut tee = Tee::new(args.out.is_some());
 
     // The healthy benchmarks (3..=12) every configuration sweep reuses —
     // rendered only if a sweep study actually runs (`scan`/`noise` build
     // their own inputs).
     let needs_suite = is("shrink") || is("sweeps") || is("postproc") || is("anchors") || is("fit");
     let healthy: Vec<GeneratedBenchmark> = if needs_suite {
-        paper_suite_jobs(jobs)?
+        paper_suite_jobs(args.jobs)?
             .into_iter()
             .filter(|b| b.spec.index >= 3)
             .collect()
@@ -52,60 +56,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     if is("shrink") {
-        ablate_shrink(&healthy, jobs)?;
+        ablate_shrink(&healthy, args.jobs, &mut tee);
     }
     if is("sweeps") {
-        ablate_sweeps(&healthy, jobs)?;
+        ablate_sweeps(&healthy, args.jobs, &mut tee);
     }
     if is("postproc") {
-        ablate_postproc(&healthy, jobs)?;
+        ablate_postproc(&healthy, args.jobs, &mut tee);
     }
     if is("anchors") {
-        ablate_anchors(&healthy, jobs)?;
+        ablate_anchors(&healthy, args.jobs, &mut tee);
     }
     if is("fit") {
-        ablate_fit(&healthy, jobs)?;
+        ablate_fit(&healthy, args.jobs, &mut tee);
     }
     if is("scan") {
-        ablate_scan()?;
+        ablate_scan(&mut tee)?;
     }
     if is("noise") {
-        ablate_noise(jobs)?;
+        ablate_noise(args.method, args.jobs, &mut tee)?;
+    }
+
+    if let Some(dir) = &args.out {
+        let artifacts = Artifacts::at(dir)?;
+        let path = artifacts.write("ablation.txt", tee.buffer())?;
+        println!("artifact: {}", path.display());
     }
     Ok(())
 }
 
 /// Runs a configured extractor over the healthy suite benchmarks with up
 /// to `jobs` concurrent sessions and reports successes, mean probes and
-/// mean |alpha error|.
+/// mean |alpha error| — one generic pass through the unified API.
 fn sweep_suite(
     healthy: &[GeneratedBenchmark],
     config: ExtractorConfig,
     criteria: &SuccessCriteria,
     jobs: usize,
 ) -> (usize, f64, f64) {
-    let runner = BatchExtractor::new()
-        .with_jobs(jobs)
-        .with_extractor(FastExtractor::with_config(config));
-    let outcomes = runner.run_fast(healthy.len(), |i| session_for(&healthy[i]));
+    let extractor = FastExtractor::with_config(config);
+    let runs = run_method(&extractor, healthy, criteria, jobs);
 
     let mut successes = 0;
     let mut probes = 0usize;
     let mut err_sum = 0.0;
     let mut err_count = 0usize;
-    for (bench, outcome) in healthy.iter().zip(&outcomes) {
-        match &outcome.outcome {
-            Ok(r) => {
-                probes += r.probes;
-                let e12 = (r.alpha12() - bench.truth.alpha12).abs();
-                let e21 = (r.alpha21() - bench.truth.alpha21).abs();
-                err_sum += e12 + e21;
-                err_count += 2;
-                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                    successes += 1;
-                }
-            }
-            Err(_) => probes += outcome.probes,
+    for (bench, run) in healthy.iter().zip(&runs) {
+        probes += run.report.probes;
+        successes += run.report.success as usize;
+        if run.report.alpha12.is_finite() {
+            err_sum += (run.report.alpha12 - bench.truth.alpha12).abs()
+                + (run.report.alpha21 - bench.truth.alpha21).abs();
+            err_count += 2;
         }
     }
     let mean_probes = probes as f64 / healthy.len() as f64;
@@ -118,39 +120,35 @@ fn sweep_suite(
 }
 
 /// A1: triangle shrinking on/off.
-fn ablate_shrink(
-    healthy: &[GeneratedBenchmark],
-    jobs: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_shrink(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
     let criteria = SuccessCriteria::default();
-    println!("=== A1: dynamic triangle shrinking (10 healthy benchmarks) ===");
-    println!(
+    tee.line("=== A1: dynamic triangle shrinking (10 healthy benchmarks) ===");
+    tee.line(format!(
         "{:<12} {:>9} {:>13} {:>12}",
         "shrink", "success", "mean probes", "mean |aerr|"
-    );
+    ));
     for shrink in [true, false] {
         let cfg = ExtractorConfig {
             sweep: SweepConfig { shrink },
             ..ExtractorConfig::default()
         };
         let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
-        println!("{:<12} {:>7}/10 {:>13.0} {:>12.4}", shrink, s, p, e);
+        tee.line(format!(
+            "{:<12} {:>7}/10 {:>13.0} {:>12.4}",
+            shrink, s, p, e
+        ));
     }
-    println!("shrinking buys a large probe reduction at equal or better accuracy\n");
-    Ok(())
+    tee.line("shrinking buys a large probe reduction at equal or better accuracy\n");
 }
 
 /// A2: which sweeps run.
-fn ablate_sweeps(
-    healthy: &[GeneratedBenchmark],
-    jobs: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_sweeps(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
     let criteria = SuccessCriteria::default();
-    println!("=== A2: sweep selection (10 healthy benchmarks) ===");
-    println!(
+    tee.line("=== A2: sweep selection (10 healthy benchmarks) ===");
+    tee.line(format!(
         "{:<14} {:>9} {:>13} {:>12}",
         "sweeps", "success", "mean probes", "mean |aerr|"
-    );
+    ));
     for (label, row, col) in [
         ("both", true, true),
         ("row-only", true, false),
@@ -162,48 +160,43 @@ fn ablate_sweeps(
             ..ExtractorConfig::default()
         };
         let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
-        println!("{:<14} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
+        tee.line(format!("{:<14} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
-    println!("single sweeps are cheaper but miss one line's geometry (§4.3.2)\n");
-    Ok(())
+    tee.line("single sweeps are cheaper but miss one line's geometry (§4.3.2)\n");
 }
 
 /// A3: post-processing filter on/off.
-fn ablate_postproc(
-    healthy: &[GeneratedBenchmark],
-    jobs: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_postproc(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
     let criteria = SuccessCriteria::default();
-    println!("=== A3: erroneous-point filtering (10 healthy benchmarks) ===");
-    println!(
+    tee.line("=== A3: erroneous-point filtering (10 healthy benchmarks) ===");
+    tee.line(format!(
         "{:<12} {:>9} {:>13} {:>12}",
         "postproc", "success", "mean probes", "mean |aerr|"
-    );
+    ));
     for postprocess in [true, false] {
         let cfg = ExtractorConfig {
             postprocess,
             ..ExtractorConfig::default()
         };
         let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
-        println!("{:<12} {:>7}/10 {:>13.0} {:>12.4}", postprocess, s, p, e);
+        tee.line(format!(
+            "{:<12} {:>7}/10 {:>13.0} {:>12.4}",
+            postprocess, s, p, e
+        ));
     }
-    println!();
-    Ok(())
+    tee.line("");
 }
 
 /// A4: anchor preprocessing quality — paper masks vs a single-pixel
 /// feature-gradient scan (no 3-px masks, no Gaussian weighting, emulated
 /// by a tiny mask-response window).
-fn ablate_anchors(
-    healthy: &[GeneratedBenchmark],
-    jobs: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_anchors(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
     let criteria = SuccessCriteria::default();
-    println!("=== A4: anchor preprocessing (10 healthy benchmarks) ===");
-    println!(
+    tee.line("=== A4: anchor preprocessing (10 healthy benchmarks) ===");
+    tee.line(format!(
         "{:<22} {:>9} {:>13} {:>12}",
         "anchor config", "success", "mean probes", "mean |aerr|"
-    );
+    ));
     for (label, cfg) in [
         ("paper (masks+gauss)", AnchorConfig::default()),
         (
@@ -226,23 +219,19 @@ fn ablate_anchors(
             ..ExtractorConfig::default()
         };
         let (s, p, e) = sweep_suite(healthy, config, &criteria, jobs);
-        println!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
+        tee.line(format!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
-    println!();
-    Ok(())
+    tee.line("");
 }
 
 /// A-fit: Nelder–Mead (paper/SciPy-style) vs Levenberg–Marquardt.
-fn ablate_fit(
-    healthy: &[GeneratedBenchmark],
-    jobs: usize,
-) -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_fit(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
     let criteria = SuccessCriteria::default();
-    println!("=== A-fit: intersection optimizer (10 healthy benchmarks) ===");
-    println!(
+    tee.line("=== A-fit: intersection optimizer (10 healthy benchmarks) ===");
+    tee.line(format!(
         "{:<22} {:>9} {:>13} {:>12}",
         "fitter", "success", "mean probes", "mean |aerr|"
-    );
+    ));
     for (label, method) in [
         ("nelder-mead (paper)", FitMethod::NelderMead),
         ("levenberg-marquardt", FitMethod::LevenbergMarquardt),
@@ -252,10 +241,9 @@ fn ablate_fit(
             ..ExtractorConfig::default()
         };
         let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
-        println!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e);
+        tee.line(format!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
-    println!("both fitters agree on this objective; NM handles the kinks natively\n");
-    Ok(())
+    tee.line("both fitters agree on this objective; NM handles the kinks natively\n");
 }
 
 /// A-scan: acquisition pattern effect on the baseline under live drift.
@@ -265,15 +253,15 @@ fn ablate_fit(
 ///
 /// Deliberately serial: probe *order* is the variable under study, so
 /// batching the acquisitions would perturb the experiment.
-fn ablate_scan() -> Result<(), Box<dyn std::error::Error>> {
+fn ablate_scan(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     use qd_instrument::PhysicsSource;
     use qd_physics::{DeviceBuilder, DriftNoise, SensorModel};
 
-    println!("=== A-scan: acquisition pattern vs drift streak orientation ===");
-    println!(
+    tee.line("=== A-scan: acquisition pattern vs drift streak orientation ===");
+    tee.line(format!(
         "{:<22} {:>16} {:>16}",
         "pattern", "row-streak index", "col-streak index"
-    );
+    ));
 
     let make_session =
         || -> Result<MeasurementSession<PhysicsSource>, Box<dyn std::error::Error>> {
@@ -317,23 +305,33 @@ fn ablate_scan() -> Result<(), Box<dyn std::error::Error>> {
             let m = v.iter().sum::<f64>() / v.len() as f64;
             v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len() as f64
         };
-        println!(
+        tee.line(format!(
             "{:<22} {:>16.5} {:>16.5}",
             label,
             var(&row_means),
             var(&col_means)
-        );
+        ));
     }
-    println!("drift streaks follow the scan axis; serpentine halves the slew, not the streaks\n");
+    tee.line("drift streaks follow the scan axis; serpentine halves the slew, not the streaks\n");
     Ok(())
 }
 
-/// A5: noise sensitivity of both methods. Each sigma's three seeded
-/// benchmarks generate and extract through the batch layer.
-fn ablate_noise(jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
+/// A5: noise sensitivity of the selected methods. Each sigma's three
+/// seeded benchmarks generate and extract through the batch layer, one
+/// generic pass per method.
+fn ablate_noise(
+    filter: MethodFilter,
+    jobs: usize,
+    tee: &mut Tee,
+) -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
-    println!("=== A5: success vs white-noise sigma (3 seeds each, 100x100) ===");
-    println!("{:>8} {:>8} {:>10}", "sigma", "fast", "baseline");
+    let extractors = filter.extractors();
+    tee.line("=== A5: success vs white-noise sigma (3 seeds each, 100x100) ===");
+    let mut header = format!("{:>8}", "sigma");
+    for e in &extractors {
+        header.push_str(&format!(" {:>16}", e.method().to_string()));
+    }
+    tee.line(header);
     for sigma in [0.0, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.85] {
         let specs: Vec<BenchmarkSpec> = [5u64, 17, 29]
             .iter()
@@ -348,11 +346,14 @@ fn ablate_noise(jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
             })
             .collect();
         let benches = generate_suite(&specs, jobs)?;
-        let runs = run_suite(&benches, &criteria, jobs);
-        let fast_ok = runs.iter().filter(|r| r.fast.report.success).count();
-        let base_ok = runs.iter().filter(|r| r.baseline.report.success).count();
-        println!("{sigma:>8.2} {fast_ok:>6}/3 {base_ok:>8}/3");
+        let mut row = format!("{sigma:>8.2}");
+        for e in &extractors {
+            let runs = run_method(e.as_ref(), &benches, &criteria, jobs);
+            let ok = runs.iter().filter(|r| r.report.success).count();
+            row.push_str(&format!(" {:>14}/3", ok));
+        }
+        tee.line(row);
     }
-    println!();
+    tee.line("");
     Ok(())
 }

@@ -13,14 +13,18 @@
 //! cargo run --release -p fastvg-bench --bin fig456 -- fig4
 //! cargo run --release -p fastvg-bench --bin fig456          # all of them
 //! cargo run --release -p fastvg-bench --bin fig456 -- --jobs 2
+//! cargo run --release -p fastvg-bench --bin fig456 -- --out artifacts
 //! ```
 //!
-//! The two paper benchmarks the figures draw on (CSD 6 for Figure 4,
-//! CSD 10 for Figure 6) are rendered concurrently through the batch
-//! layer (`--jobs N`, default one worker per core); the figures
-//! themselves are order-sensitive probe traces and stay serial.
+//! Standard flags: `--jobs N` (the paper benchmarks the figures draw on
+//! — CSD 6 for Figure 4, CSD 10 for Figure 6 — are rendered concurrently
+//! through the batch layer; the figures themselves are order-sensitive
+//! probe traces and stay serial), `--out DIR` (writes each figure's
+//! ASCII art to `figN.txt`). The figures trace the *fast* pipeline's
+//! internals, so `--method hough` has nothing to draw and exits with a
+//! note.
 
-use fastvg_bench::{args_without_jobs, jobs_from_args};
+use fastvg_bench::{Artifacts, BenchArgs, MethodFilter, Tee};
 use fastvg_core::anchors::{find_anchors, AnchorConfig};
 use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
 use fastvg_core::sweep::{column_major_sweep, row_major_sweep, SweepConfig, SweepKind};
@@ -31,10 +35,15 @@ use qd_instrument::{CsdSource, MeasurementSession};
 use qd_physics::DeviceBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let jobs = jobs_from_args();
-    let which: Option<String> = args_without_jobs().into_iter().next();
+    let args = BenchArgs::parse();
+    if args.method == MethodFilter::Hough {
+        println!("fig456 traces the fast pipeline's internals; --method hough has nothing to draw");
+        return Ok(());
+    }
+    let which: Option<String> = args.positionals().first().map(|s| s.to_string());
     let all = which.is_none();
     let is = |name: &str| all || which.as_deref() == Some(name);
+    let artifacts = args.out.as_deref().map(Artifacts::at).transpose()?;
 
     // Pre-render whichever paper benchmarks the selected figures need,
     // in parallel.
@@ -49,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .into_iter()
         .filter(|s| wanted.contains(&s.index))
         .collect();
-    let benches = generate_suite(&specs, jobs)?;
+    let benches = generate_suite(&specs, args.jobs)?;
     let by_index = |index: usize| -> &GeneratedBenchmark {
         benches
             .iter()
@@ -57,20 +66,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("requested benchmark was pre-rendered")
     };
 
+    let emit = |name: &str, tee: &mut Tee| -> std::io::Result<()> {
+        if let Some(artifacts) = &artifacts {
+            let path = artifacts.write(&format!("{name}.txt"), &tee.take())?;
+            println!("artifact: {}", path.display());
+        }
+        Ok(())
+    };
+
+    let teeing = args.out.is_some();
     if is("fig2") {
-        fig2()?;
+        let mut tee = Tee::new(teeing);
+        fig2(&mut tee)?;
+        emit("fig2", &mut tee)?;
     }
     if is("fig4") {
-        fig4(by_index(6))?;
+        let mut tee = Tee::new(teeing);
+        fig4(by_index(6), &mut tee)?;
+        emit("fig4", &mut tee)?;
     }
     if is("fig5") {
-        fig5()?;
+        let mut tee = Tee::new(teeing);
+        fig5(&mut tee)?;
+        emit("fig5", &mut tee)?;
     }
     if is("fig6") {
-        fig6(by_index(10))?;
+        let mut tee = Tee::new(teeing);
+        fig6(by_index(10), &mut tee)?;
+        emit("fig6", &mut tee)?;
     }
     if is("honeycomb") {
-        honeycomb()?;
+        let mut tee = Tee::new(teeing);
+        honeycomb(&mut tee)?;
+        emit("honeycomb", &mut tee)?;
     }
     Ok(())
 }
@@ -78,7 +106,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// Extra: the analytic honeycomb traced over a rendered diagram —
 /// validates that the two-line model the extraction assumes near the
 /// (0,0) corner is the local truth of the full cell structure.
-fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
+fn honeycomb(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     use qd_physics::honeycomb::trace_honeycomb;
     use qd_physics::ChargeStateSolver;
 
@@ -120,15 +148,15 @@ fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
             renderer = renderer.with_overlay(p, 'X');
         }
     }
-    println!("=== Honeycomb: analytic boundaries (+) and triple points (X) ===");
-    println!("{}", renderer.render(&csd));
-    println!(
+    tee.line("=== Honeycomb: analytic boundaries (+) and triple points (X) ===");
+    tee.line(renderer.render(&csd));
+    tee.line(format!(
         "{} boundary segments, {} triple points in the window",
         hc.segments.len(),
         hc.triple_points.len()
-    );
+    ));
     for seg in &hc.segments {
-        println!(
+        tee.line(format!(
             "  {:?} -> {:?}: slope {}  length {:.1} V",
             seg.from,
             seg.to,
@@ -136,21 +164,21 @@ fn honeycomb() -> Result<(), Box<dyn std::error::Error>> {
                 .map(|m| format!("{m:+.3}"))
                 .unwrap_or_else(|| "vertical".into()),
             seg.length()
-        );
+        ));
     }
     Ok(())
 }
 
 /// Figure 2: an example double-dot CSD with labelled charge regions.
-fn fig2() -> Result<(), Box<dyn std::error::Error>> {
+fn fig2(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     let device = DeviceBuilder::double_dot().temperature(0.0015).build()?;
     let (ix, iy) = device.as_array().pair_line_intersection(0, &[0.0, 0.0])?;
     let grid = VoltageGrid::new(ix - 35.0, iy - 32.0, 0.6, 100, 100)?;
     let csd = Csd::from_fn(grid, |v1, v2| {
         device.current(&[v1, v2]).expect("2-gate vector")
     })?;
-    println!("=== Figure 2: double-dot charge stability diagram ===");
-    println!("{}", AsciiRenderer::new().max_width(100).render(&csd));
+    tee.line("=== Figure 2: double-dot charge stability diagram ===");
+    tee.line(AsciiRenderer::new().max_width(100).render(&csd));
     for (fx, fy, label) in [
         (0.15, 0.15, "(0, 0)"),
         (0.85, 0.15, "(1, 0)"),
@@ -159,18 +187,18 @@ fn fig2() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let (v1, v2) = grid.voltage_of((fx * 99.0) as usize, (fy * 99.0) as usize);
         let state = device.ground_state(&[v1, v2])?;
-        println!(
+        tee.line(format!(
             "corner ({fx:.0}%, {fy:.0}%): charge state {state} — expected {label}",
             fx = fx * 100.0,
             fy = fy * 100.0
-        );
+        ));
     }
-    println!();
+    tee.line("");
     Ok(())
 }
 
 /// Figure 4: the critical region spanned by the anchors.
-fn fig4(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
+fn fig4(bench: &GeneratedBenchmark, tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;
@@ -186,31 +214,31 @@ fn fig4(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
     for x in region.a1.x..=region.a2.x {
         boundary.push(Pixel::new(x, region.a1.y));
     }
-    println!("=== Figure 4: critical triangular region (anchors A/B, boundary .) ===");
+    tee.line("=== Figure 4: critical triangular region (anchors A/B, boundary .) ===");
     let art = AsciiRenderer::new()
         .max_width(110)
         .with_overlays(boundary, '+')
         .with_overlay(anchors.a1, 'A')
         .with_overlay(anchors.a2, 'B')
         .render(&bench.csd);
-    println!("{art}");
-    println!(
+    tee.line(art);
+    tee.line(format!(
         "anchors: A = {} (shallow line), B = {} (steep line); right angle at {}",
         anchors.a1,
         anchors.a2,
         region.corner()
-    );
-    println!(
+    ));
+    tee.line(format!(
         "triangle covers {} of {} pixels ({:.1}%)\n",
         region.area_pixels(),
         bench.csd.grid().len(),
         100.0 * region.area_pixels() as f64 / bench.csd.grid().len() as f64
-    );
+    ));
     Ok(())
 }
 
 /// Figure 5: sweep traces on a small 15x15 grid, as in the paper.
-fn fig5() -> Result<(), Box<dyn std::error::Error>> {
+fn fig5(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     // A 15x15 toy CSD with a steep and a shallow line, like the paper's
     // illustration grid.
     let grid = VoltageGrid::new(0.0, 0.0, 1.0, 15, 15)?;
@@ -228,29 +256,29 @@ fn fig5() -> Result<(), Box<dyn std::error::Error>> {
     let region = fastvg_core::triangle::CriticalRegion::new(Pixel::new(0, 13), Pixel::new(12, 3))
         .expect("anchors are up-left/down-right");
 
-    println!("=== Figure 5 (a): row-major sweep ===");
+    tee.line("=== Figure 5 (a): row-major sweep ===");
     let rows = row_major_sweep(&mut session, region, &SweepConfig::default());
     for step in &rows.steps {
         assert_eq!(step.kind, SweepKind::RowMajor);
         let probed: Vec<String> = step.probed.iter().map(|p| p.to_string()).collect();
-        println!(
+        tee.line(format!(
             "row {:>2}: probed {:<42} chose {}",
             step.line_index,
             probed.join(" "),
             step.chosen
-        );
+        ));
     }
-    println!("\n=== Figure 5 (b): column-major sweep ===");
+    tee.line("\n=== Figure 5 (b): column-major sweep ===");
     let mut session2 = MeasurementSession::new(CsdSource::new(csd.clone()));
     let cols = column_major_sweep(&mut session2, region, &SweepConfig::default());
     for step in &cols.steps {
         let probed: Vec<String> = step.probed.iter().map(|p| p.to_string()).collect();
-        println!(
+        tee.line(format!(
             "col {:>2}: probed {:<42} chose {}",
             step.line_index,
             probed.join(" "),
             step.chosen
-        );
+        ));
     }
     let art = AsciiRenderer::new()
         .with_overlays(rows.points.clone(), 'r')
@@ -258,12 +286,14 @@ fn fig5() -> Result<(), Box<dyn std::error::Error>> {
         .with_overlay(region.a1, 'A')
         .with_overlay(region.a2, 'B')
         .render(&csd);
-    println!("\nlocated points (r = row sweep, c = column sweep):\n{art}");
+    tee.line(format!(
+        "\nlocated points (r = row sweep, c = column sweep):\n{art}"
+    ));
     Ok(())
 }
 
 /// Figure 6: post-processing stages on a real benchmark.
-fn fig6(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
+fn fig6(bench: &GeneratedBenchmark, tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;
@@ -275,27 +305,35 @@ fn fig6(bench: &GeneratedBenchmark) -> Result<(), Box<dyn std::error::Error>> {
     let set2 = leftmost_per_row(&combined);
     let joined = postprocess(&combined);
 
-    println!("=== Figure 6: post-processing on CSD 10 ===");
-    println!(
+    tee.line("=== Figure 6: post-processing on CSD 10 ===");
+    tee.line(format!(
         "raw points: {} (row sweep {}, column sweep {})",
         combined.len(),
         rows.points.len(),
         cols.points.len()
-    );
-    println!("filtered set 1 (lowest per column): {}", set1.len());
-    println!("filtered set 2 (leftmost per row):  {}", set2.len());
-    println!("joined: {}", joined.len());
+    ));
+    tee.line(format!(
+        "filtered set 1 (lowest per column): {}",
+        set1.len()
+    ));
+    tee.line(format!(
+        "filtered set 2 (leftmost per row):  {}",
+        set2.len()
+    ));
+    tee.line(format!("joined: {}", joined.len()));
 
     let before = AsciiRenderer::new()
         .max_width(110)
         .with_overlays(rows.points.clone(), 'r')
         .with_overlays(cols.points.clone(), 'c')
         .render(&bench.csd);
-    println!("\nbefore filtering (r = row sweep, c = column sweep):\n{before}");
+    tee.line(format!(
+        "\nbefore filtering (r = row sweep, c = column sweep):\n{before}"
+    ));
     let after = AsciiRenderer::new()
         .max_width(110)
         .with_overlays(joined.clone(), 'o')
         .render(&bench.csd);
-    println!("after filtering + join:\n{after}");
+    tee.line(format!("after filtering + join:\n{after}"));
     Ok(())
 }

@@ -3,75 +3,60 @@
 //! The paper evaluates on 12 fixed diagrams; this harness draws a cohort
 //! of randomized healthy devices (lever arms, mutual capacitance,
 //! temperature, noise all varied) and reports success *rates*, probe
-//! statistics and α-error distributions for both methods — turning
-//! Table 1's anecdotes into statistics.
+//! statistics and α-error distributions — turning Table 1's anecdotes
+//! into statistics. Methods run through the unified
+//! [`fastvg_core::api::Extractor`] path, so adding a method to the study
+//! means adding one trait object, not another code path.
 //!
 //! ```sh
 //! cargo run --release -p fastvg-bench --bin robustness -- 60 7
 //! #                                     cohort size ^   ^ seed
 //! cargo run --release -p fastvg-bench --bin robustness -- 60 7 --jobs 4
+//! cargo run --release -p fastvg-bench --bin robustness -- --method fast
+//! cargo run --release -p fastvg-bench --bin robustness -- --out artifacts
 //! ```
 //!
-//! Generation and extraction both fan out over the batch layer
-//! (`--jobs N`, default one worker per core); every spec carries its own
-//! seed, so results are bit-identical for every `N`.
+//! Standard flags: `--method fast|hough` (default both), `--jobs N`
+//! (generation and extraction both fan out; every spec carries its own
+//! seed, so results are bit-identical for every `N`), `--out DIR`
+//! (writes `robustness.csv` with one row per device × method).
 
-use fastvg_bench::{args_without_jobs, jobs_from_args, run_suite};
-use fastvg_core::report::SuccessCriteria;
+use fastvg_bench::{csv_f64, run_method, Artifacts, BenchArgs, MethodRun};
+use fastvg_core::report::{Method, SuccessCriteria};
 use qd_dataset::{generate_suite, random_specs};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let jobs = jobs_from_args();
-    let rest = args_without_jobs();
-    let n: usize = rest.first().and_then(|s| s.parse().ok()).unwrap_or(40);
-    let seed: u64 = rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let args = BenchArgs::parse();
+    let positionals = args.positionals();
+    let n: usize = positionals
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let seed: u64 = positionals.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
     let criteria = SuccessCriteria::default();
 
     println!("robustness cohort: {n} randomized devices (seed {seed})");
     let specs = random_specs(n, seed);
-    let benches = generate_suite(&specs, jobs)?;
-    let runs = run_suite(&benches, &criteria, jobs);
+    let benches = generate_suite(&specs, args.jobs)?;
 
-    let mut fast_ok = 0usize;
-    let mut base_ok = 0usize;
-    let mut coverages = Vec::new();
-    let mut fast_errors = Vec::new();
-    let mut base_errors = Vec::new();
-    let mut speedups = Vec::new();
-
-    for (bench, run) in benches.iter().zip(&runs) {
-        let fast = &run.fast;
-        let base = &run.baseline;
-        if fast.report.success {
-            fast_ok += 1;
-            coverages.push(fast.report.coverage);
-            fast_errors.push(
-                (fast.report.alpha12 - bench.truth.alpha12)
-                    .abs()
-                    .max((fast.report.alpha21 - bench.truth.alpha21).abs()),
-            );
-        }
-        if base.report.success {
-            base_ok += 1;
-            base_errors.push(
-                (base.report.alpha12 - bench.truth.alpha12)
-                    .abs()
-                    .max((base.report.alpha21 - bench.truth.alpha21).abs()),
-            );
-        }
-        if fast.report.success && base.report.success {
-            if let Some(s) = fast.report.speedup_versus(&base.report) {
-                speedups.push(s);
-            }
-        }
-    }
+    // One generic pass per selected method — no per-method code paths.
+    let extractors = args.method.extractors();
+    let runs: Vec<(Method, Vec<MethodRun>)> = extractors
+        .iter()
+        .map(|e| {
+            (
+                e.method(),
+                run_method(e.as_ref(), &benches, &criteria, args.jobs),
+            )
+        })
+        .collect();
 
     let pct = |k: usize| 100.0 * k as f64 / n as f64;
-    println!(
-        "\nsuccess rate: fast {fast_ok}/{n} ({:.0}%), baseline {base_ok}/{n} ({:.0}%)",
-        pct(fast_ok),
-        pct(base_ok)
-    );
+    println!();
+    for (method, method_runs) in &runs {
+        let ok = method_runs.iter().filter(|r| r.report.success).count();
+        println!("success rate: {method} {ok}/{n} ({:.0}%)", pct(ok));
+    }
 
     let summarize = |label: &str, v: &[f64]| {
         if v.is_empty() {
@@ -85,9 +70,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let max = *sorted.last().expect("non-empty");
         println!("{label}: mean {mean:.4}, median {med:.4}, max {max:.4}");
     };
-    summarize("fast coverage       ", &coverages);
-    summarize("fast max |alpha err|", &fast_errors);
-    summarize("base max |alpha err|", &base_errors);
-    summarize("speedup             ", &speedups);
+
+    for (method, method_runs) in &runs {
+        let mut coverages = Vec::new();
+        let mut errors = Vec::new();
+        for (bench, run) in benches.iter().zip(method_runs) {
+            if run.report.success {
+                coverages.push(run.report.coverage);
+                errors.push(
+                    (run.report.alpha12 - bench.truth.alpha12)
+                        .abs()
+                        .max((run.report.alpha21 - bench.truth.alpha21).abs()),
+                );
+            }
+        }
+        summarize(&format!("{method:<15} coverage  "), &coverages);
+        summarize(&format!("{method:<15} max |aerr|"), &errors);
+    }
+
+    // Speedups need both methods paired per device.
+    if let (Some((_, fast)), Some((_, base))) = (
+        runs.iter().find(|(m, _)| *m == Method::FastExtraction),
+        runs.iter().find(|(m, _)| *m == Method::HoughBaseline),
+    ) {
+        let mut speedups = Vec::new();
+        for (f, b) in fast.iter().zip(base) {
+            if f.report.success && b.report.success {
+                if let Some(s) = f.report.speedup_versus(&b.report) {
+                    speedups.push(s);
+                }
+            }
+        }
+        summarize("speedup                   ", &speedups);
+    }
+
+    if let Some(dir) = &args.out {
+        let artifacts = Artifacts::at(dir)?;
+        let mut csv =
+            String::from("device,method,success,probes,coverage,runtime_s,alpha12,alpha21\n");
+        for (method, method_runs) in &runs {
+            for run in method_runs {
+                let r = &run.report;
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.6},{:.3},{},{}\n",
+                    r.benchmark,
+                    method,
+                    r.success,
+                    r.probes,
+                    r.coverage,
+                    r.runtime.as_secs_f64(),
+                    csv_f64(r.alpha12),
+                    csv_f64(r.alpha21),
+                ));
+            }
+        }
+        let path = artifacts.write("robustness.csv", &csv)?;
+        println!("artifact: {}", path.display());
+    }
     Ok(())
 }

@@ -6,26 +6,33 @@
 //! cargo run --release -p fastvg-bench --bin table1
 //! cargo run --release -p fastvg-bench --bin table1 -- --jobs 4
 //! cargo run --release -p fastvg-bench --bin table1 -- --gate --out artifacts
+//! cargo run --release -p fastvg-bench --bin table1 -- --method fast
 //! ```
 //!
-//! Flags:
+//! Flags (the standard bench set, see [`fastvg_bench::BenchArgs`]):
 //!
 //! * `--jobs N` — run up to `N` benchmark sessions concurrently through
 //!   [`fastvg_core::batch::BatchExtractor`] (default: one per core).
 //!   Results are bit-identical for every `N`.
-//! * `--out DIR` — artifact directory for `table1.csv` / `table1.json`
-//!   (default `target/artifacts`).
+//! * `--method fast|hough` — run a single method (reduced table, no
+//!   speedup column or artifacts). Default: both.
+//! * `--out DIR` — artifact directory for `table1.csv` / `table1.json` /
+//!   `BENCH_batch_throughput.json` (default `target/artifacts`).
 //! * `--gate` — exit non-zero unless the reproduction holds the paper's
 //!   quality bar: fast extractor ≥ 10/12 successes **and** mean speedup
 //!   over mutual successes ≥ 5×. This is what CI's `table1-gate` job
 //!   runs, so a quality regression fails the build instead of merging
-//!   silently.
+//!   silently. Requires both methods.
+//!
+//! Besides the Table 1 artifacts, a run with both methods also times the
+//! whole suite serially vs `--jobs 4` and writes the result to
+//! `BENCH_batch_throughput.json`, so the perf trajectory is tracked
+//! across PRs by the uploaded CI artifact.
 
-use fastvg_bench::{args_without_jobs, fmt_secs, jobs_from_args, run_suite};
+use fastvg_bench::{csv_f64, fmt_secs, run_method, run_suite, Artifacts, BenchArgs};
 use fastvg_core::report::SuccessCriteria;
 use qd_dataset::paper_suite_jobs;
-use std::io::Write;
-use std::path::PathBuf;
+use std::time::Instant;
 
 /// Gate thresholds (paper: 10/12 successes, speedups 5.84×–19.34×).
 const GATE_MIN_FAST_SUCCESSES: usize = 10;
@@ -47,23 +54,50 @@ struct Row {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let jobs = jobs_from_args();
-    let rest = args_without_jobs();
-    let gate = rest.iter().any(|a| a == "--gate");
-    let out_dir = match rest.iter().position(|a| a == "--out") {
-        Some(i) => match rest.get(i + 1) {
-            Some(dir) if !dir.starts_with("--") => PathBuf::from(dir),
-            _ => {
-                eprintln!("--out expects a directory path");
-                std::process::exit(2);
-            }
-        },
-        None => PathBuf::from("target/artifacts"),
-    };
+    let args = BenchArgs::parse();
+    let gate = args.has_flag("--gate");
+    let both = args.method.fast() && args.method.hough();
+    if gate && !both {
+        eprintln!("--gate needs both methods (drop --method)");
+        std::process::exit(2);
+    }
 
     let criteria = SuccessCriteria::default();
-    let suite = paper_suite_jobs(jobs)?;
-    let runs = run_suite(&suite, &criteria, jobs);
+    let suite = paper_suite_jobs(args.jobs)?;
+
+    if !both {
+        // Single-method mode: one table through the one generic path.
+        let extractor = args.method.extractors().remove(0);
+        let runs = run_method(extractor.as_ref(), &suite, &criteria, args.jobs);
+        println!("Table 1 ({} only)", extractor.method());
+        println!(
+            "{:>3} {:>9} | {:>7} | {:>16} | {:>10}",
+            "CSD", "Size", "Result", "Probes", "Runtime"
+        );
+        println!("{}", "-".repeat(60));
+        let mut successes = 0usize;
+        for run in &runs {
+            let r = &run.report;
+            successes += r.success as usize;
+            println!(
+                "{:>3} {:>9} | {:>7} | {:>8} ({:>5.2}%) | {:>10}",
+                r.benchmark,
+                format!("{0}x{0}", r.size),
+                if r.success { "Success" } else { "Fail" },
+                r.probes,
+                100.0 * r.coverage,
+                fmt_secs(r.runtime),
+            );
+            if let Some(reason) = &r.failure {
+                println!("      failure: {reason}");
+            }
+        }
+        println!("{}", "-".repeat(60));
+        println!("{}: {successes}/{} success", extractor.method(), runs.len());
+        return Ok(());
+    }
+
+    let runs = run_suite(&suite, &criteria, args.jobs);
 
     println!("Table 1: Result Summary (synthetic qflow-like suite)");
     println!(
@@ -155,14 +189,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    let artifacts = Artifacts::at(&args.out_dir("target/artifacts"))?;
     write_artifacts(
-        &out_dir,
+        &artifacts,
         &rows,
         fast_successes,
         base_successes,
         mean_speedup,
     )?;
-    println!("artifacts: {}", out_dir.display());
+    write_throughput_bench(
+        &artifacts,
+        &suite,
+        &criteria,
+        args.jobs,
+        fast_successes,
+        base_successes,
+        mean_speedup,
+    )?;
+    println!("artifacts: {}", artifacts.dir().display());
 
     if gate {
         let successes_ok = fast_successes >= GATE_MIN_FAST_SUCCESSES;
@@ -181,27 +225,67 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Times the full two-method suite serially vs `--jobs 4` and writes
+/// `BENCH_batch_throughput.json` — the machine-readable perf artifact
+/// tracked across PRs. Wall times are compute-bound here (replayed
+/// sessions have no real dwell), so the parallel speedup reflects
+/// available cores, not dwell overlap.
+fn write_throughput_bench(
+    artifacts: &Artifacts,
+    suite: &[qd_dataset::GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+    jobs_flag: usize,
+    fast_successes: usize,
+    base_successes: usize,
+    mean_speedup: f64,
+) -> std::io::Result<()> {
+    let time_with = |jobs: usize| -> (f64, usize) {
+        let started = Instant::now();
+        let runs = run_suite(suite, criteria, jobs);
+        let ok = runs.iter().filter(|r| r.fast.report.success).count();
+        (started.elapsed().as_secs_f64(), ok)
+    };
+    let (serial_s, serial_ok) = time_with(1);
+    let (jobs4_s, jobs4_ok) = time_with(4);
+    assert_eq!(
+        serial_ok, jobs4_ok,
+        "batch determinism violated between jobs=1 and jobs=4"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"batch_throughput\",\n  \"suite\": \"paper12-both-methods\",\n  \
+         \"serial_wall_s\": {serial_s:.4},\n  \"jobs4_wall_s\": {jobs4_s:.4},\n  \
+         \"throughput_speedup\": {:.4},\n  \"jobs_flag\": {jobs_flag},\n  \"table1\": {{\n    \
+         \"fast_successes\": {fast_successes},\n    \"baseline_successes\": {base_successes},\n    \
+         \"mean_speedup\": {}\n  }}\n}}\n",
+        serial_s / jobs4_s.max(1e-12),
+        json_f64(mean_speedup),
+    );
+    let path = artifacts.write("BENCH_batch_throughput.json", &json)?;
+    println!(
+        "batch throughput: {serial_s:.2}s serial vs {jobs4_s:.2}s --jobs 4 ({:.2}x) -> {}",
+        serial_s / jobs4_s.max(1e-12),
+        path.display()
+    );
+    Ok(())
+}
+
 /// Writes `table1.csv` (per-benchmark rows) and `table1.json` (summary +
 /// rows) for CI artifact upload. JSON is emitted by hand — the vendored
 /// serde shim has no serializer.
 fn write_artifacts(
-    dir: &std::path::Path,
+    artifacts: &Artifacts,
     rows: &[Row],
     fast_successes: usize,
     base_successes: usize,
     mean_speedup: f64,
 ) -> std::io::Result<()> {
-    std::fs::create_dir_all(dir)?;
-
-    let mut csv = std::fs::File::create(dir.join("table1.csv"))?;
-    writeln!(
-        csv,
-        "benchmark,size,fast_success,baseline_success,fast_probes,fast_coverage,baseline_probes,fast_runtime_s,baseline_runtime_s,speedup,alpha12,alpha21"
-    )?;
+    let mut csv = String::from(
+        "benchmark,size,fast_success,baseline_success,fast_probes,fast_coverage,baseline_probes,fast_runtime_s,baseline_runtime_s,speedup,alpha12,alpha21\n",
+    );
     for r in rows {
-        writeln!(
-            csv,
-            "{},{},{},{},{},{:.6},{},{:.3},{:.3},{},{},{}",
+        csv.push_str(&format!(
+            "{},{},{},{},{},{:.6},{},{:.3},{:.3},{},{},{}\n",
             r.benchmark,
             r.size,
             r.fast_success,
@@ -214,8 +298,9 @@ fn write_artifacts(
             r.speedup.map_or("".into(), |s| format!("{s:.4}")),
             csv_f64(r.alpha12),
             csv_f64(r.alpha21),
-        )?;
+        ));
     }
+    artifacts.write("table1.csv", &csv)?;
 
     let json_rows: Vec<String> = rows
         .iter()
@@ -248,7 +333,8 @@ fn write_artifacts(
         json_f64(mean_speedup),
         json_rows.join(",\n"),
     );
-    std::fs::write(dir.join("table1.json"), json)
+    artifacts.write("table1.json", &json)?;
+    Ok(())
 }
 
 /// Renders an `f64` as JSON (NaN has no literal; emit `null`).
@@ -257,15 +343,5 @@ fn json_f64(v: f64) -> String {
         format!("{v:.6}")
     } else {
         "null".into()
-    }
-}
-
-/// Renders an `f64` as a CSV cell (empty for NaN on hard failures, so
-/// strict float parsers never see a literal `NaN`).
-fn csv_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        String::new()
     }
 }

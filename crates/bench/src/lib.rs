@@ -2,32 +2,39 @@
 //!
 //! The binaries in `src/bin` regenerate every table and figure of the
 //! DAC'24 paper (see DESIGN.md §4 for the experiment index); this library
-//! holds the code they share: running both extraction methods on
-//! benchmarks — serially or batched across a worker pool — and assembling
-//! Table 1-style report rows.
+//! holds the code they share: driving extraction methods over benchmarks
+//! — serially or batched across a worker pool — through the unified
+//! [`fastvg_core::api::Extractor`] trait, scoring outcomes into Table
+//! 1-style rows, and the standard CLI surface
+//! (`--method fast|hough` / `--jobs N` / `--out DIR`, parsed by
+//! [`BenchArgs`]).
 //!
 //! # Batch execution
 //!
-//! All suite-level harnesses go through [`run_suite`], which fans the
-//! benchmarks out over a [`fastvg_core::batch::BatchExtractor`]. Results
-//! are bit-identical for every `--jobs` value (the scoring below never
-//! depends on execution order); only wall-clock changes.
+//! All suite-level harnesses go through [`run_method`] / [`run_suite`],
+//! which fan the benchmarks out over a
+//! [`fastvg_core::batch::BatchExtractor`]. Results are bit-identical for
+//! every `--jobs` value (the scoring below never depends on execution
+//! order); only wall-clock changes.
 
-use fastvg_core::baseline::BaselineResult;
+use fastvg_core::api::{ExtractionDetails, ExtractionReport, Extractor};
+use fastvg_core::baseline::HoughBaseline;
 use fastvg_core::batch::{BatchExtractor, BatchOutcome};
-use fastvg_core::extraction::ExtractionResult;
-use fastvg_core::report::{ExtractionReport, Method, SuccessCriteria};
+use fastvg_core::extraction::{ExtractionResult, FastExtractor};
+use fastvg_core::report::{Method, ReportRow, SuccessCriteria};
 use qd_dataset::GeneratedBenchmark;
 use qd_instrument::{CsdSource, MeasurementSession};
+use std::path::{Path, PathBuf};
 
 /// Outcome of running one method on one benchmark: the report row plus
 /// the session ledger scatter (for Figure 7).
 pub struct MethodRun {
     /// Table 1-style row.
-    pub report: ExtractionReport,
-    /// Distinct probed pixels in first-probe order.
+    pub report: ReportRow,
+    /// Distinct probed pixels in first-probe order (empty for the
+    /// baseline, which probes everything).
     pub scatter: Vec<(i64, i64)>,
-    /// Full extraction result when the method succeeded outright.
+    /// Full fast-extraction trace when the method succeeded outright.
     pub result: Option<ExtractionResult>,
 }
 
@@ -44,123 +51,128 @@ pub fn session_for(bench: &GeneratedBenchmark) -> MeasurementSession<CsdSource> 
     MeasurementSession::new(CsdSource::new(bench.csd.clone()))
 }
 
-/// Scores a batched fast-extraction outcome into a Table 1 row.
-pub fn score_fast(
+/// Scores a batched extraction outcome (any method) into a Table 1 row.
+///
+/// `method` labels the row when the outcome is an error (a successful
+/// report carries its own method).
+pub fn score(
     bench: &GeneratedBenchmark,
     criteria: &SuccessCriteria,
-    outcome: BatchOutcome<ExtractionResult>,
+    method: Method,
+    outcome: BatchOutcome<ExtractionReport>,
 ) -> MethodRun {
     match outcome.outcome {
-        Ok(r) => {
-            let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
-            let report = ExtractionReport {
+        Ok(run) => {
+            let success = criteria.judge(run.alpha12(), run.alpha21(), &bench.truth);
+            let report = ReportRow {
                 benchmark: bench.spec.index,
                 size: bench.spec.size,
-                method: Method::FastExtraction,
+                method: run.method,
                 success,
-                probes: r.probes,
-                coverage: r.coverage,
-                runtime: r.total_runtime(),
-                alpha12: r.alpha12(),
-                alpha21: r.alpha21(),
+                probes: run.probes,
+                coverage: run.coverage,
+                runtime: run.total_runtime(),
+                alpha12: run.alpha12(),
+                alpha21: run.alpha21(),
                 failure: if success {
                     None
                 } else {
                     Some(format!(
                         "alpha error exceeds tolerance (d12 {:.3}, d21 {:.3})",
-                        (r.alpha12() - bench.truth.alpha12).abs(),
-                        (r.alpha21() - bench.truth.alpha21).abs()
+                        (run.alpha12() - bench.truth.alpha12).abs(),
+                        (run.alpha21() - bench.truth.alpha21).abs()
                     ))
                 },
             };
+            // The baseline probes everything; keep its (full-frame)
+            // scatter out of the row to avoid hauling O(pixels) data.
+            let scatter = if run.method == Method::HoughBaseline {
+                Vec::new()
+            } else {
+                outcome.scatter
+            };
+            let result = match run.details {
+                ExtractionDetails::Fast(r) => Some(*r),
+                _ => None,
+            };
             MethodRun {
                 report,
-                scatter: outcome.scatter,
-                result: Some(r),
+                scatter,
+                result,
             }
         }
         Err(e) => MethodRun {
-            report: ExtractionReport::failed(
+            report: ReportRow::failed(
                 bench.spec.index,
                 bench.spec.size,
-                Method::FastExtraction,
+                method,
                 outcome.probes,
                 outcome.coverage,
                 outcome.simulated_dwell,
                 e.to_string(),
             ),
-            scatter: outcome.scatter,
+            scatter: if method == Method::HoughBaseline {
+                Vec::new()
+            } else {
+                outcome.scatter
+            },
             result: None,
         },
     }
 }
 
-/// Scores a batched baseline outcome into a Table 1 row.
-pub fn score_baseline(
-    bench: &GeneratedBenchmark,
+/// Runs one extraction method over a benchmark suite with up to `jobs`
+/// concurrent sessions and scores each outcome — the single code path
+/// behind every per-method harness (no per-method dispatch needed).
+pub fn run_method(
+    extractor: &dyn Extractor,
+    benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
-    outcome: BatchOutcome<BaselineResult>,
-) -> MethodRun {
-    // The baseline probes everything; no scatter needed.
-    match outcome.outcome {
-        Ok(r) => {
-            let success = criteria.judge(r.alpha12(), r.alpha21(), &bench.truth);
-            let report = ExtractionReport {
-                benchmark: bench.spec.index,
-                size: bench.spec.size,
-                method: Method::HoughBaseline,
-                success,
-                probes: r.probes,
-                coverage: 1.0,
-                runtime: r.total_runtime(),
-                alpha12: r.alpha12(),
-                alpha21: r.alpha21(),
-                failure: if success {
-                    None
-                } else {
-                    Some(format!(
-                        "alpha error exceeds tolerance (d12 {:.3}, d21 {:.3})",
-                        (r.alpha12() - bench.truth.alpha12).abs(),
-                        (r.alpha21() - bench.truth.alpha21).abs()
-                    ))
-                },
-            };
-            MethodRun {
-                report,
-                scatter: Vec::new(),
-                result: None,
-            }
-        }
-        Err(e) => MethodRun {
-            report: ExtractionReport::failed(
-                bench.spec.index,
-                bench.spec.size,
-                Method::HoughBaseline,
-                outcome.probes,
-                outcome.coverage,
-                outcome.simulated_dwell,
-                e.to_string(),
-            ),
-            scatter: Vec::new(),
-            result: None,
-        },
-    }
+    jobs: usize,
+) -> Vec<MethodRun> {
+    run_method_with(
+        &BatchExtractor::new().with_jobs(jobs),
+        extractor,
+        benches,
+        criteria,
+    )
 }
 
-/// Runs the fast extraction on a benchmark and scores it.
+/// [`run_method`] with a caller-configured [`BatchExtractor`].
+pub fn run_method_with(
+    runner: &BatchExtractor,
+    extractor: &dyn Extractor,
+    benches: &[GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+) -> Vec<MethodRun> {
+    let outcomes = runner.run(extractor, benches.len(), |i| session_for(&benches[i]));
+    outcomes
+        .into_iter()
+        .zip(benches)
+        .map(|(o, b)| score(b, criteria, extractor.method(), o))
+        .collect()
+}
+
+/// Runs the fast extraction on a single benchmark and scores it.
 pub fn run_fast(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
-    let mut outcomes = BatchExtractor::new()
-        .with_jobs(1)
-        .run_fast(1, |_| session_for(bench));
-    score_fast(bench, criteria, outcomes.remove(0))
+    let mut runs = run_method(
+        &FastExtractor::new(),
+        std::slice::from_ref(bench),
+        criteria,
+        1,
+    );
+    runs.remove(0)
 }
 
-/// Runs the Hough baseline on a benchmark and scores it.
+/// Runs the Hough baseline on a single benchmark and scores it.
 pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> MethodRun {
-    let mut outcomes = BatchExtractor::new()
-        .with_jobs(1)
-        .run_baseline(1, |_| session_for(bench));
-    score_baseline(bench, criteria, outcomes.remove(0))
+    let mut runs = run_method(
+        &HoughBaseline::new(),
+        std::slice::from_ref(bench),
+        criteria,
+        1,
+    );
+    runs.remove(0)
 }
 
 /// Runs both methods over a benchmark suite with up to `jobs` concurrent
@@ -180,57 +192,289 @@ pub fn run_suite_with(
     benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
 ) -> Vec<SuiteRun> {
-    let fast = runner.run_fast(benches.len(), |i| session_for(&benches[i]));
-    let base = runner.run_baseline(benches.len(), |i| session_for(&benches[i]));
+    let fast = run_method_with(runner, runner.extractor(), benches, criteria);
+    let base = run_method_with(runner, runner.baseline(), benches, criteria);
     fast.into_iter()
         .zip(base)
-        .zip(benches)
-        .map(|((f, b), bench)| SuiteRun {
-            fast: score_fast(bench, criteria, f),
-            baseline: score_baseline(bench, criteria, b),
-        })
+        .map(|(fast, baseline)| SuiteRun { fast, baseline })
         .collect()
 }
 
-/// Parses a `--jobs N` / `--jobs=N` flag from the process arguments.
-/// Returns 0 (auto: one worker per core) when absent.
-pub fn jobs_from_args() -> usize {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--jobs" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("--jobs expects a number"));
-        }
-        if let Some(v) = a.strip_prefix("--jobs=") {
-            return v
-                .parse()
-                .unwrap_or_else(|_| panic!("--jobs expects a number"));
-        }
-    }
-    0
+/// Which extraction methods a harness should run
+/// (`--method fast|hough|both`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MethodFilter {
+    /// Fast extraction only.
+    Fast,
+    /// Canny+Hough baseline only.
+    Hough,
+    /// Both methods (the default).
+    #[default]
+    Both,
 }
 
-/// The process arguments with any `--jobs` flag (and its value) removed —
-/// what's left over for a binary's own positional arguments.
-pub fn args_without_jobs() -> Vec<String> {
-    let mut out = Vec::new();
-    let mut args = std::env::args().skip(1).peekable();
-    while let Some(a) = args.next() {
-        if a == "--jobs" {
-            args.next();
-            continue;
-        }
-        if a.starts_with("--jobs=") {
-            continue;
-        }
-        out.push(a);
+impl MethodFilter {
+    /// Whether the fast extraction is selected.
+    pub fn fast(self) -> bool {
+        matches!(self, MethodFilter::Fast | MethodFilter::Both)
     }
-    out
+
+    /// Whether the baseline is selected.
+    pub fn hough(self) -> bool {
+        matches!(self, MethodFilter::Hough | MethodFilter::Both)
+    }
+
+    /// The selected extractors, ready for the unified
+    /// [`run_method`] path.
+    pub fn extractors(self) -> Vec<Box<dyn Extractor>> {
+        let mut out: Vec<Box<dyn Extractor>> = Vec::new();
+        if self.fast() {
+            out.push(Box::new(FastExtractor::new()));
+        }
+        if self.hough() {
+            out.push(Box::new(HoughBaseline::new()));
+        }
+        out
+    }
+}
+
+/// The standard CLI surface shared by all bench binaries:
+/// `--method fast|hough` (default both), `--jobs N` (default: one worker
+/// per core), `--out DIR` (artifact directory). Everything else lands in
+/// [`BenchArgs::rest`] for the binary's own flags/positionals.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// Worker cap for batch execution (0 = one per core).
+    pub jobs: usize,
+    /// Which methods to run.
+    pub method: MethodFilter,
+    /// Artifact directory, if requested.
+    pub out: Option<PathBuf>,
+    /// Unconsumed arguments, in order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flag values — these are
+    /// operator errors in harness invocations.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of
+    /// [`BenchArgs::parse`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage message on malformed flag values.
+    pub fn from_args(args: impl Iterator<Item = String>) -> Self {
+        let mut parsed = Self::default();
+        let mut args = args;
+        while let Some(a) = args.next() {
+            let mut value_of = |inline: Option<&str>, flag: &str| -> String {
+                match inline {
+                    Some(v) => v.to_string(),
+                    None => args
+                        .next()
+                        .unwrap_or_else(|| panic!("{flag} expects a value")),
+                }
+            };
+            if a == "--jobs" || a.starts_with("--jobs=") {
+                let v = value_of(a.strip_prefix("--jobs="), "--jobs");
+                parsed.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--jobs expects a number, got {v:?}"));
+            } else if a == "--method" || a.starts_with("--method=") {
+                let v = value_of(a.strip_prefix("--method="), "--method");
+                parsed.method = match v.as_str() {
+                    "fast" => MethodFilter::Fast,
+                    "hough" | "baseline" => MethodFilter::Hough,
+                    "both" => MethodFilter::Both,
+                    other => panic!("--method expects fast|hough|both, got {other:?}"),
+                };
+            } else if a == "--out" || a.starts_with("--out=") {
+                let v = value_of(a.strip_prefix("--out="), "--out");
+                assert!(!v.starts_with("--"), "--out expects a directory path");
+                parsed.out = Some(PathBuf::from(v));
+            } else {
+                parsed.rest.push(a);
+            }
+        }
+        parsed
+    }
+
+    /// The artifact directory: `--out` if given, else `default`.
+    pub fn out_dir(&self, default: &str) -> PathBuf {
+        self.out.clone().unwrap_or_else(|| PathBuf::from(default))
+    }
+
+    /// Whether a bare flag (e.g. `--gate`) appears in the leftovers.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// The leftovers with bare flags removed — the binary's positionals.
+    pub fn positionals(&self) -> Vec<&str> {
+        self.rest
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+/// An artifact sink: writes named text artifacts under a directory
+/// (created on first use). Used by the bench binaries' `--out` flag.
+#[derive(Debug)]
+pub struct Artifacts {
+    dir: PathBuf,
+}
+
+impl Artifacts {
+    /// An artifact sink rooted at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the directory.
+    pub fn at(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Writes one artifact, returning its path.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors writing the file.
+    pub fn write(&self, name: &str, content: &str) -> std::io::Result<PathBuf> {
+        let path = self.dir.join(name);
+        std::fs::write(&path, content)?;
+        Ok(path)
+    }
+}
+
+/// Prints each line to stdout and (optionally) buffers it, so a binary
+/// can tee its human-readable output into an `--out` artifact.
+#[derive(Debug)]
+pub struct Tee {
+    buf: String,
+    enabled: bool,
+}
+
+impl Tee {
+    /// A tee; buffering only happens when `enabled` (i.e. `--out` was
+    /// given), so the common path allocates nothing.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            buf: String::new(),
+            enabled,
+        }
+    }
+
+    /// Prints one line (and buffers it when enabled).
+    pub fn line(&mut self, s: impl AsRef<str>) {
+        let s = s.as_ref();
+        println!("{s}");
+        if self.enabled {
+            self.buf.push_str(s);
+            self.buf.push('\n');
+        }
+    }
+
+    /// The buffered text so far.
+    pub fn buffer(&self) -> &str {
+        &self.buf
+    }
+
+    /// Takes the buffered text, leaving the tee empty.
+    pub fn take(&mut self) -> String {
+        std::mem::take(&mut self.buf)
+    }
 }
 
 /// Formats a duration as seconds with two decimals (Table 1 style).
 pub fn fmt_secs(d: std::time::Duration) -> String {
     format!("{:.2}s", d.as_secs_f64())
+}
+
+/// Renders an `f64` as a CSV cell: six decimals, or an empty cell for
+/// non-finite values (hard failures report NaN alphas), so strict float
+/// parsers never see a literal `NaN`. Shared by every artifact writer so
+/// the machine-readable outputs stay consistent.
+pub fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        String::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_the_standard_flags() {
+        let a = args(&[
+            "--jobs",
+            "4",
+            "--method",
+            "fast",
+            "--out",
+            "artifacts",
+            "--gate",
+            "60",
+        ]);
+        assert_eq!(a.jobs, 4);
+        assert_eq!(a.method, MethodFilter::Fast);
+        assert_eq!(a.out.as_deref(), Some(Path::new("artifacts")));
+        assert!(a.has_flag("--gate"));
+        assert_eq!(a.positionals(), vec!["60"]);
+    }
+
+    #[test]
+    fn parses_inline_forms_and_defaults() {
+        let a = args(&["--jobs=2", "--method=hough", "--out=x"]);
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.method, MethodFilter::Hough);
+        assert_eq!(a.out.as_deref(), Some(Path::new("x")));
+
+        let d = args(&["shrink"]);
+        assert_eq!(d.jobs, 0);
+        assert_eq!(d.method, MethodFilter::Both);
+        assert!(d.out.is_none());
+        assert_eq!(d.rest, vec!["shrink"]);
+        assert_eq!(d.out_dir("target/artifacts"), Path::new("target/artifacts"));
+    }
+
+    #[test]
+    fn method_filter_selects_extractors() {
+        assert_eq!(MethodFilter::Both.extractors().len(), 2);
+        let fast = MethodFilter::Fast.extractors();
+        assert_eq!(fast.len(), 1);
+        assert_eq!(fast[0].method(), Method::FastExtraction);
+        let hough = MethodFilter::Hough.extractors();
+        assert_eq!(hough[0].method(), Method::HoughBaseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "--method expects")]
+    fn rejects_unknown_method() {
+        let _ = args(&["--method", "slow"]);
+    }
 }

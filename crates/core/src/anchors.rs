@@ -20,7 +20,7 @@
 use crate::triangle::CriticalRegion;
 use crate::ExtractError;
 use qd_csd::Pixel;
-use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_instrument::ProbeSession;
 use qd_numerics::gaussian;
 use qd_numerics::stats::argmax;
 
@@ -43,6 +43,7 @@ pub const MASK_Y: [[f64; 3]; 5] = [
 
 /// Configuration for anchor preprocessing.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "a config does nothing until given to an extractor"]
 pub struct AnchorConfig {
     /// Number of diagonal probe points (paper: 10).
     pub diagonal_points: usize,
@@ -85,12 +86,11 @@ impl AnchorResult {
     ///
     /// # Errors
     ///
-    /// Returns [`ExtractError::DegenerateAnchors`] if the anchors are not
-    /// in upper-left / lower-right position.
+    /// Returns a [`crate::GeometryError::DegenerateAnchors`] if the
+    /// anchors are not in upper-left / lower-right position.
     pub fn region(&self) -> Result<CriticalRegion, ExtractError> {
-        CriticalRegion::new(self.a1, self.a2).ok_or(ExtractError::DegenerateAnchors {
-            a1: (self.a1.x, self.a1.y),
-            a2: (self.a2.x, self.a2.y),
+        CriticalRegion::new(self.a1, self.a2).ok_or_else(|| {
+            ExtractError::degenerate_anchors((self.a1.x, self.a1.y), (self.a2.x, self.a2.y))
         })
     }
 }
@@ -102,22 +102,22 @@ pub const MIN_WINDOW: usize = 20;
 ///
 /// # Errors
 ///
-/// * [`ExtractError::WindowTooSmall`] if the window is under
+/// * [`crate::ProbeError::WindowTooSmall`] if the window is under
 ///   [`MIN_WINDOW`] pixels on either axis.
-/// * [`ExtractError::DegenerateAnchors`] if the mask responses do not
+/// * [`crate::GeometryError::DegenerateAnchors`] if the mask responses do not
 ///   yield an upper-left / lower-right anchor pair (typically: no visible
 ///   transition lines).
-pub fn find_anchors<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+pub fn find_anchors<P: ProbeSession + ?Sized>(
+    session: &mut P,
     config: &AnchorConfig,
 ) -> Result<AnchorResult, ExtractError> {
     let w = session.window();
     let (width, height) = (w.width_px(), w.height_px());
     if width < MIN_WINDOW || height < MIN_WINDOW {
-        return Err(ExtractError::WindowTooSmall {
-            min: MIN_WINDOW,
-            got: width.min(height),
-        });
+        return Err(ExtractError::window_too_small(
+            MIN_WINDOW,
+            width.min(height),
+        ));
     }
     let at = |x: usize, y: usize| -> (f64, f64) {
         (w.x_min + x as f64 * w.delta, w.y_min + y as f64 * w.delta)
@@ -180,15 +180,15 @@ pub fn find_anchors<S: CurrentSource>(
 
 /// Sum of the element-wise product of a mask (print order, row 0 = top)
 /// with the probed patch centred at pixel `(cx, cy)`.
-fn mask_response<S, F, const R: usize, const C: usize>(
-    session: &mut MeasurementSession<S>,
+fn mask_response<P, F, const R: usize, const C: usize>(
+    session: &mut P,
     mask: &[[f64; C]; R],
     cx: usize,
     cy: usize,
     at: &F,
 ) -> f64
 where
-    S: CurrentSource,
+    P: ProbeSession + ?Sized,
     F: Fn(usize, usize) -> (f64, f64),
 {
     let half_r = (R / 2) as isize;
@@ -226,8 +226,9 @@ fn apply_window(responses: &[f64], sigma_fraction: f64) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{GeometryError, ProbeError};
     use qd_csd::{Csd, VoltageGrid};
-    use qd_instrument::CsdSource;
+    use qd_instrument::{CsdSource, MeasurementSession};
 
     /// A clean synthetic CSD: steep line through (62, y) with slope -4,
     /// shallow line y = 58 - 0.3 x, brightest at lower-left.
@@ -315,7 +316,7 @@ mod tests {
         let mut session = MeasurementSession::new(CsdSource::new(csd));
         assert!(matches!(
             find_anchors(&mut session, &AnchorConfig::default()),
-            Err(ExtractError::WindowTooSmall { .. })
+            Err(ExtractError::Probe(ProbeError::WindowTooSmall { .. }))
         ));
     }
 
@@ -327,7 +328,12 @@ mod tests {
         let r = find_anchors(&mut session, &AnchorConfig::default());
         // All responses are zero → argmax lands at index 0 → anchors
         // coincide with the start point → degenerate.
-        assert!(matches!(r, Err(ExtractError::DegenerateAnchors { .. })));
+        assert!(matches!(
+            r,
+            Err(ExtractError::Geometry(
+                GeometryError::DegenerateAnchors { .. }
+            ))
+        ));
     }
 
     #[test]

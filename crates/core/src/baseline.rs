@@ -7,10 +7,13 @@
 //! wins; an optional Theil–Sen refinement snaps the quantized ρ–θ line to
 //! its supporting edge pixels, matching what practical implementations do.
 
+use crate::api::{ExtractionReport, Extractor, SessionView, Stage};
+use crate::error::FitError;
 use crate::fit::SlopeBounds;
+use crate::report::Method;
 use crate::ExtractError;
 use qd_csd::{Csd, VirtualizationMatrix, VoltageGrid};
-use qd_instrument::{CurrentSource, MeasurementSession, ScanPattern};
+use qd_instrument::{ProbeSession, ScanPattern};
 use qd_numerics::lsq::theil_sen;
 use qd_vision::canny::{canny, CannyParams};
 use qd_vision::hough::{hough_lines, HoughParams};
@@ -33,6 +36,7 @@ pub enum RefineMethod {
 
 /// Configuration of the Hough baseline.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a config does nothing until given to an extractor"]
 pub struct BaselineConfig {
     /// Canny parameters.
     pub canny: CannyParams,
@@ -129,48 +133,41 @@ impl HoughBaseline {
 
     /// Runs the baseline: full acquisition, then vision.
     ///
+    /// This is the *typed* entry point; to drive the baseline
+    /// method-agnostically go through [`crate::api::Extractor`] /
+    /// [`crate::api::Pipeline`].
+    ///
     /// # Errors
     ///
-    /// * [`ExtractError::Vision`] if Canny/Hough find nothing.
-    /// * [`ExtractError::UnphysicalSlopes`] if no steep or no shallow
+    /// * [`crate::GeometryError::Vision`] if Canny/Hough find nothing.
+    /// * [`crate::FitError::UnphysicalSlopes`] if no steep or no shallow
     ///   line class is present, or the best pair violates the physics
     ///   bounds.
-    pub fn extract<S: CurrentSource>(
+    pub fn extract(&self, session: &mut dyn ProbeSession) -> Result<BaselineResult, ExtractError> {
+        self.extract_staged(&mut SessionView::detached(session))
+    }
+
+    /// The baseline proper, with stage bracketing recorded in the view.
+    pub(crate) fn extract_staged(
         &self,
-        session: &mut MeasurementSession<S>,
+        session: &mut SessionView<'_>,
     ) -> Result<BaselineResult, ExtractError> {
         let probes_before = session.probe_count();
-        let csd = acquire_full_csd(session)?;
+        session.begin_stage(Stage::Acquire);
+        let csd = acquire_full_csd(session);
+        session.end_stage();
+        let csd = csd?;
         let compute_started = Instant::now();
 
-        let edges = canny(&csd, self.config.canny)?;
-        let edge_count = edges.edge_count();
-        let lines = hough_lines(&edges, self.config.hough)?;
-
-        // Classify by slope; vertical lines count as (very) steep.
-        let is_steep = |l: &HoughLine| match l.slope() {
-            None => true,
-            Some(m) => m < self.config.bounds.steep_max,
-        };
-        let is_shallow = |l: &HoughLine| match l.slope() {
-            None => false,
-            Some(m) => m > self.config.bounds.shallow_min && m < self.config.bounds.shallow_max,
-        };
-        let steep = lines.iter().find(|l| is_steep(l));
-        let shallow = lines.iter().find(|l| is_shallow(l));
-        let (steep, shallow) = match (steep, shallow) {
-            (Some(s), Some(h)) => (*s, *h),
-            _ => {
-                return Err(ExtractError::UnphysicalSlopes {
-                    slope_h: shallow.and_then(|l| l.slope()).unwrap_or(f64::NAN),
-                    slope_v: steep.and_then(|l| l.slope()).unwrap_or(f64::NAN),
-                })
-            }
-        };
+        session.begin_stage(Stage::Vision);
+        let detected = self.detect_lines(&csd);
+        session.end_stage();
+        let (lines, edge_count, edges, steep, shallow) = detected?;
 
         let mut slope_v = steep.slope().unwrap_or(f64::NEG_INFINITY);
         let mut slope_h = shallow.slope().expect("shallow class always has a slope");
         if self.config.refine != RefineMethod::None {
+            session.begin_stage(Stage::Refine);
             if let Some(m) = refine_slope(
                 &edges,
                 &steep,
@@ -187,15 +184,13 @@ impl HoughBaseline {
             ) {
                 slope_h = m;
             }
+            session.end_stage();
         }
 
-        let b = &self.config.bounds;
-        let steep_ok = slope_v < b.steep_max || slope_v == f64::NEG_INFINITY;
-        let shallow_ok = slope_h > b.shallow_min && slope_h < b.shallow_max;
-        if !(steep_ok && shallow_ok) {
-            return Err(ExtractError::UnphysicalSlopes { slope_h, slope_v });
-        }
-        let matrix = VirtualizationMatrix::from_slopes(slope_h, slope_v)?;
+        session.begin_stage(Stage::Fit);
+        let validated = self.validate_slopes(slope_h, slope_v);
+        session.end_stage();
+        let matrix = validated?;
 
         Ok(BaselineResult {
             slope_h,
@@ -208,6 +203,80 @@ impl HoughBaseline {
             compute_time: compute_started.elapsed(),
         })
     }
+
+    /// Canny + Hough + slope classification over the acquired diagram.
+    #[allow(clippy::type_complexity)]
+    fn detect_lines(
+        &self,
+        csd: &Csd,
+    ) -> Result<
+        (
+            Vec<HoughLine>,
+            usize,
+            qd_vision::EdgeMap,
+            HoughLine,
+            HoughLine,
+        ),
+        ExtractError,
+    > {
+        let edges = canny(csd, self.config.canny)?;
+        let edge_count = edges.edge_count();
+        let lines = hough_lines(&edges, self.config.hough)?;
+
+        // Classify by slope; vertical lines count as (very) steep.
+        let is_steep = |l: &HoughLine| match l.slope() {
+            None => true,
+            Some(m) => m < self.config.bounds.steep_max,
+        };
+        let is_shallow = |l: &HoughLine| match l.slope() {
+            None => false,
+            Some(m) => m > self.config.bounds.shallow_min && m < self.config.bounds.shallow_max,
+        };
+        let steep = lines.iter().find(|l| is_steep(l));
+        let shallow = lines.iter().find(|l| is_shallow(l));
+        match (steep, shallow) {
+            (Some(s), Some(h)) => {
+                let (s, h) = (*s, *h);
+                Ok((lines, edge_count, edges, s, h))
+            }
+            _ => Err(ExtractError::unphysical_slopes(
+                shallow.and_then(|l| l.slope()).unwrap_or(f64::NAN),
+                steep.and_then(|l| l.slope()).unwrap_or(f64::NAN),
+            )),
+        }
+    }
+
+    /// Physics-bounds validation plus matrix construction.
+    fn validate_slopes(
+        &self,
+        slope_h: f64,
+        slope_v: f64,
+    ) -> Result<VirtualizationMatrix, ExtractError> {
+        let b = &self.config.bounds;
+        let steep_ok = slope_v < b.steep_max || slope_v == f64::NEG_INFINITY;
+        let shallow_ok = slope_h > b.shallow_min && slope_h < b.shallow_max;
+        if !(steep_ok && shallow_ok) {
+            return Err(ExtractError::unphysical_slopes(slope_h, slope_v));
+        }
+        VirtualizationMatrix::from_slopes(slope_h, slope_v)
+            .map_err(|e| ExtractError::Fit(FitError::Matrix(e)))
+    }
+}
+
+impl Extractor for HoughBaseline {
+    fn method(&self) -> Method {
+        Method::HoughBaseline
+    }
+
+    fn extract(&self, session: &mut SessionView<'_>) -> Result<ExtractionReport, ExtractError> {
+        match self.extract_staged(session) {
+            Ok(result) => Ok(ExtractionReport::from_baseline(result, session)),
+            Err(e) => {
+                let _ = session.take_stages();
+                Err(e)
+            }
+        }
+    }
 }
 
 /// Probes every pixel of the session's window in row-major raster order
@@ -216,10 +285,9 @@ impl HoughBaseline {
 ///
 /// # Errors
 ///
-/// Returns [`ExtractError::Csd`] only on internal shape mismatches.
-pub fn acquire_full_csd<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
-) -> Result<Csd, ExtractError> {
+/// Returns [`crate::ProbeError::Acquisition`] only on internal shape
+/// mismatches.
+pub fn acquire_full_csd<P: ProbeSession + ?Sized>(session: &mut P) -> Result<Csd, ExtractError> {
     acquire_full_csd_with(session, ScanPattern::RowMajorRaster)
 }
 
@@ -230,9 +298,10 @@ pub fn acquire_full_csd<S: CurrentSource>(
 ///
 /// # Errors
 ///
-/// Returns [`ExtractError::Csd`] only on internal shape mismatches.
-pub fn acquire_full_csd_with<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+/// Returns [`crate::ProbeError::Acquisition`] only on internal shape
+/// mismatches.
+pub fn acquire_full_csd_with<P: ProbeSession + ?Sized>(
+    session: &mut P,
     pattern: ScanPattern,
 ) -> Result<Csd, ExtractError> {
     let w = session.window();
@@ -284,7 +353,7 @@ fn refine_slope(
 mod tests {
     use super::*;
     use qd_csd::{Csd, VoltageGrid};
-    use qd_instrument::CsdSource;
+    use qd_instrument::{CsdSource, MeasurementSession};
 
     fn synthetic_session(size: usize) -> MeasurementSession<CsdSource> {
         let grid = VoltageGrid::new(0.0, 0.0, 1.0, size, size).unwrap();
@@ -353,7 +422,10 @@ mod tests {
         .unwrap();
         let mut session = MeasurementSession::new(CsdSource::new(csd));
         let r = HoughBaseline::new().extract(&mut session);
-        assert!(matches!(r, Err(ExtractError::UnphysicalSlopes { .. })));
+        assert!(matches!(
+            r,
+            Err(ExtractError::Fit(FitError::UnphysicalSlopes { .. }))
+        ));
     }
 
     #[test]

@@ -48,7 +48,10 @@
 //!     })
 //!     .collect::<Result<_, _>>()?;
 //!
-//! let outcomes = BatchExtractor::new().with_jobs(2).run_fast(diagrams.len(), |job| {
+//! // Any extractor runs through the same batch path: fast, baseline,
+//! // retry ladder, or a full Pipeline.
+//! let extractor = fastvg_core::extraction::FastExtractor::new();
+//! let outcomes = BatchExtractor::new().with_jobs(2).run(&extractor, diagrams.len(), |job| {
 //!     MeasurementSession::new(CsdSource::new(diagrams[job].clone()))
 //! });
 //!
@@ -62,6 +65,7 @@
 //! # }
 //! ```
 
+use crate::api::{extract_with, ExtractionReport, Extractor};
 use crate::baseline::{BaselineResult, HoughBaseline};
 use crate::extraction::{ExtractionResult, FastExtractor};
 use crate::ExtractError;
@@ -167,6 +171,26 @@ impl BatchExtractor {
     /// The configured baseline extractor.
     pub fn baseline(&self) -> &HoughBaseline {
         &self.baseline
+    }
+
+    /// Runs *any* extraction method over `count` jobs, building each
+    /// job's session with `make_session(job_index)` — the unified batch
+    /// entry point: the same code path serves the fast method, the
+    /// baseline, retry ladders, and whole [`crate::api::Pipeline`]s
+    /// (whose observers, being `Sync`, are shared by the workers).
+    pub fn run<S, F>(
+        &self,
+        extractor: &dyn Extractor,
+        count: usize,
+        make_session: F,
+    ) -> Vec<BatchOutcome<ExtractionReport>>
+    where
+        S: CurrentSource + Send,
+        F: Fn(usize) -> MeasurementSession<S> + Sync,
+    {
+        self.run_with(count, make_session, |session| {
+            extract_with(extractor, session)
+        })
     }
 
     /// Runs the fast extractor over `count` jobs, building each job's
@@ -338,6 +362,41 @@ mod tests {
         assert_eq!(runner.extractor().config(), &cfg);
         let outcomes = runner.run_fast(2, session_for);
         assert!(outcomes.iter().all(BatchOutcome::is_ok));
+    }
+
+    #[test]
+    fn dyn_extractor_batches_match_typed_batches() {
+        use crate::api::Extractor;
+        use crate::baseline::HoughBaseline;
+        use crate::tuning::TuningLoop;
+
+        let runner = BatchExtractor::new().with_jobs(2);
+        let typed = runner.run_fast(3, session_for);
+        let erased = runner.run(&FastExtractor::new(), 3, session_for);
+        for (t, e) in typed.iter().zip(&erased) {
+            let (tr, er) = (t.outcome.as_ref().unwrap(), e.outcome.as_ref().unwrap());
+            assert_eq!(tr.slope_h.to_bits(), er.slope_h.to_bits());
+            assert_eq!(tr.slope_v.to_bits(), er.slope_v.to_bits());
+            assert_eq!(t.probes, e.probes);
+            assert_eq!(t.scatter, e.scatter);
+        }
+
+        // Every shipped method runs through the same entry point.
+        let methods: Vec<Box<dyn Extractor>> = vec![
+            Box::new(FastExtractor::new()),
+            Box::new(HoughBaseline::new()),
+            Box::new(TuningLoop::new()),
+        ];
+        for m in &methods {
+            let outcomes = runner.run(m.as_ref(), 2, |k| {
+                MeasurementSession::new(CsdSource::new(diagram(k, 63)))
+            });
+            assert!(
+                outcomes.iter().all(BatchOutcome::is_ok),
+                "{} failed in batch",
+                m.method()
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,47 @@
+//! The structured extraction-error taxonomy.
+//!
+//! Every failure an extraction method can report falls into one of four
+//! categories, mirroring the pipeline's phases:
+//!
+//! * [`ProbeError`] — the measurement itself could not be performed
+//!   (window too small for the masks, acquisition shape mismatches);
+//! * [`GeometryError`] — probing worked but no usable transition-line
+//!   geometry was found (degenerate anchors, too few points, the
+//!   baseline's edge/line detection coming up empty);
+//! * [`FitError`] — geometry existed but the slope fit failed or
+//!   violated the device physics;
+//! * [`VerifyError`] — a fit was produced but rejected by the
+//!   post-extraction validation (low contrast).
+//!
+//! Each category wraps a dedicated enum carrying the details, and
+//! [`std::error::Error::source`] chains down to the originating
+//! lower-crate error (`qd_vision::VisionError`,
+//! `qd_numerics::NumericsError`, `qd_csd::CsdError`) so callers can walk
+//! the full cause chain. Constructors like
+//! [`ExtractError::unphysical_slopes`] build the common cases without
+//! spelling out the nesting.
+
 use std::error::Error;
 use std::fmt;
 
-/// Error type for virtual gate extraction.
+/// Error type for virtual gate extraction, organized by pipeline phase.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum ExtractError {
+    /// The measurement could not be performed.
+    Probe(ProbeError),
+    /// No usable transition-line geometry was found.
+    Geometry(GeometryError),
+    /// The slope fit failed or was unphysical.
+    Fit(FitError),
+    /// The extracted result failed post-extraction validation.
+    Verify(VerifyError),
+}
+
+/// Failures of the measurement itself.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ProbeError {
     /// The probed window is too small for the algorithm's masks and
     /// sweeps.
     WindowTooSmall {
@@ -13,6 +50,15 @@ pub enum ExtractError {
         /// Actual smaller dimension.
         got: usize,
     },
+    /// Assembling acquired probes into a diagram failed (internal shape
+    /// mismatches).
+    Acquisition(qd_csd::CsdError),
+}
+
+/// Failures to locate transition-line geometry.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GeometryError {
     /// Anchor preprocessing produced a degenerate geometry (anchors not
     /// in upper-left / lower-right order) — usually a sign the data has
     /// no visible transition lines.
@@ -29,6 +75,14 @@ pub enum ExtractError {
         /// Minimum required.
         min: usize,
     },
+    /// The baseline's edge/line detection failed.
+    Vision(qd_vision::VisionError),
+}
+
+/// Failures of the slope fit.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FitError {
     /// The extracted slopes violate the device-physics constraints
     /// (§4.2: both negative, steep/shallow ordering).
     UnphysicalSlopes {
@@ -37,6 +91,17 @@ pub enum ExtractError {
         /// Fitted near-vertical slope.
         slope_v: f64,
     },
+    /// An inner numerical routine failed.
+    Numerics(qd_numerics::NumericsError),
+    /// Constructing the virtualization matrix from the fitted slopes
+    /// failed.
+    Matrix(qd_csd::CsdError),
+}
+
+/// Failures of the post-extraction validation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum VerifyError {
     /// The fitted lines do not coincide with a genuine charge-sensing
     /// step: the current drop across them is too small relative to the
     /// variation along them (featureless ramps and smooth backgrounds
@@ -47,41 +112,130 @@ pub enum ExtractError {
         /// Threshold that was required.
         threshold: f64,
     },
-    /// The baseline's edge/line detection failed.
-    Vision(qd_vision::VisionError),
-    /// An inner numerical routine failed.
-    Numerics(qd_numerics::NumericsError),
-    /// Constructing the virtualization matrix failed.
-    Csd(qd_csd::CsdError),
+}
+
+/// The four phases an extraction can fail in — `ExtractError` without
+/// the per-variant payload, for coarse routing and telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCategory {
+    /// Measurement failure.
+    Probe,
+    /// Geometry-detection failure.
+    Geometry,
+    /// Slope-fit failure.
+    Fit,
+    /// Validation failure.
+    Verify,
+}
+
+impl fmt::Display for ErrorCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorCategory::Probe => write!(f, "probe"),
+            ErrorCategory::Geometry => write!(f, "geometry"),
+            ErrorCategory::Fit => write!(f, "fit"),
+            ErrorCategory::Verify => write!(f, "verify"),
+        }
+    }
+}
+
+impl ExtractError {
+    /// Which pipeline phase the error belongs to.
+    pub fn category(&self) -> ErrorCategory {
+        match self {
+            ExtractError::Probe(_) => ErrorCategory::Probe,
+            ExtractError::Geometry(_) => ErrorCategory::Geometry,
+            ExtractError::Fit(_) => ErrorCategory::Fit,
+            ExtractError::Verify(_) => ErrorCategory::Verify,
+        }
+    }
+
+    /// A window smaller than the algorithm's minimum.
+    pub fn window_too_small(min: usize, got: usize) -> Self {
+        ExtractError::Probe(ProbeError::WindowTooSmall { min, got })
+    }
+
+    /// Anchors not in upper-left / lower-right position.
+    pub fn degenerate_anchors(a1: (usize, usize), a2: (usize, usize)) -> Self {
+        ExtractError::Geometry(GeometryError::DegenerateAnchors { a1, a2 })
+    }
+
+    /// Too few located transition points to fit.
+    pub fn too_few_transition_points(got: usize, min: usize) -> Self {
+        ExtractError::Geometry(GeometryError::TooFewTransitionPoints { got, min })
+    }
+
+    /// Fitted slopes violating the §4.2 physics constraints.
+    pub fn unphysical_slopes(slope_h: f64, slope_v: f64) -> Self {
+        ExtractError::Fit(FitError::UnphysicalSlopes { slope_h, slope_v })
+    }
+
+    /// Fitted lines failing the contrast validation.
+    pub fn low_contrast(ratio: f64, threshold: f64) -> Self {
+        ExtractError::Verify(VerifyError::LowContrast { ratio, threshold })
+    }
 }
 
 impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExtractError::WindowTooSmall { min, got } => {
+            ExtractError::Probe(e) => write!(f, "probe failure: {e}"),
+            ExtractError::Geometry(e) => write!(f, "geometry failure: {e}"),
+            ExtractError::Fit(e) => write!(f, "fit failure: {e}"),
+            ExtractError::Verify(e) => write!(f, "verify failure: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::WindowTooSmall { min, got } => {
                 write!(f, "probe window dimension {got} below minimum {min}")
             }
-            ExtractError::DegenerateAnchors { a1, a2 } => write!(
+            ProbeError::Acquisition(e) => write!(f, "acquisition failed: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::DegenerateAnchors { a1, a2 } => write!(
                 f,
                 "anchor points {a1:?} and {a2:?} do not span a critical region"
             ),
-            ExtractError::TooFewTransitionPoints { got, min } => {
+            GeometryError::TooFewTransitionPoints { got, min } => {
                 write!(
                     f,
                     "located only {got} transition points, need at least {min}"
                 )
             }
-            ExtractError::UnphysicalSlopes { slope_h, slope_v } => write!(
+            GeometryError::Vision(e) => write!(f, "edge/line detection failed: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::UnphysicalSlopes { slope_h, slope_v } => write!(
                 f,
                 "fitted slopes (h: {slope_h:.3}, v: {slope_v:.3}) violate device physics"
             ),
-            ExtractError::LowContrast { ratio, threshold } => write!(
+            FitError::Numerics(e) => write!(f, "numerical failure: {e}"),
+            FitError::Matrix(e) => write!(f, "virtualization matrix rejected the slopes: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::LowContrast { ratio, threshold } => write!(
                 f,
                 "fitted lines have contrast ratio {ratio:.2}, below threshold {threshold:.2}"
             ),
-            ExtractError::Vision(e) => write!(f, "baseline vision failure: {e}"),
-            ExtractError::Numerics(e) => write!(f, "numerical failure: {e}"),
-            ExtractError::Csd(e) => write!(f, "diagram failure: {e}"),
         }
     }
 }
@@ -89,29 +243,83 @@ impl fmt::Display for ExtractError {
 impl Error for ExtractError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            ExtractError::Vision(e) => Some(e),
-            ExtractError::Numerics(e) => Some(e),
-            ExtractError::Csd(e) => Some(e),
+            ExtractError::Probe(e) => Some(e),
+            ExtractError::Geometry(e) => Some(e),
+            ExtractError::Fit(e) => Some(e),
+            ExtractError::Verify(e) => Some(e),
+        }
+    }
+}
+
+impl Error for ProbeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ProbeError::Acquisition(e) => Some(e),
             _ => None,
         }
     }
 }
 
+impl Error for GeometryError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GeometryError::Vision(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Error for FitError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FitError::Numerics(e) => Some(e),
+            FitError::Matrix(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+impl From<ProbeError> for ExtractError {
+    fn from(e: ProbeError) -> Self {
+        ExtractError::Probe(e)
+    }
+}
+
+impl From<GeometryError> for ExtractError {
+    fn from(e: GeometryError) -> Self {
+        ExtractError::Geometry(e)
+    }
+}
+
+impl From<FitError> for ExtractError {
+    fn from(e: FitError) -> Self {
+        ExtractError::Fit(e)
+    }
+}
+
+impl From<VerifyError> for ExtractError {
+    fn from(e: VerifyError) -> Self {
+        ExtractError::Verify(e)
+    }
+}
+
 impl From<qd_vision::VisionError> for ExtractError {
     fn from(e: qd_vision::VisionError) -> Self {
-        ExtractError::Vision(e)
+        ExtractError::Geometry(GeometryError::Vision(e))
     }
 }
 
 impl From<qd_numerics::NumericsError> for ExtractError {
     fn from(e: qd_numerics::NumericsError) -> Self {
-        ExtractError::Numerics(e)
+        ExtractError::Fit(FitError::Numerics(e))
     }
 }
 
 impl From<qd_csd::CsdError> for ExtractError {
     fn from(e: qd_csd::CsdError) -> Self {
-        ExtractError::Csd(e)
+        ExtractError::Probe(ProbeError::Acquisition(e))
     }
 }
 
@@ -120,32 +328,67 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_forms() {
-        let cases: Vec<ExtractError> = vec![
-            ExtractError::WindowTooSmall { min: 20, got: 5 },
-            ExtractError::DegenerateAnchors {
-                a1: (1, 2),
-                a2: (3, 4),
-            },
-            ExtractError::TooFewTransitionPoints { got: 1, min: 4 },
-            ExtractError::UnphysicalSlopes {
-                slope_h: 0.5,
-                slope_v: -0.1,
-            },
-            ExtractError::Vision(qd_vision::VisionError::NoEdges),
-            ExtractError::Numerics(qd_numerics::NumericsError::EmptyInput),
+    fn constructors_land_in_their_category() {
+        let cases = [
+            (ExtractError::window_too_small(20, 5), ErrorCategory::Probe),
+            (
+                ExtractError::degenerate_anchors((1, 2), (3, 4)),
+                ErrorCategory::Geometry,
+            ),
+            (
+                ExtractError::too_few_transition_points(1, 4),
+                ErrorCategory::Geometry,
+            ),
+            (
+                ExtractError::unphysical_slopes(0.5, -0.1),
+                ErrorCategory::Fit,
+            ),
+            (ExtractError::low_contrast(0.1, 0.8), ErrorCategory::Verify),
         ];
-        for c in cases {
-            assert!(!c.to_string().is_empty());
+        for (e, category) in cases {
+            assert_eq!(e.category(), category, "{e}");
+            // Display leads with the category name.
+            assert!(
+                e.to_string().starts_with(&category.to_string()),
+                "{e} should start with {category}"
+            );
         }
     }
 
     #[test]
-    fn sources_chain() {
+    fn sources_chain_to_lower_crates() {
         let e = ExtractError::from(qd_vision::VisionError::NoEdges);
-        assert!(e.source().is_some());
-        let w = ExtractError::WindowTooSmall { min: 1, got: 0 };
-        assert!(w.source().is_none());
+        let level1 = e.source().expect("taxonomy level");
+        let level2 = level1.source().expect("crate level");
+        assert!(level2.downcast_ref::<qd_vision::VisionError>().is_some());
+
+        let n = ExtractError::from(qd_numerics::NumericsError::EmptyInput);
+        assert!(n
+            .source()
+            .and_then(|s| s.source())
+            .and_then(|s| s.downcast_ref::<qd_numerics::NumericsError>())
+            .is_some());
+
+        // Leaf variants stop at the taxonomy level.
+        let w = ExtractError::window_too_small(1, 0);
+        assert!(w.source().expect("taxonomy level").source().is_none());
+    }
+
+    #[test]
+    fn display_forms_are_non_empty() {
+        let cases: Vec<ExtractError> = vec![
+            ExtractError::window_too_small(20, 5),
+            ExtractError::degenerate_anchors((1, 2), (3, 4)),
+            ExtractError::too_few_transition_points(1, 4),
+            ExtractError::unphysical_slopes(0.5, -0.1),
+            ExtractError::low_contrast(f64::NAN, 0.8),
+            ExtractError::from(qd_vision::VisionError::NoEdges),
+            ExtractError::from(qd_numerics::NumericsError::EmptyInput),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+            assert!(!format!("{c:?}").is_empty());
+        }
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! The end-to-end fast virtual gate extraction pipeline (§4).
 
 use crate::anchors::{find_anchors, AnchorConfig, AnchorResult};
+use crate::api::{ExtractionReport, Extractor, SessionView, Stage};
+use crate::error::FitError;
 use crate::fit::{fit_transition_lines_with, FitMethod, SlopeBounds, SlopeFit};
 use crate::postprocess::postprocess;
+use crate::report::Method;
 use crate::sweep::{column_major_sweep, row_major_sweep, SweepConfig, SweepStep};
 use crate::ExtractError;
 use qd_csd::{Pixel, VirtualizationMatrix};
-use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_instrument::ProbeSession;
 use std::time::{Duration, Instant};
 
 /// Configuration of the fast extractor. The defaults reproduce the paper;
 /// the switches exist for the ablation studies (DESIGN.md A1–A4).
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a config does nothing until given to an extractor"]
 pub struct ExtractorConfig {
     /// Anchor preprocessing settings (§4.4).
     pub anchors: AnchorConfig,
@@ -128,21 +132,36 @@ impl FastExtractor {
     ///
     /// The session keeps its probe ledger afterwards, so callers can draw
     /// Figure 7-style scatters or compute Table 1 statistics from it.
+    /// This is the *typed* entry point; to drive the extractor
+    /// method-agnostically (trait objects, observers, retry ladders) go
+    /// through [`crate::api::Extractor`] / [`crate::api::Pipeline`].
     ///
     /// # Errors
     ///
     /// Any [`ExtractError`]; on noise-swamped data the typical failures
-    /// are [`ExtractError::DegenerateAnchors`] (preprocessing found no
-    /// lines) and [`ExtractError::UnphysicalSlopes`] (the fit collapsed).
-    pub fn extract<S: CurrentSource>(
+    /// are [`crate::GeometryError::DegenerateAnchors`] (preprocessing
+    /// found no lines) and [`crate::FitError::UnphysicalSlopes`] (the
+    /// fit collapsed).
+    pub fn extract(
         &self,
-        session: &mut MeasurementSession<S>,
+        session: &mut dyn ProbeSession,
+    ) -> Result<ExtractionResult, ExtractError> {
+        self.extract_staged(&mut SessionView::detached(session))
+    }
+
+    /// The pipeline proper, with stage bracketing recorded in the view.
+    pub(crate) fn extract_staged(
+        &self,
+        session: &mut SessionView<'_>,
     ) -> Result<ExtractionResult, ExtractError> {
         let started = Instant::now();
         let probes_before = session.probe_count();
 
         // §4.4: anchors.
-        let anchors = find_anchors(session, &self.config.anchors)?;
+        session.begin_stage(Stage::Anchors);
+        let anchors = find_anchors(session, &self.config.anchors);
+        session.end_stage();
+        let anchors = anchors?;
         let region = anchors.region()?;
 
         // §4.3.2: sweeps.
@@ -150,17 +169,22 @@ impl FastExtractor {
         let mut row_points = Vec::new();
         let mut column_points = Vec::new();
         if self.config.row_sweep {
+            session.begin_stage(Stage::RowSweep);
             let r = row_major_sweep(session, region, &self.config.sweep);
+            session.end_stage();
             row_points = r.points;
             steps.extend(r.steps);
         }
         if self.config.column_sweep {
+            session.begin_stage(Stage::ColumnSweep);
             let c = column_major_sweep(session, region, &self.config.sweep);
+            session.end_stage();
             column_points = c.points;
             steps.extend(c.steps);
         }
 
         // Alg. 3: post-processing.
+        session.begin_stage(Stage::Postprocess);
         let mut combined: Vec<Pixel> = row_points.iter().chain(&column_points).copied().collect();
         let transition_points = if self.config.postprocess {
             postprocess(&combined)
@@ -169,23 +193,30 @@ impl FastExtractor {
             combined.dedup();
             combined
         };
+        session.end_stage();
 
         // §4.3.3: fit and virtualization matrix.
+        session.begin_stage(Stage::Fit);
         let fit = fit_transition_lines_with(
             anchors.a1,
             anchors.a2,
             &transition_points,
             &self.config.bounds,
             self.config.fit_method,
-        )?;
-        let matrix = VirtualizationMatrix::from_slopes(fit.slope_h, fit.slope_v)?;
+        );
+        session.end_stage();
+        let fit = fit?;
+        let matrix = VirtualizationMatrix::from_slopes(fit.slope_h, fit.slope_v)
+            .map_err(|e| ExtractError::Fit(FitError::Matrix(e)))?;
 
         // Extension: reject fits that do not sit on a genuine sensing
         // step (see `ExtractorConfig::contrast_threshold`).
         if let Some(threshold) = self.config.contrast_threshold {
+            session.begin_stage(Stage::Verify);
             let ratio = contrast_ratio(session, &anchors, &fit);
+            session.end_stage();
             if ratio.is_nan() || ratio < threshold {
-                return Err(ExtractError::LowContrast { ratio, threshold });
+                return Err(ExtractError::low_contrast(ratio, threshold));
             }
         }
 
@@ -207,12 +238,28 @@ impl FastExtractor {
     }
 }
 
+impl Extractor for FastExtractor {
+    fn method(&self) -> Method {
+        Method::FastExtraction
+    }
+
+    fn extract(&self, session: &mut SessionView<'_>) -> Result<ExtractionReport, ExtractError> {
+        match self.extract_staged(session) {
+            Ok(result) => Ok(ExtractionReport::from_fast(result, session)),
+            Err(e) => {
+                let _ = session.take_stages();
+                Err(e)
+            }
+        }
+    }
+}
+
 /// Across-to-along contrast of the fitted lines: mean current drop when
 /// stepping two pixels across each segment, divided by the standard
 /// deviation of the current along the segments. Genuine transition
 /// lines score ≫ 1; smooth ramps score ≪ 1.
-fn contrast_ratio<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+fn contrast_ratio<P: ProbeSession + ?Sized>(
+    session: &mut P,
     anchors: &AnchorResult,
     fit: &SlopeFit,
 ) -> f64 {
@@ -345,7 +392,10 @@ mod tests {
         match FastExtractor::with_config(cfg).extract(&mut session) {
             Ok(r) => assert!(r.slope_v < -1.0),
             Err(e) => assert!(
-                matches!(e, crate::ExtractError::UnphysicalSlopes { .. }),
+                matches!(
+                    e,
+                    crate::ExtractError::Fit(crate::FitError::UnphysicalSlopes { .. })
+                ),
                 "unexpected failure mode: {e}"
             ),
         }

@@ -15,7 +15,7 @@
 //! Each evaluation costs at most three probes; on a cached session,
 //! neighbouring evaluations share probes.
 
-use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_instrument::ProbeSession;
 
 /// Computes the Algorithm 2 feature gradient at voltages `(v1, v2)`
 /// using the session's granularity `δ`.
@@ -25,11 +25,7 @@ use qd_instrument::{CurrentSource, MeasurementSession};
 /// there — acceptable because transition lines never coincide with the
 /// window border in practice (the paper's sweeps also probe up to the
 /// edge).
-pub fn feature_gradient<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
-    v1: f64,
-    v2: f64,
-) -> f64 {
+pub fn feature_gradient<P: ProbeSession + ?Sized>(session: &mut P, v1: f64, v2: f64) -> f64 {
     let delta = session.window().delta;
     let c = session.get_current(v1, v2);
     let c_right = session.get_current(v1 + delta, v2);
@@ -38,8 +34,8 @@ pub fn feature_gradient<S: CurrentSource>(
 }
 
 /// Feature gradient at an integer pixel of the session's window.
-pub fn feature_gradient_at_pixel<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+pub fn feature_gradient_at_pixel<P: ProbeSession + ?Sized>(
+    session: &mut P,
     x: usize,
     y: usize,
 ) -> f64 {
@@ -53,7 +49,7 @@ pub fn feature_gradient_at_pixel<S: CurrentSource>(
 mod tests {
     use super::*;
     use qd_csd::{Csd, VoltageGrid};
-    use qd_instrument::CsdSource;
+    use qd_instrument::{CsdSource, MeasurementSession};
 
     fn session_from(f: impl Fn(f64, f64) -> f64) -> MeasurementSession<CsdSource> {
         let grid = VoltageGrid::new(0.0, 0.0, 1.0, 32, 32).unwrap();

@@ -49,6 +49,7 @@ pub struct SlopeFit {
 /// line steeper than the (0,0)→(0,1) line. The default bounds add a
 /// small margin around the `-1` separatrix.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[must_use = "bounds do nothing until given to a fit"]
 pub struct SlopeBounds {
     /// The steep slope must be below this (default −1).
     pub steep_max: f64,
@@ -74,12 +75,12 @@ impl Default for SlopeBounds {
 ///
 /// # Errors
 ///
-/// * [`ExtractError::TooFewTransitionPoints`] for fewer than
+/// * [`crate::GeometryError::TooFewTransitionPoints`] for fewer than
 ///   [`MIN_POINTS`] points.
-/// * [`ExtractError::UnphysicalSlopes`] if the fitted slopes violate
+/// * [`crate::FitError::UnphysicalSlopes`] if the fitted slopes violate
 ///   `bounds` — the machine-checkable analogue of the paper's manual
 ///   "did the virtualization look right" inspection.
-/// * [`ExtractError::Numerics`] if the inner optimizer fails outright.
+/// * [`crate::FitError::Numerics`] if the inner optimizer fails outright.
 pub fn fit_transition_lines(
     a1: Pixel,
     a2: Pixel,
@@ -102,22 +103,22 @@ pub fn fit_transition_lines_with(
     method: FitMethod,
 ) -> Result<SlopeFit, ExtractError> {
     if points.len() < MIN_POINTS {
-        return Err(ExtractError::TooFewTransitionPoints {
-            got: points.len(),
-            min: MIN_POINTS,
-        });
+        return Err(ExtractError::too_few_transition_points(
+            points.len(),
+            MIN_POINTS,
+        ));
     }
     let model = TwoSegmentModel::new(
         Point::new(a1.x as f64, a1.y as f64),
         Point::new(a2.x as f64, a2.y as f64),
     )
-    .map_err(ExtractError::Numerics)?;
+    .map_err(ExtractError::from)?;
     let pts: Vec<Point> = points
         .iter()
         .map(|p| Point::new(p.x as f64, p.y as f64))
         .collect();
     let fit = match method {
-        FitMethod::NelderMead => model.fit(&pts).map_err(ExtractError::Numerics)?,
+        FitMethod::NelderMead => model.fit(&pts).map_err(ExtractError::from)?,
         FitMethod::LevenbergMarquardt => fit_lm(&model, &pts)?,
     };
 
@@ -126,7 +127,7 @@ pub fn fit_transition_lines_with(
     let physical =
         slope_v < bounds.steep_max && slope_h < bounds.shallow_max && slope_h > bounds.shallow_min;
     if !physical {
-        return Err(ExtractError::UnphysicalSlopes { slope_h, slope_v });
+        return Err(ExtractError::unphysical_slopes(slope_h, slope_v));
     }
     let rms = (fit.sse / points.len() as f64).sqrt();
     Ok(SlopeFit {
@@ -161,7 +162,7 @@ fn fit_lm(
         pts.len(),
         levenberg::Options::default(),
     )
-    .map_err(ExtractError::Numerics)?;
+    .map_err(ExtractError::from)?;
     let c = Point::new(out.params[0], out.params[1]);
     let (slope_h, slope_v) = model.slopes(c);
     Ok(qd_numerics::piecewise::SegmentFit {
@@ -176,6 +177,7 @@ fn fit_lm(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::{FitError, GeometryError};
 
     fn line_points(a1: Pixel, a2: Pixel, c: (f64, f64), n: usize) -> Vec<Pixel> {
         let mut pts = Vec::new();
@@ -219,7 +221,9 @@ mod tests {
         let pts = vec![Pixel::new(10, 40), Pixel::new(20, 30)];
         assert!(matches!(
             fit_transition_lines(a1, a2, &pts, &SlopeBounds::default()),
-            Err(ExtractError::TooFewTransitionPoints { got: 2, min: 4 })
+            Err(ExtractError::Geometry(
+                GeometryError::TooFewTransitionPoints { got: 2, min: 4 }
+            ))
         ));
     }
 
@@ -232,7 +236,7 @@ mod tests {
         let pts: Vec<Pixel> = (10..50).map(|x| Pixel::new(x, 29)).collect();
         let r = fit_transition_lines(a1, a2, &pts, &SlopeBounds::default());
         assert!(
-            matches!(r, Err(ExtractError::UnphysicalSlopes { .. })),
+            matches!(r, Err(ExtractError::Fit(FitError::UnphysicalSlopes { .. }))),
             "expected unphysical-slope rejection, got {r:?}"
         );
     }
@@ -299,7 +303,7 @@ mod tests {
         };
         assert!(matches!(
             fit_transition_lines(a1, a2, &pts, &strict),
-            Err(ExtractError::UnphysicalSlopes { .. })
+            Err(ExtractError::Fit(FitError::UnphysicalSlopes { .. }))
         ));
     }
 }

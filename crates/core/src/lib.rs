@@ -28,8 +28,13 @@
 //! [`qd_instrument::MeasurementSession`]; [`baseline::HoughBaseline`] is
 //! the paper's full-CSD Canny+Hough comparison method, and
 //! [`virtual_gate`] extends both to `n`-dot arrays pairwise (§2.3).
-//! [`batch::BatchExtractor`] fans either method out over many sessions
-//! concurrently with deterministic, bit-identical results.
+//!
+//! All methods also implement the object-safe [`api::Extractor`] trait
+//! and return one unified [`api::ExtractionReport`], so harnesses drive
+//! them through `Box<dyn Extractor>` / [`api::Pipeline`] (with
+//! [`api::Observer`] hooks for live progress) without per-method
+//! dispatch. [`batch::BatchExtractor`] fans any extractor out over many
+//! sessions concurrently with deterministic, bit-identical results.
 //!
 //! # Quickstart
 //!
@@ -63,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod anchors;
+pub mod api;
 pub mod baseline;
 pub mod batch;
 pub mod extraction;
@@ -79,7 +85,11 @@ pub mod window_search;
 
 mod error;
 
+pub use api::{
+    extract_with, ExtractionDetails, ExtractionReport, Extractor, Observer, Pipeline,
+    PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
+};
 pub use batch::{BatchExtractor, BatchOutcome};
-pub use error::ExtractError;
+pub use error::{ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError};
 pub use extraction::{ExtractionResult, FastExtractor};
-pub use report::{ExtractionReport, Method, SuccessCriteria};
+pub use report::{Method, ReportRow, SuccessCriteria};

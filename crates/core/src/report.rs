@@ -12,11 +12,15 @@ use std::time::Duration;
 
 /// Which method produced a report row.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Method {
     /// The paper's fast extraction (§4).
     FastExtraction,
     /// The Canny+Hough full-CSD baseline (§5.1).
     HoughBaseline,
+    /// The fast extraction wrapped in a retry ladder
+    /// ([`crate::tuning::TuningLoop`]).
+    TunedFast,
 }
 
 impl std::fmt::Display for Method {
@@ -24,6 +28,7 @@ impl std::fmt::Display for Method {
         match self {
             Method::FastExtraction => write!(f, "Fast Extraction"),
             Method::HoughBaseline => write!(f, "Baseline"),
+            Method::TunedFast => write!(f, "Tuned Fast"),
         }
     }
 }
@@ -51,9 +56,15 @@ impl SuccessCriteria {
     }
 }
 
-/// One row of a Table 1-style report.
+/// One row of a Table 1-style report: an extraction outcome judged
+/// against ground truth.
+///
+/// Not to be confused with [`crate::api::ExtractionReport`], the unified
+/// per-run report every [`crate::api::Extractor`] returns — a `ReportRow`
+/// is what a benchmark harness builds *from* one of those plus the
+/// ground truth.
 #[derive(Debug, Clone, PartialEq)]
-pub struct ExtractionReport {
+pub struct ReportRow {
     /// Benchmark index (1-based, Table 1 order).
     pub benchmark: usize,
     /// Diagram size in pixels (square).
@@ -77,7 +88,14 @@ pub struct ExtractionReport {
     pub failure: Option<String>,
 }
 
-impl ExtractionReport {
+/// Deprecated name of [`ReportRow`], kept for one release.
+#[deprecated(
+    since = "0.2.0",
+    note = "renamed to `ReportRow`; the unified per-run report is now `fastvg_core::api::ExtractionReport`"
+)]
+pub type ExtractionReport = ReportRow;
+
+impl ReportRow {
     /// A report row for a hard failure (the method returned an error).
     pub fn failed(
         benchmark: usize,
@@ -104,7 +122,7 @@ impl ExtractionReport {
 
     /// Speedup of `self` relative to `other` (runtime ratio
     /// `other / self`), or `None` when either runtime is zero.
-    pub fn speedup_versus(&self, other: &ExtractionReport) -> Option<f64> {
+    pub fn speedup_versus(&self, other: &ReportRow) -> Option<f64> {
         let a = self.runtime.as_secs_f64();
         let b = other.runtime.as_secs_f64();
         if a <= 0.0 || b <= 0.0 {
@@ -146,7 +164,7 @@ mod tests {
 
     #[test]
     fn failed_report_has_nan_alphas() {
-        let r = ExtractionReport::failed(
+        let r = ReportRow::failed(
             1,
             200,
             Method::FastExtraction,
@@ -162,7 +180,7 @@ mod tests {
 
     #[test]
     fn speedup_ratio() {
-        let fast = ExtractionReport {
+        let fast = ReportRow {
             benchmark: 3,
             size: 63,
             method: Method::FastExtraction,
@@ -174,7 +192,7 @@ mod tests {
             alpha21: 0.31,
             failure: None,
         };
-        let slow = ExtractionReport {
+        let slow = ReportRow {
             method: Method::HoughBaseline,
             probes: 3969,
             coverage: 1.0,
@@ -183,7 +201,7 @@ mod tests {
         };
         let s = fast.speedup_versus(&slow).unwrap();
         assert!((s - 6.167).abs() < 0.01, "speedup {s}");
-        let zero = ExtractionReport {
+        let zero = ReportRow {
             runtime: Duration::ZERO,
             ..fast.clone()
         };
@@ -194,5 +212,6 @@ mod tests {
     fn method_display() {
         assert_eq!(Method::FastExtraction.to_string(), "Fast Extraction");
         assert_eq!(Method::HoughBaseline.to_string(), "Baseline");
+        assert_eq!(Method::TunedFast.to_string(), "Tuned Fast");
     }
 }

@@ -15,7 +15,7 @@
 use crate::feature::feature_gradient_at_pixel;
 use crate::triangle::CriticalRegion;
 use qd_csd::Pixel;
-use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_instrument::ProbeSession;
 
 /// Which sweep produced a step (for traces and figures).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +43,7 @@ pub struct SweepStep {
 
 /// Configuration for the sweeps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use = "a config does nothing until given to an extractor"]
 pub struct SweepConfig {
     /// Dynamically shrink the triangle by moving anchors to found points
     /// (the paper's behaviour). Disabling this is the A1 ablation: every
@@ -67,8 +68,8 @@ pub struct SweepResult {
 
 /// Bottom-to-top row-major sweep (Alg. 3 lines 8–12): the upper-left
 /// anchor stays fixed, the lower-right anchor follows the found points.
-pub fn row_major_sweep<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+pub fn row_major_sweep<P: ProbeSession + ?Sized>(
+    session: &mut P,
     region: CriticalRegion,
     config: &SweepConfig,
 ) -> SweepResult {
@@ -112,8 +113,8 @@ pub fn row_major_sweep<S: CurrentSource>(
 /// Left-to-right column-major sweep (Alg. 3 lines 13–18): the lower-right
 /// anchor stays fixed (reset to the *original* anchor), the upper-left
 /// anchor follows the found points.
-pub fn column_major_sweep<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
+pub fn column_major_sweep<P: ProbeSession + ?Sized>(
+    session: &mut P,
     region: CriticalRegion,
     config: &SweepConfig,
 ) -> SweepResult {
@@ -158,7 +159,7 @@ pub fn column_major_sweep<S: CurrentSource>(
 mod tests {
     use super::*;
     use qd_csd::{Csd, VoltageGrid};
-    use qd_instrument::CsdSource;
+    use qd_instrument::{CsdSource, MeasurementSession};
 
     /// Steep line x = 62 - y/4 (slope -4), shallow line y = 58 - 0.3x.
     fn session() -> MeasurementSession<CsdSource> {

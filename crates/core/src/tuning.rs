@@ -9,10 +9,12 @@
 //! cost accounting stays honest.
 
 use crate::anchors::AnchorConfig;
+use crate::api::{ExtractionReport, Extractor, SessionView};
 use crate::extraction::{ExtractionResult, ExtractorConfig, FastExtractor};
+use crate::report::Method;
 use crate::sweep::SweepConfig;
 use crate::ExtractError;
-use qd_instrument::{CurrentSource, MeasurementSession};
+use qd_instrument::ProbeSession;
 
 /// A retry ladder for unattended extraction.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,13 +78,22 @@ impl TuningLoop {
         self.attempts.len()
     }
 
+    /// The ladder's rung configurations, in attempt order.
+    pub fn attempts(&self) -> &[ExtractorConfig] {
+        &self.attempts
+    }
+
     /// Whether the ladder is empty (never true for a constructed loop).
     pub fn is_empty(&self) -> bool {
         self.attempts.is_empty()
     }
 
     /// Runs the ladder until an attempt succeeds.
-    pub fn run<S: CurrentSource>(&self, session: &mut MeasurementSession<S>) -> TuningOutcome {
+    ///
+    /// This is the *typed* entry point; to drive the ladder
+    /// method-agnostically go through [`crate::api::Extractor`] /
+    /// [`crate::api::Pipeline`] (`Pipeline::fast().with_retry(..)`).
+    pub fn run(&self, session: &mut dyn ProbeSession) -> TuningOutcome {
         let mut failures = Vec::new();
         for (i, config) in self.attempts.iter().enumerate() {
             let extractor = FastExtractor::with_config(config.clone());
@@ -117,11 +128,46 @@ impl Default for TuningLoop {
     }
 }
 
+impl Extractor for TuningLoop {
+    fn method(&self) -> Method {
+        Method::TunedFast
+    }
+
+    fn extract(&self, session: &mut SessionView<'_>) -> Result<ExtractionReport, ExtractError> {
+        let probes_before = session.probe_count();
+        let total = self.attempts.len();
+        let mut failures = Vec::new();
+        let mut last_error = None;
+        for (i, config) in self.attempts.iter().enumerate() {
+            session.notify_attempt_start(i + 1, total);
+            let extractor = FastExtractor::with_config(config.clone());
+            match Extractor::extract(&extractor, session) {
+                Ok(mut report) => {
+                    report.method = Method::TunedFast;
+                    report.attempts = i + 1;
+                    report.retry_failures = failures;
+                    // Probe accounting spans *all* attempts (retries share
+                    // the probe cache, so later rungs are cheap but not
+                    // free).
+                    report.probes = session.probe_count() - probes_before;
+                    return Ok(report);
+                }
+                Err(e) => {
+                    session.notify_attempt_failed(i + 1, &e);
+                    failures.push(e.to_string());
+                    last_error = Some(e);
+                }
+            }
+        }
+        Err(last_error.expect("ladder has at least one attempt"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qd_csd::{Csd, VoltageGrid};
-    use qd_instrument::CsdSource;
+    use qd_instrument::{CsdSource, MeasurementSession};
 
     fn clean_session() -> MeasurementSession<CsdSource> {
         let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).unwrap();

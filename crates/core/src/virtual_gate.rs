@@ -7,7 +7,7 @@
 //! with unit diagonal and the nearest-neighbour couplings on the off-
 //! diagonals.
 
-use crate::extraction::{ExtractionResult, FastExtractor};
+use crate::api::{extract_with, ExtractionReport, Extractor};
 use crate::ExtractError;
 use qd_instrument::{MeasurementSession, PhysicsSource, VoltageWindow};
 use qd_physics::LinearArrayDevice;
@@ -78,8 +78,8 @@ impl ArrayVirtualization {
 /// Result of a chain extraction over an `n`-dot array.
 #[derive(Debug)]
 pub struct ChainExtraction {
-    /// Per-pair extraction results, pair `(i, i+1)` at index `i`.
-    pub pairs: Vec<ExtractionResult>,
+    /// Per-pair extraction reports, pair `(i, i+1)` at index `i`.
+    pub pairs: Vec<ExtractionReport>,
     /// The assembled `n × n` virtualization matrix.
     pub virtualization: ArrayVirtualization,
     /// Total probes across all pairs.
@@ -116,22 +116,17 @@ impl Default for WindowPlan {
 ///
 /// # Errors
 ///
-/// Propagates [`qd_physics::PhysicsError`] wrapped in
-/// [`ExtractError::Csd`]-style conversions — in practice only for invalid
-/// pair indices or degenerate lever arms.
+/// Reports a degenerate-anchor [`crate::GeometryError`] — in practice
+/// only for invalid pair indices or degenerate lever arms.
 pub fn plan_pair_window(
     device: &LinearArrayDevice,
     pair: usize,
     bias: &[f64],
     plan: &WindowPlan,
 ) -> Result<VoltageWindow, ExtractError> {
-    let (ix, iy) =
-        device
-            .pair_line_intersection(pair, bias)
-            .map_err(|_| ExtractError::DegenerateAnchors {
-                a1: (0, 0),
-                a2: (0, 0),
-            })?;
+    let (ix, iy) = device
+        .pair_line_intersection(pair, bias)
+        .map_err(|_| ExtractError::degenerate_anchors((0, 0), (0, 0)))?;
     let x_min = ix - plan.intersect_at.0 * plan.span;
     let y_min = iy - plan.intersect_at.1 * plan.span;
     Ok(VoltageWindow {
@@ -143,8 +138,11 @@ pub fn plan_pair_window(
     })
 }
 
-/// Runs the fast extraction on every adjacent plunger pair of an
+/// Runs an extraction method on every adjacent plunger pair of an
 /// `n`-dot array and assembles the full virtualization matrix.
+///
+/// Any [`Extractor`] works — the fast method, the baseline, or a retry
+/// ladder (`&FastExtractor::new()` coerces to `&dyn Extractor`).
 ///
 /// `bias` holds the standby voltage for every gate while it is not part
 /// of the active pair.
@@ -157,7 +155,7 @@ pub fn plan_pair_window(
 pub fn extract_chain(
     device: &LinearArrayDevice,
     bias: &[f64],
-    extractor: &FastExtractor,
+    extractor: &dyn Extractor,
     plan: &WindowPlan,
 ) -> Result<ChainExtraction, ExtractError> {
     let n = device.n_dots();
@@ -171,7 +169,7 @@ pub fn extract_chain(
         let window = plan_pair_window(device, pair, bias, plan)?;
         let source = PhysicsSource::new(device.clone(), pair, pair + 1, bias.to_vec(), window);
         let mut session = MeasurementSession::new(source);
-        let result = extractor.extract(&mut session)?;
+        let result = extract_with(extractor, &mut session)?;
         total_probes += result.probes;
         total_dwell += result.simulated_dwell;
         coeffs.push((result.alpha12(), result.alpha21()));
@@ -189,6 +187,7 @@ pub fn extract_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extraction::FastExtractor;
     use qd_physics::DeviceBuilder;
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::extraction::{ExtractionResult, FastExtractor};
 use crate::ExtractError;
-use qd_instrument::{CurrentSource, MeasurementSession, VoltageWindow};
+use qd_instrument::{ProbeSession, VoltageWindow};
 
 /// Outcome of the coarse pass.
 #[derive(Debug)]
@@ -38,11 +38,9 @@ pub struct CornerEstimate {
 /// # Errors
 ///
 /// Any [`ExtractError`] from the coarse extraction — most commonly
-/// [`ExtractError::DegenerateAnchors`] when the search range contains no
-/// transition lines at all.
-pub fn locate_corner<S: CurrentSource>(
-    session: &mut MeasurementSession<S>,
-) -> Result<CornerEstimate, ExtractError> {
+/// [`crate::GeometryError::DegenerateAnchors`] when the search range
+/// contains no transition lines at all.
+pub fn locate_corner(session: &mut dyn ProbeSession) -> Result<CornerEstimate, ExtractError> {
     let before = session.probe_count();
     let result = FastExtractor::new().extract(session)?;
     let w = session.window();
@@ -82,6 +80,7 @@ pub fn plan_window_around(corner: (f64, f64), span: f64, pixels: usize) -> Volta
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qd_instrument::MeasurementSession;
     use qd_instrument::PhysicsSource;
     use qd_physics::{DeviceBuilder, SensorModel};
 

@@ -51,6 +51,6 @@ pub mod throttle;
 pub use clock::DwellClock;
 pub use ledger::{ProbeEvent, ProbeLedger};
 pub use scan::ScanPattern;
-pub use session::MeasurementSession;
+pub use session::{MeasurementSession, ProbeSession};
 pub use source::{CsdSource, CurrentSource, FnSource, PhysicsSource, VoltageWindow};
 pub use throttle::ThrottledSource;

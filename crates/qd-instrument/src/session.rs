@@ -4,6 +4,77 @@ use crate::{CurrentSource, DwellClock, ProbeLedger, VoltageWindow};
 use std::collections::HashMap;
 use std::time::Duration;
 
+/// Object-safe view of a measurement session: probing plus the
+/// accounting every extraction method reports on.
+///
+/// [`MeasurementSession`] implements this for every [`CurrentSource`],
+/// so generic pipeline code written against `P: ProbeSession + ?Sized`
+/// accepts both a concrete session and `&mut dyn ProbeSession`. The
+/// trait is what makes method-agnostic driver code possible — an
+/// object-safe extractor cannot name the source type parameter, so it
+/// probes through this interface instead.
+pub trait ProbeSession {
+    /// The paper's `getCurrent(v1, v2)`: one dwell-costing probe (or a
+    /// free cache hit), recorded in the ledger.
+    fn get_current(&mut self, v1: f64, v2: f64) -> f64;
+
+    /// The voltage window being probed.
+    fn window(&self) -> VoltageWindow;
+
+    /// Dwell-costing probes so far (Table 1's "points probed").
+    fn probe_count(&self) -> usize;
+
+    /// Distinct pixels probed.
+    fn unique_pixels(&self) -> usize;
+
+    /// Fraction of the window probed.
+    fn coverage(&self) -> f64;
+
+    /// Simulated dwell time accrued (`probes × dwell`).
+    fn simulated_dwell(&self) -> Duration;
+
+    /// Distinct probed pixels in first-probe order (Figure 7 scatters).
+    fn scatter(&self) -> Vec<(i64, i64)>;
+
+    /// Probes left before a configured budget trips, or `None` if
+    /// uncapped.
+    fn remaining_budget(&self) -> Option<usize>;
+}
+
+impl<S: CurrentSource> ProbeSession for MeasurementSession<S> {
+    fn get_current(&mut self, v1: f64, v2: f64) -> f64 {
+        MeasurementSession::get_current(self, v1, v2)
+    }
+
+    fn window(&self) -> VoltageWindow {
+        MeasurementSession::window(self)
+    }
+
+    fn probe_count(&self) -> usize {
+        MeasurementSession::probe_count(self)
+    }
+
+    fn unique_pixels(&self) -> usize {
+        MeasurementSession::unique_pixels(self)
+    }
+
+    fn coverage(&self) -> f64 {
+        MeasurementSession::coverage(self)
+    }
+
+    fn simulated_dwell(&self) -> Duration {
+        MeasurementSession::simulated_dwell(self)
+    }
+
+    fn scatter(&self) -> Vec<(i64, i64)> {
+        self.ledger().scatter()
+    }
+
+    fn remaining_budget(&self) -> Option<usize> {
+        MeasurementSession::remaining_budget(self)
+    }
+}
+
 /// A stateful measurement session wrapping a [`CurrentSource`].
 ///
 /// Every *new* pixel probed costs one dwell tick and one ledger entry.
@@ -270,6 +341,17 @@ mod tests {
         assert_send::<MeasurementSession<crate::CsdSource>>();
         assert_send::<MeasurementSession<crate::PhysicsSource>>();
         assert_send::<MeasurementSession<crate::ThrottledSource<crate::CsdSource>>>();
+    }
+
+    #[test]
+    fn probe_session_is_object_safe() {
+        let mut s = session();
+        let dyn_s: &mut dyn ProbeSession = &mut s;
+        let _ = dyn_s.get_current(1.0, 2.0);
+        assert_eq!(dyn_s.probe_count(), 1);
+        assert_eq!(dyn_s.scatter(), vec![(1, 2)]);
+        assert_eq!(dyn_s.window().delta, 1.0);
+        assert!(dyn_s.remaining_budget().is_none());
     }
 
     #[test]

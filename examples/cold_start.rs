@@ -11,10 +11,8 @@
 //! cargo run --release --example cold_start
 //! ```
 
-use fastvg::core::extraction::FastExtractor;
-use fastvg::core::window_search::{locate_corner, plan_window_around};
-use fastvg::instrument::{MeasurementSession, PhysicsSource, VoltageWindow};
-use fastvg::physics::{DeviceBuilder, SensorModel, WhiteNoise};
+use fastvg::physics::{SensorModel, WhiteNoise};
+use fastvg::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sensor = SensorModel::new(5.0, 4.0, 3.0, vec![1.0, 0.74], vec![-0.008, -0.008])?;
@@ -54,14 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let source = PhysicsSource::new(device.clone(), 0, 1, vec![0.0, 0.0], fine_window)
         .with_noise(WhiteNoise::new(0.03), 12);
     let mut fine = MeasurementSession::new(source);
-    let result = FastExtractor::new().extract(&mut fine)?;
+    let report = Pipeline::fast().build().run(&mut fine)?;
     println!(
         "fine pass: slope_h {:+.4} (truth {:+.4}), slope_v {:+.4} (truth {:+.4}), {} probes",
-        result.slope_h, truth.slope_h, result.slope_v, truth.slope_v, result.probes
+        report.slope_h, truth.slope_h, report.slope_v, truth.slope_v, report.probes
     );
-    println!("virtualization matrix: {}", result.matrix);
+    println!("virtualization matrix: {}", report.matrix);
 
-    let total = est.probes + result.probes;
+    let total = est.probes + report.probes;
     // A fine map of the full search range would be (120/60*100)^2 pixels.
     let naive = 200usize * 200;
     println!(

@@ -1,24 +1,63 @@
 //! Live-device extraction: probe a physics model instead of a recorded
-//! diagram.
+//! diagram, with observer hooks streaming progress as it happens.
 //!
 //! The paper evaluates on recorded CSDs; on real hardware the extraction
-//! probes the device directly and noise depends on probe *order* (drift
-//! accumulates between measurements). This example runs the fast
-//! extraction against a live constant-interaction model with a stateful
-//! drift + white + telegraph noise stack, then renders the probed pixels
-//! as ASCII art over the (separately acquired) full diagram.
+//! probes the device directly, noise depends on probe *order* (drift
+//! accumulates between measurements), and an operator wants to see the
+//! run progressing. This example attaches an `Observer` to a
+//! `Pipeline` — stage transitions and a probe ticker stream live — then
+//! renders the probed pixels as ASCII art over the (separately acquired)
+//! full diagram.
 //!
 //! ```sh
 //! cargo run --release --example live_device
 //! ```
 
-use fastvg::core::extraction::FastExtractor;
 use fastvg::csd::render::AsciiRenderer;
-use fastvg::csd::{Csd, Pixel, VoltageGrid};
-use fastvg::instrument::{MeasurementSession, PhysicsSource, VoltageWindow};
-use fastvg::physics::{
-    CompositeNoise, DeviceBuilder, DriftNoise, SensorModel, TelegraphNoise, WhiteNoise,
-};
+use fastvg::physics::{CompositeNoise, DriftNoise, SensorModel, TelegraphNoise, WhiteNoise};
+use fastvg::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Streams stage transitions and every 200th dwell-costing probe —
+/// the live progress feed an unattended rig would ship to a dashboard.
+struct ProgressTicker {
+    costed: AtomicUsize,
+}
+
+impl Observer for ProgressTicker {
+    fn on_stage_start(&self, stage: Stage) {
+        println!("  [stage] {stage} ...");
+    }
+
+    fn on_stage_end(&self, timing: &StageTiming) {
+        println!(
+            "  [stage] {} done: {} probes, {:.1}ms",
+            timing.stage,
+            timing.probes,
+            timing.elapsed.as_secs_f64() * 1e3
+        );
+    }
+
+    fn on_probe(&self, probe: &ProbeObservation) {
+        if !probe.costed {
+            return;
+        }
+        let n = self.costed.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(200) {
+            println!(
+                "  [probe] #{n}: ({:+.1} V, {:+.1} V) -> {:.3} nA",
+                probe.v1, probe.v2, probe.value
+            );
+        }
+    }
+
+    fn on_complete(&self, report: &ExtractionReport) {
+        println!(
+            "  [done] {} probes, slopes h {:+.3} / v {:+.3}",
+            report.probes, report.slope_h, report.slope_v
+        );
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sharp lines (low electron temperature) and a visible background
@@ -52,21 +91,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = MeasurementSession::new(source);
 
     println!("probing live device (drift accumulates across probes)...");
-    let result = FastExtractor::new().extract(&mut session)?;
+    let pipeline = Pipeline::fast()
+        .with_observer(ProgressTicker {
+            costed: AtomicUsize::new(0),
+        })
+        .build();
+    let report = pipeline.run(&mut session)?;
 
     println!(
-        "probes: {} ({:.2}% of the window), dwell {:.1}s",
-        result.probes,
-        100.0 * result.coverage,
-        result.simulated_dwell.as_secs_f64()
+        "\nprobes: {} ({:.2}% of the window), dwell {:.1}s",
+        report.probes,
+        100.0 * report.coverage,
+        report.simulated_dwell.as_secs_f64()
     );
     println!(
         "slope_h {:+.4} (truth {:+.4})   slope_v {:+.4} (truth {:+.4})",
-        result.slope_h, truth.slope_h, result.slope_v, truth.slope_v
+        report.slope_h, truth.slope_h, report.slope_v, truth.slope_v
     );
-    println!("virtualization matrix: {}", result.matrix);
+    println!("virtualization matrix: {}", report.matrix);
 
-    // Render probed pixels over a noiseless reference diagram.
+    // Render probed pixels over a noiseless reference diagram. The
+    // method-specific trace (anchors) rides inside the unified report.
+    let anchors = report
+        .details
+        .fast()
+        .map(|r| r.anchors.clone())
+        .expect("fast pipeline reports fast details");
     let grid = VoltageGrid::new(window.x_min, window.y_min, window.delta, 100, 100)?;
     let reference = Csd::from_fn(grid, |v1, v2| {
         device.current(&[v1, v2]).expect("valid gate vector")
@@ -80,8 +130,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let art = AsciiRenderer::new()
         .max_width(100)
         .with_overlays(probed, 'o')
-        .with_overlay(result.anchors.a1, 'A')
-        .with_overlay(result.anchors.a2, 'B')
+        .with_overlay(anchors.a1, 'A')
+        .with_overlay(anchors.a2, 'B')
         .render(&reference);
     println!("\nprobed pixels (o), anchors (A, B) over the reference diagram:\n");
     println!("{art}");

@@ -1,26 +1,29 @@
 //! Noise robustness: where does each method break?
 //!
 //! Sweeps the white-noise amplitude applied to a benchmark device and
-//! reports, for each level, whether the fast extraction and the Hough
-//! baseline still recover the virtualization coefficients within
-//! tolerance. This extends the paper's observation that its two failed
-//! benchmarks were simply too noisy for *both* methods.
+//! reports, for each level, whether each extraction method still
+//! recovers the virtualization coefficients within tolerance. Both
+//! methods run through the same `Box<dyn Extractor>` loop — adding a
+//! third method to the sweep means adding one line. This extends the
+//! paper's observation that its two failed benchmarks were simply too
+//! noisy for *both* methods.
 //!
 //! ```sh
 //! cargo run --release --example noise_robustness
 //! ```
 
-use fastvg::core::baseline::HoughBaseline;
-use fastvg::core::extraction::FastExtractor;
-use fastvg::core::report::SuccessCriteria;
-use fastvg::dataset::{generate, BenchmarkSpec, NoiseRecipe};
-use fastvg::instrument::{CsdSource, MeasurementSession};
+use fastvg::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let criteria = SuccessCriteria::default();
     let levels = [0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.45, 0.65, 0.90];
     // Three seeds per level; success = majority.
     let seeds = [11u64, 22, 33];
+
+    let methods: Vec<Box<dyn Extractor>> = vec![
+        Box::new(FastExtractor::new()),
+        Box::new(HoughBaseline::new()),
+    ];
 
     println!("white-noise sigma vs success (sensor step ≈ 0.6 nA)");
     println!(
@@ -30,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:->8}-+-{:-^16}-+-{:-^16}", "", "", "");
 
     for &sigma in &levels {
-        let mut fast_ok = 0;
-        let mut base_ok = 0;
+        let mut ok = vec![0usize; methods.len()];
         for &seed in &seeds {
             let mut spec = BenchmarkSpec::clean(6, 100);
             spec.seed = seed;
@@ -44,24 +46,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             };
             let bench = generate(&spec)?;
 
-            let mut fs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            if let Ok(r) = FastExtractor::new().extract(&mut fs) {
-                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                    fast_ok += 1;
-                }
-            }
-            let mut bs = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-            if let Ok(r) = HoughBaseline::new().extract(&mut bs) {
-                if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
-                    base_ok += 1;
+            for (m, method) in methods.iter().enumerate() {
+                let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+                if let Ok(r) = extract_with(method.as_ref(), &mut session) {
+                    if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) {
+                        ok[m] += 1;
+                    }
                 }
             }
         }
         println!(
             "{:>8.2} | {:^16} | {:^16}",
             sigma,
-            format!("{fast_ok}/{}", seeds.len()),
-            format!("{base_ok}/{}", seeds.len())
+            format!("{}/{}", ok[0], seeds.len()),
+            format!("{}/{}", ok[1], seeds.len())
         );
     }
 

@@ -1,18 +1,17 @@
 //! Quickstart: extract a virtual gate matrix from one benchmark CSD.
 //!
-//! Runs the paper's fast extraction on benchmark 6 of the synthetic
-//! qflow-like suite, prints the probe statistics and the virtualization
-//! matrix, and compares both against the Hough baseline and the ground
-//! truth.
+//! Runs both extraction methods — the paper's fast §4 pipeline and the
+//! Canny+Hough full-CSD baseline — on benchmark 6 of the synthetic
+//! qflow-like suite through the unified `Extractor` API: one loop, one
+//! report type, no per-method code paths. Prints probe statistics,
+//! per-stage timings, the virtualization matrices and the accuracy
+//! against ground truth.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use fastvg::core::baseline::HoughBaseline;
-use fastvg::core::extraction::FastExtractor;
-use fastvg::dataset::paper_benchmark;
-use fastvg::instrument::{CsdSource, MeasurementSession};
+use fastvg::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Benchmark 6: a clean 100×100 diagram (Table 1 row 6).
@@ -24,53 +23,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         bench.truth.slope_h, bench.truth.slope_v, bench.truth.alpha12, bench.truth.alpha21
     );
 
-    // --- Fast extraction (the paper's method) ---------------------------
-    let mut fast_session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-    let fast = FastExtractor::new().extract(&mut fast_session)?;
-    println!("\nfast extraction:");
-    println!(
-        "  probes: {} ({:.2}% of the diagram)",
-        fast.probes,
-        100.0 * fast.coverage
-    );
-    println!(
-        "  simulated runtime: {:.2}s (dwell) + {:.1}ms (compute)",
-        fast.simulated_dwell.as_secs_f64(),
-        fast.compute_time.as_secs_f64() * 1e3
-    );
-    println!(
-        "  slopes: h = {:+.4}, v = {:+.4}   matrix: {}",
-        fast.slope_h, fast.slope_v, fast.matrix
-    );
+    // Any extraction method is a `Box<dyn Extractor>`; the whole
+    // comparison is one loop over trait objects.
+    let methods: Vec<Box<dyn Extractor>> = vec![
+        Box::new(FastExtractor::new()),
+        Box::new(HoughBaseline::new()),
+    ];
 
-    // --- Baseline (full CSD + Canny + Hough) ----------------------------
-    let mut base_session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-    let base = HoughBaseline::new().extract(&mut base_session)?;
-    println!("\nhough baseline:");
-    println!("  probes: {} (100% of the diagram)", base.probes);
-    println!(
-        "  simulated runtime: {:.2}s (dwell) + {:.1}ms (compute)",
-        base.simulated_dwell.as_secs_f64(),
-        base.compute_time.as_secs_f64() * 1e3
-    );
-    println!(
-        "  slopes: h = {:+.4}, v = {:+.4}   matrix: {}",
-        base.slope_h, base.slope_v, base.matrix
-    );
+    let mut reports = Vec::new();
+    for method in &methods {
+        let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+        let report = extract_with(method.as_ref(), &mut session)?;
 
+        println!("\n{}:", report.method);
+        println!(
+            "  probes: {} ({:.2}% of the diagram)",
+            report.probes,
+            100.0 * report.coverage
+        );
+        println!(
+            "  simulated runtime: {:.2}s (dwell) + {:.1}ms (compute)",
+            report.simulated_dwell.as_secs_f64(),
+            report.compute_time.as_secs_f64() * 1e3
+        );
+        println!(
+            "  slopes: h = {:+.4}, v = {:+.4}   matrix: {}",
+            report.slope_h, report.slope_v, report.matrix
+        );
+        let stages: Vec<String> = report
+            .stages
+            .iter()
+            .map(|s| format!("{} {}p", s.stage, s.probes))
+            .collect();
+        println!("  stages: {}", stages.join(" | "));
+        println!(
+            "  alpha error: |d12| = {:.4}, |d21| = {:.4}",
+            (report.alpha12() - bench.truth.alpha12).abs(),
+            (report.alpha21() - bench.truth.alpha21).abs()
+        );
+        reports.push(report);
+    }
+
+    let (fast, base) = (&reports[0], &reports[1]);
     let speedup = base.total_runtime().as_secs_f64() / fast.total_runtime().as_secs_f64();
-    println!("\nspeedup: {speedup:.2}x");
-
-    // --- Accuracy against ground truth ----------------------------------
-    println!(
-        "\nalpha error (fast):     |d12| = {:.4}, |d21| = {:.4}",
-        (fast.alpha12() - bench.truth.alpha12).abs(),
-        (fast.alpha21() - bench.truth.alpha21).abs()
-    );
-    println!(
-        "alpha error (baseline): |d12| = {:.4}, |d21| = {:.4}",
-        (base.alpha12() - bench.truth.alpha12).abs(),
-        (base.alpha21() - bench.truth.alpha21).abs()
-    );
+    println!("\nspeedup (fast vs baseline): {speedup:.2}x");
     Ok(())
 }

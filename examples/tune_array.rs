@@ -10,9 +10,7 @@
 //! cargo run --example tune_array
 //! ```
 
-use fastvg::core::extraction::FastExtractor;
-use fastvg::core::virtual_gate::{extract_chain, WindowPlan};
-use fastvg::physics::DeviceBuilder;
+use fastvg::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n_dots = 4;

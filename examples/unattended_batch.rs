@@ -1,68 +1,91 @@
-//! Unattended batch tuning: retry ladders + failure archiving.
+//! Unattended batch tuning: retry ladders + concurrent fleets + failure
+//! archiving.
 //!
 //! The scaling argument of the paper's introduction is that humans cannot
-//! babysit thousands of dot pairs. This example simulates that workflow:
-//! a randomized cohort of devices is tuned with [`TuningLoop`]'s retry
-//! ladder, successes are verified against ground truth, and the diagrams
-//! of any failures are archived to disk for offline inspection.
+//! babysit thousands of dot pairs. This example simulates that workflow
+//! end to end on the unified API: a `Pipeline` wraps the fast extractor
+//! in a retry ladder and a fleet-wide progress observer, a
+//! `BatchExtractor` fans the randomized cohort out over worker threads
+//! (the pipeline itself is the `dyn Extractor` it runs), successes are
+//! verified against ground truth, and the diagrams of any failures are
+//! archived to disk for offline inspection.
 //!
 //! ```sh
 //! cargo run --release --example unattended_batch
 //! ```
 
-use fastvg::core::report::SuccessCriteria;
-use fastvg::core::tuning::TuningLoop;
-use fastvg::dataset::{generate, random_specs, save_suite};
-use fastvg::instrument::{CsdSource, MeasurementSession};
+use fastvg::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts retry-rung activations across the whole (concurrent) fleet —
+/// observers are `Sync`, so one instance serves every worker.
+#[derive(Default)]
+struct FleetStats {
+    retries: AtomicUsize,
+}
+
+impl Observer for FleetStats {
+    fn on_attempt_start(&self, attempt: usize, _total: usize) {
+        if attempt > 1 {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cohort = 16usize;
     let specs = random_specs(cohort, 2024);
-    let ladder = TuningLoop::new();
     let criteria = SuccessCriteria::default();
 
+    let stats = std::sync::Arc::new(FleetStats::default());
+    let pipeline = Pipeline::fast()
+        .with_retry(TuningLoop::new())
+        .with_observer(stats.clone())
+        .build();
+
     println!(
-        "unattended batch: {cohort} randomized devices, {}-rung retry ladder\n",
-        ladder.len()
+        "unattended batch: {cohort} randomized devices, retry-laddered {}\n",
+        pipeline.method()
     );
 
-    let mut verified = 0usize;
-    let mut retried = 0usize;
-    let mut failures = Vec::new();
+    // Generate the cohort up front (each spec carries its own seed), then
+    // fan the tuning out over the batch layer.
+    let benches: Vec<GeneratedBenchmark> = specs.iter().map(generate).collect::<Result<_, _>>()?;
+    let outcomes = BatchExtractor::new().run(&pipeline, benches.len(), |job| {
+        let bench = &benches[job];
+        MeasurementSession::new(CsdSource::new(bench.csd.clone()))
+            .with_probe_budget(bench.spec.pixel_count()) // tripwire: never exceed a full CSD
+    });
 
-    for spec in &specs {
-        let bench = generate(spec)?;
-        let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()))
-            .with_probe_budget(bench.spec.pixel_count()); // tripwire: never exceed a full CSD
-        let outcome = ladder.run(&mut session);
-        let status = match &outcome.result {
+    let mut verified = 0usize;
+    let mut failures = Vec::new();
+    for (bench, outcome) in benches.iter().zip(outcomes) {
+        let status = match &outcome.outcome {
             Ok(r) if criteria.judge(r.alpha12(), r.alpha21(), &bench.truth) => {
                 verified += 1;
-                if outcome.attempts_used > 1 {
-                    retried += 1;
-                }
                 format!(
                     "ok   (attempt {}, {} probes, α₁₂ {:+.3}, α₂₁ {:+.3})",
-                    outcome.attempts_used,
-                    outcome.total_probes,
+                    r.attempts,
+                    r.probes,
                     r.alpha12(),
                     r.alpha21()
                 )
             }
             Ok(_) => {
-                failures.push(bench);
+                failures.push(bench.clone());
                 "WRONG (passed validation but off ground truth) — archived".to_string()
             }
             Err(e) => {
-                failures.push(bench);
+                failures.push(bench.clone());
                 format!("FAIL ({e}) — archived")
             }
         };
-        println!("  device {:>2}: {status}", spec.index);
+        println!("  device {:>2}: {status}", bench.spec.index);
     }
 
     println!(
-        "\nverified {verified}/{cohort} ({retried} needed a retry rung), {} archived for inspection",
+        "\nverified {verified}/{cohort} ({} retry rungs fired fleet-wide), {} archived for inspection",
+        stats.retries.load(Ordering::Relaxed),
         failures.len()
     );
 

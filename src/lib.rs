@@ -7,7 +7,8 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `fastvg-core` | the paper's algorithm + Hough baseline |
+//! | [`prelude`] | — | **the stable public surface**: `Extractor`, `Pipeline`, `ExtractionReport`, sessions, configs |
+//! | [`core`] | `fastvg-core` | the paper's algorithm, Hough baseline, unified `api`, batch layer |
 //! | [`physics`] | `qd-physics` | constant-interaction device models |
 //! | [`csd`] | `qd-csd` | charge stability diagrams & virtualization |
 //! | [`instrument`] | `qd-instrument` | `getCurrent` sessions, dwell clock, probe ledger |
@@ -20,19 +21,67 @@
 //! `crates/bench` for the harnesses regenerating every table and figure
 //! of the paper.
 //!
+//! # Quickstart
+//!
+//! Every extraction method — the paper's fast §4 pipeline, the
+//! Canny+Hough baseline, retry ladders — implements one object-safe
+//! [`prelude::Extractor`] trait and returns one unified
+//! [`prelude::ExtractionReport`]:
+//!
 //! ```
-//! use fastvg::core::extraction::FastExtractor;
-//! use fastvg::dataset::paper_benchmark;
-//! use fastvg::instrument::{CsdSource, MeasurementSession};
+//! use fastvg::prelude::*;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let bench = paper_benchmark(6)?;
 //! let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
-//! let result = FastExtractor::new().extract(&mut session)?;
-//! assert!((result.alpha21() - bench.truth.alpha21).abs() < 0.08);
+//!
+//! let report = Pipeline::fast().build().run(&mut session)?;
+//! assert!((report.alpha21() - bench.truth.alpha21).abs() < 0.08);
+//! assert!(report.coverage < 0.25); // a fraction of the diagram probed
+//! assert!(!report.stages.is_empty()); // per-stage probe/time accounting
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Methods are interchangeable behind `Box<dyn Extractor>` — one code
+//! path drives any of them (and [`prelude::BatchExtractor`] fans them
+//! out over whole device fleets):
+//!
+//! ```
+//! use fastvg::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let bench = paper_benchmark(6)?;
+//! let methods: Vec<Box<dyn Extractor>> = vec![
+//!     Box::new(FastExtractor::new()),
+//!     Box::new(HoughBaseline::new()),
+//!     Box::new(TuningLoop::new()),
+//! ];
+//! for method in &methods {
+//!     let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+//!     let report = extract_with(method.as_ref(), &mut session)?;
+//!     assert!(report.slope_v < -1.0, "{}", report.method);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Migration note (0.2)
+//!
+//! The 0.1 per-method entry points still work: `FastExtractor::extract`,
+//! `HoughBaseline::extract` and `TuningLoop::run` keep returning their
+//! typed results ([`prelude::ExtractionResult`] etc.), and those structs
+//! also ride along inside [`prelude::ExtractionReport::details`]. The
+//! Table 1 row struct `fastvg::core::report::ExtractionReport` was
+//! renamed to [`prelude::ReportRow`]; that module path remains as a
+//! deprecated alias for one release. Note the *crate-root* re-export
+//! `fastvg::core::ExtractionReport` now names the unified per-run
+//! report instead (both types cannot share the root name) — code that
+//! imported the row from the root should switch to `ReportRow` and
+//! will get a compile error pointing here. Error matching moved to the
+//! structured taxonomy: `ExtractError::UnphysicalSlopes { .. }` is now
+//! `ExtractError::Fit(FitError::UnphysicalSlopes { .. })` (see
+//! [`prelude::ExtractError`]).
 
 #![forbid(unsafe_code)]
 
@@ -44,3 +93,47 @@ pub use qd_instrument as instrument;
 pub use qd_numerics as numerics;
 pub use qd_physics as physics;
 pub use qd_vision as vision;
+
+/// The stable public surface: everything a tuning harness needs, in one
+/// import.
+///
+/// ```
+/// use fastvg::prelude::*;
+/// let pipeline = Pipeline::fast().with_retry(TuningLoop::new()).build();
+/// assert_eq!(pipeline.method(), Method::TunedFast);
+/// ```
+pub mod prelude {
+    // The unified extraction API (the tentpole surface).
+    pub use fastvg_core::api::{
+        extract_with, ExtractionDetails, ExtractionReport, Extractor, Observer, Pipeline,
+        PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
+    };
+    // Methods, their configs and typed results.
+    pub use fastvg_core::anchors::AnchorConfig;
+    pub use fastvg_core::baseline::{BaselineConfig, BaselineResult, HoughBaseline, RefineMethod};
+    pub use fastvg_core::batch::{BatchExtractor, BatchOutcome};
+    pub use fastvg_core::extraction::{ExtractionResult, ExtractorConfig, FastExtractor};
+    pub use fastvg_core::fit::{FitMethod, SlopeBounds};
+    pub use fastvg_core::sweep::SweepConfig;
+    pub use fastvg_core::tuning::{TuningLoop, TuningOutcome};
+    pub use fastvg_core::virtual_gate::{extract_chain, ChainExtraction, WindowPlan};
+    pub use fastvg_core::window_search::{locate_corner, plan_window_around};
+    // Errors and scoring.
+    pub use fastvg_core::report::{Method, ReportRow, SuccessCriteria};
+    pub use fastvg_core::{
+        ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError,
+    };
+    // The measurement stack.
+    pub use qd_instrument::{
+        CsdSource, CurrentSource, DwellClock, FnSource, MeasurementSession, PhysicsSource,
+        ProbeSession, ScanPattern, ThrottledSource, VoltageWindow,
+    };
+    // Diagrams and devices.
+    pub use qd_csd::{Csd, Pixel, VirtualizationMatrix, VoltageGrid};
+    pub use qd_physics::DeviceBuilder;
+    // The synthetic benchmark suite.
+    pub use qd_dataset::{
+        generate, load_suite, paper_benchmark, paper_suite, random_specs, save_suite,
+        BenchmarkSpec, GeneratedBenchmark, NoiseRecipe,
+    };
+}

@@ -5,7 +5,7 @@
 use fastvg::core::baseline::HoughBaseline;
 use fastvg::core::extraction::FastExtractor;
 use fastvg::core::tuning::TuningLoop;
-use fastvg::core::ExtractError;
+use fastvg::core::{ExtractError, ProbeError};
 use fastvg::csd::{Csd, VoltageGrid};
 use fastvg::instrument::{CsdSource, FnSource, MeasurementSession, VoltageWindow};
 
@@ -63,7 +63,10 @@ fn window_too_small_is_reported() {
     let csd = Csd::from_fn(grid, |v1, v2| v1 + v2).expect("csd");
     let mut session = MeasurementSession::new(CsdSource::new(csd));
     let err = FastExtractor::new().extract(&mut session).unwrap_err();
-    assert!(matches!(err, ExtractError::WindowTooSmall { .. }), "{err}");
+    assert!(
+        matches!(err, ExtractError::Probe(ProbeError::WindowTooSmall { .. })),
+        "{err}"
+    );
 }
 
 #[test]
@@ -102,16 +105,10 @@ fn inverted_contrast_fails_validation() {
 #[test]
 fn errors_format_without_panicking() {
     let errs: Vec<ExtractError> = vec![
-        ExtractError::WindowTooSmall { min: 20, got: 4 },
-        ExtractError::DegenerateAnchors {
-            a1: (3, 3),
-            a2: (3, 3),
-        },
-        ExtractError::TooFewTransitionPoints { got: 0, min: 4 },
-        ExtractError::UnphysicalSlopes {
-            slope_h: f64::NAN,
-            slope_v: f64::INFINITY,
-        },
+        ExtractError::window_too_small(20, 4),
+        ExtractError::degenerate_anchors((3, 3), (3, 3)),
+        ExtractError::too_few_transition_points(0, 4),
+        ExtractError::unphysical_slopes(f64::NAN, f64::INFINITY),
     ];
     for e in errs {
         assert!(!format!("{e}").is_empty());
