@@ -1,0 +1,323 @@
+//! `fastvg-loadgen` — drives a running `fastvg-serve` daemon with
+//! concurrent connections over the 12-benchmark suite and records the
+//! service's throughput/latency/cache profile as
+//! `BENCH_serve_throughput.json` (the cross-PR perf artifact, next to
+//! `BENCH_batch_throughput.json`).
+//!
+//! ```sh
+//! # Against an external daemon:
+//! cargo run --release -p fastvg-bench --bin fastvg-loadgen -- \
+//!     --addr 127.0.0.1:8737 --connections 4 --passes 2 --out artifacts
+//! # Self-contained (boots an in-process daemon on an ephemeral port):
+//! cargo run --release -p fastvg-bench --bin fastvg-loadgen -- --spawn
+//! ```
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — daemon to drive (required unless `--spawn`).
+//! * `--spawn` — boot an in-process daemon instead (ephemeral port).
+//! * `--connections N` — concurrent keep-alive connections (default 4).
+//! * `--passes N` — sweeps over the suite (default 2: a cold pass that
+//!   populates the result cache, then a hot pass that must hit it).
+//! * `--method fast|hough|tuned` — extraction method (default fast).
+//! * `--budget N` — cap requests per pass (CI smoke; default all 12).
+//! * `--wait-healthz SECS` — poll `GET /healthz` up to a deadline before
+//!   driving load (lets scripts race the daemon boot).
+//! * `--expect-cache-hits` — exit non-zero unless every post-cold
+//!   request was a cache hit.
+//! * `--out DIR` — artifact directory (default `target/artifacts`).
+//!
+//! Every request uses `?wait`, so a request's latency is the service's
+//! end-to-end job latency (queue + schedule + extract + serialize).
+//! The run fails (non-zero exit) on any transport/HTTP failure, and on
+//! any response whose bytes differ from the first pass — the over-the-
+//! wire restatement of the cache byte-identity guarantee.
+
+use fastvg_serve::{start, Client, ServeConfig};
+use fastvg_wire::Json;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    connections: usize,
+    passes: usize,
+    method: String,
+    budget: Option<usize>,
+    wait_healthz: Option<u64>,
+    expect_cache_hits: bool,
+    out: std::path::PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            addr: None,
+            spawn: false,
+            connections: 4,
+            passes: 2,
+            method: "fast".to_string(),
+            budget: None,
+            wait_healthz: None,
+            expect_cache_hits: false,
+            out: std::path::PathBuf::from("target/artifacts"),
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args::default();
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} expects a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => parsed.addr = Some(value("--addr", &mut args)),
+            "--spawn" => parsed.spawn = true,
+            "--connections" => {
+                parsed.connections = value("--connections", &mut args)
+                    .parse()
+                    .expect("--connections expects a number")
+            }
+            "--passes" => {
+                parsed.passes = value("--passes", &mut args)
+                    .parse()
+                    .expect("--passes expects a number")
+            }
+            "--method" => parsed.method = value("--method", &mut args),
+            "--budget" => {
+                parsed.budget = Some(
+                    value("--budget", &mut args)
+                        .parse()
+                        .expect("--budget expects a number"),
+                )
+            }
+            "--wait-healthz" => {
+                parsed.wait_healthz = Some(
+                    value("--wait-healthz", &mut args)
+                        .parse()
+                        .expect("--wait-healthz expects seconds"),
+                )
+            }
+            "--expect-cache-hits" => parsed.expect_cache_hits = true,
+            "--out" => parsed.out = value("--out", &mut args).into(),
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    assert!(
+        matches!(parsed.method.as_str(), "fast" | "hough" | "tuned"),
+        "--method expects fast|hough|tuned"
+    );
+    parsed.connections = parsed.connections.max(1);
+    parsed.passes = parsed.passes.max(1);
+    parsed
+}
+
+/// One request's record.
+#[derive(Debug, Clone)]
+struct Sample {
+    benchmark: usize,
+    status: u16,
+    cache_hit: bool,
+    latency: Duration,
+    body: Vec<u8>,
+}
+
+/// Exact percentile over the recorded samples (nearest-rank).
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+fn drive_pass(
+    addr: &str,
+    benchmarks: &[usize],
+    connections: usize,
+    method: &str,
+) -> (Vec<Sample>, Duration) {
+    let started = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect to daemon");
+                    let mut collected = Vec::new();
+                    // Static round-robin: connection c takes benchmarks
+                    // c, c+connections, ...
+                    for &benchmark in benchmarks.iter().skip(c).step_by(connections) {
+                        let body =
+                            format!("{{\"benchmark\": {benchmark}, \"method\": \"{method}\"}}");
+                        let sent = Instant::now();
+                        let response = client
+                            .post("/extract?wait", body.as_bytes())
+                            .expect("request completes");
+                        collected.push(Sample {
+                            benchmark,
+                            status: response.status,
+                            cache_hit: response.header("x-fastvg-cache") == Some("hit"),
+                            latency: sent.elapsed(),
+                            body: response.body,
+                        });
+                    }
+                    collected
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("connection thread"))
+            .collect()
+    });
+    (samples, started.elapsed())
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Either drive an external daemon or boot one in-process.
+    let spawned = if args.spawn {
+        Some(
+            start(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                ..ServeConfig::default()
+            })
+            .expect("spawn in-process daemon"),
+        )
+    } else {
+        None
+    };
+    let addr = match (&spawned, &args.addr) {
+        (Some(daemon), _) => daemon.addr().to_string(),
+        (None, Some(addr)) => addr.clone(),
+        (None, None) => panic!("--addr HOST:PORT is required (or pass --spawn)"),
+    };
+
+    if let Some(secs) = args.wait_healthz {
+        let deadline = Instant::now() + Duration::from_secs(secs);
+        loop {
+            let healthy = Client::connect_with_timeout(&addr, Duration::from_secs(2))
+                .and_then(|mut c| c.get("/healthz"))
+                .map(|r| r.status == 200)
+                .unwrap_or(false);
+            if healthy {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "daemon at {addr} not healthy within {secs}s"
+            );
+            std::thread::sleep(Duration::from_millis(200));
+        }
+    }
+
+    let mut benchmarks: Vec<usize> = (1..=12).collect();
+    if let Some(budget) = args.budget {
+        benchmarks.truncate(budget.max(1));
+    }
+
+    println!(
+        "fastvg-loadgen: {} requests/pass x {} passes over {} connections -> {addr}",
+        benchmarks.len(),
+        args.passes,
+        args.connections
+    );
+
+    let mut pass_docs: Vec<Json> = Vec::new();
+    let mut first_pass_bodies: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
+    let mut failed_requests = 0usize;
+    let mut identity_ok = true;
+    let mut post_cold_misses = 0usize;
+
+    for pass in 1..=args.passes {
+        let (samples, wall) = drive_pass(&addr, &benchmarks, args.connections, &args.method);
+
+        let mut latencies_ms: Vec<f64> = samples
+            .iter()
+            .map(|s| s.latency.as_secs_f64() * 1e3)
+            .collect();
+        latencies_ms.sort_by(f64::total_cmp);
+        let hits = samples.iter().filter(|s| s.cache_hit).count();
+        let failures = samples.iter().filter(|s| s.status != 200).count();
+        failed_requests += failures;
+        if pass > 1 {
+            post_cold_misses += samples.len() - hits;
+        }
+
+        for sample in &samples {
+            if pass == 1 {
+                first_pass_bodies.insert(sample.benchmark, sample.body.clone());
+            } else if first_pass_bodies.get(&sample.benchmark) != Some(&sample.body) {
+                identity_ok = false;
+                eprintln!(
+                    "byte-identity violation: benchmark {} differs from pass 1",
+                    sample.benchmark
+                );
+            }
+        }
+
+        let rps = samples.len() as f64 / wall.as_secs_f64().max(1e-9);
+        let (p50, p95, p99) = (
+            percentile(&latencies_ms, 0.50),
+            percentile(&latencies_ms, 0.95),
+            percentile(&latencies_ms, 0.99),
+        );
+        println!(
+            "pass {pass}: {} requests in {:.3}s = {rps:.1} req/s | p50 {p50:.1}ms p95 {p95:.1}ms p99 {p99:.1}ms | {hits} cache hits, {failures} failed",
+            samples.len(),
+            wall.as_secs_f64(),
+        );
+        pass_docs.push(
+            Json::object()
+                .field("pass", pass)
+                .field("requests", samples.len())
+                .field("wall_s", Json::num(wall.as_secs_f64()))
+                .field("rps", Json::num(rps))
+                .field("p50_ms", Json::num(p50))
+                .field("p95_ms", Json::num(p95))
+                .field("p99_ms", Json::num(p99))
+                .field("cache_hits", hits)
+                .field(
+                    "cache_hit_rate",
+                    Json::num(hits as f64 / samples.len().max(1) as f64),
+                )
+                .field("failed_requests", failures)
+                .build(),
+        );
+    }
+
+    let doc = Json::object()
+        .field("bench", "serve_throughput")
+        .field("suite", "paper12")
+        .field("method", args.method.as_str())
+        .field("connections", args.connections)
+        .field("requests_per_pass", benchmarks.len())
+        .field("passes", pass_docs)
+        .field("failed_requests", failed_requests)
+        .field("cache_identity_ok", identity_ok)
+        .build();
+    std::fs::create_dir_all(&args.out).expect("create artifact dir");
+    let path = args.out.join("BENCH_serve_throughput.json");
+    std::fs::write(&path, doc.pretty()).expect("write artifact");
+    println!("artifact: {}", path.display());
+
+    if let Some(daemon) = spawned {
+        daemon.shutdown();
+        daemon.join();
+    }
+
+    assert_eq!(failed_requests, 0, "failed requests");
+    assert!(identity_ok, "cache-hit responses must replay cold bytes");
+    if args.expect_cache_hits {
+        assert_eq!(
+            post_cold_misses, 0,
+            "every post-cold request must hit the cache"
+        );
+    }
+}

@@ -31,6 +31,7 @@
 
 use fastvg_bench::{csv_f64, fmt_secs, run_method, run_suite, Artifacts, BenchArgs};
 use fastvg_core::report::SuccessCriteria;
+use fastvg_wire::Json;
 use qd_dataset::paper_suite_jobs;
 use std::time::Instant;
 
@@ -252,16 +253,26 @@ fn write_throughput_bench(
         "batch determinism violated between jobs=1 and jobs=4"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"batch_throughput\",\n  \"suite\": \"paper12-both-methods\",\n  \
-         \"serial_wall_s\": {serial_s:.4},\n  \"jobs4_wall_s\": {jobs4_s:.4},\n  \
-         \"throughput_speedup\": {:.4},\n  \"jobs_flag\": {jobs_flag},\n  \"table1\": {{\n    \
-         \"fast_successes\": {fast_successes},\n    \"baseline_successes\": {base_successes},\n    \
-         \"mean_speedup\": {}\n  }}\n}}\n",
-        serial_s / jobs4_s.max(1e-12),
-        json_f64(mean_speedup),
-    );
-    let path = artifacts.write("BENCH_batch_throughput.json", &json)?;
+    let json = Json::object()
+        .field("bench", "batch_throughput")
+        .field("suite", "paper12-both-methods")
+        .field("serial_wall_s", Json::num(serial_s))
+        .field("jobs4_wall_s", Json::num(jobs4_s))
+        .field(
+            "throughput_speedup",
+            Json::num(serial_s / jobs4_s.max(1e-12)),
+        )
+        .field("jobs_flag", jobs_flag)
+        .field(
+            "table1",
+            Json::object()
+                .field("fast_successes", fast_successes)
+                .field("baseline_successes", base_successes)
+                .field("mean_speedup", Json::num(mean_speedup))
+                .build(),
+        )
+        .build();
+    let path = artifacts.write("BENCH_batch_throughput.json", &json.pretty())?;
     println!(
         "batch throughput: {serial_s:.2}s serial vs {jobs4_s:.2}s --jobs 4 ({:.2}x) -> {}",
         serial_s / jobs4_s.max(1e-12),
@@ -271,8 +282,8 @@ fn write_throughput_bench(
 }
 
 /// Writes `table1.csv` (per-benchmark rows) and `table1.json` (summary +
-/// rows) for CI artifact upload. JSON is emitted by hand — the vendored
-/// serde shim has no serializer.
+/// rows) for CI artifact upload. JSON goes through the shared
+/// [`fastvg_wire::Json`] serializer (the vendored serde shim has none).
 fn write_artifacts(
     artifacts: &Artifacts,
     rows: &[Row],
@@ -302,46 +313,42 @@ fn write_artifacts(
     }
     artifacts.write("table1.csv", &csv)?;
 
-    let json_rows: Vec<String> = rows
+    let json_rows: Vec<Json> = rows
         .iter()
         .map(|r| {
-            format!(
-                "    {{\"benchmark\": {}, \"size\": {}, \"fast_success\": {}, \"baseline_success\": {}, \
-                 \"fast_probes\": {}, \"fast_coverage\": {:.6}, \"baseline_probes\": {}, \
-                 \"fast_runtime_s\": {:.3}, \"baseline_runtime_s\": {:.3}, \"speedup\": {}, \
-                 \"alpha12\": {}, \"alpha21\": {}}}",
-                r.benchmark,
-                r.size,
-                r.fast_success,
-                r.base_success,
-                r.fast_probes,
-                r.fast_coverage,
-                r.base_probes,
-                r.fast_runtime.as_secs_f64(),
-                r.base_runtime.as_secs_f64(),
-                r.speedup.map_or("null".into(), |s| format!("{s:.4}")),
-                json_f64(r.alpha12),
-                json_f64(r.alpha21),
-            )
+            Json::object()
+                .field("benchmark", r.benchmark)
+                .field("size", r.size)
+                .field("fast_success", r.fast_success)
+                .field("baseline_success", r.base_success)
+                .field("fast_probes", r.fast_probes)
+                .field("fast_coverage", Json::num(r.fast_coverage))
+                .field("baseline_probes", r.base_probes)
+                .field("fast_runtime_s", Json::num(r.fast_runtime.as_secs_f64()))
+                .field(
+                    "baseline_runtime_s",
+                    Json::num(r.base_runtime.as_secs_f64()),
+                )
+                .field("speedup", r.speedup.map_or(Json::Null, Json::num))
+                .field("alpha12", Json::num(r.alpha12))
+                .field("alpha21", Json::num(r.alpha21))
+                .build()
         })
         .collect();
-    let json = format!(
-        "{{\n  \"fast_successes\": {fast_successes},\n  \"baseline_successes\": {base_successes},\n  \
-         \"benchmarks\": {},\n  \"mean_speedup\": {},\n  \"gate\": {{\"min_fast_successes\": {GATE_MIN_FAST_SUCCESSES}, \
-         \"min_mean_speedup\": {GATE_MIN_MEAN_SPEEDUP:.1}}},\n  \"rows\": [\n{}\n  ]\n}}\n",
-        rows.len(),
-        json_f64(mean_speedup),
-        json_rows.join(",\n"),
-    );
-    artifacts.write("table1.json", &json)?;
+    let json = Json::object()
+        .field("fast_successes", fast_successes)
+        .field("baseline_successes", base_successes)
+        .field("benchmarks", rows.len())
+        .field("mean_speedup", Json::num(mean_speedup))
+        .field(
+            "gate",
+            Json::object()
+                .field("min_fast_successes", GATE_MIN_FAST_SUCCESSES)
+                .field("min_mean_speedup", Json::num(GATE_MIN_MEAN_SPEEDUP))
+                .build(),
+        )
+        .field("rows", json_rows)
+        .build();
+    artifacts.write("table1.json", &json.pretty())?;
     Ok(())
-}
-
-/// Renders an `f64` as JSON (NaN has no literal; emit `null`).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v:.6}")
-    } else {
-        "null".into()
-    }
 }

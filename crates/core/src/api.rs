@@ -50,13 +50,52 @@
 //! ```
 
 use crate::baseline::{BaselineConfig, BaselineResult, HoughBaseline};
+use crate::error::WireError;
 use crate::extraction::{ExtractionResult, ExtractorConfig, FastExtractor};
 use crate::report::Method;
 use crate::tuning::TuningLoop;
 use crate::ExtractError;
+use fastvg_wire::Json;
 use qd_csd::VirtualizationMatrix;
 use qd_instrument::{ProbeSession, VoltageWindow};
 use std::time::{Duration, Instant};
+
+/// `json[key]` as a finite `f64`.
+fn wire_f64(json: &Json, key: &str) -> Result<f64, WireError> {
+    json.get(key)
+        .and_then(Json::as_f64)
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| WireError::new(format!("report: bad or missing \"{key}\"")))
+}
+
+/// `json[key]` as a `usize`.
+fn wire_usize(json: &Json, key: &str) -> Result<usize, WireError> {
+    json.get(key)
+        .and_then(Json::as_usize)
+        .ok_or_else(|| WireError::new(format!("report: bad or missing \"{key}\"")))
+}
+
+/// `json[key]` as a string.
+fn wire_str<'a>(json: &'a Json, key: &str) -> Result<&'a str, WireError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| WireError::new(format!("report: bad or missing \"{key}\"")))
+}
+
+/// `json[key]` as an array.
+fn wire_arr<'a>(json: &'a Json, key: &str) -> Result<&'a [Json], WireError> {
+    json.get(key)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| WireError::new(format!("report: bad or missing \"{key}\"")))
+}
+
+/// `json[key]` (integer nanoseconds) as a [`Duration`].
+fn wire_duration(json: &Json, key: &str) -> Result<Duration, WireError> {
+    json.get(key)
+        .and_then(Json::as_u64)
+        .map(Duration::from_nanos)
+        .ok_or_else(|| WireError::new(format!("report: bad or missing \"{key}\"")))
+}
 
 /// A pipeline stage, for per-stage timings and [`Observer`] events.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -84,7 +123,15 @@ pub enum Stage {
 
 impl std::fmt::Display for Stage {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let name = match self {
+        f.write_str(self.name())
+    }
+}
+
+impl Stage {
+    /// The stable lowercase token used in displays, metrics and on the
+    /// wire.
+    pub fn name(&self) -> &'static str {
+        match self {
             Stage::Anchors => "anchors",
             Stage::RowSweep => "row-sweep",
             Stage::ColumnSweep => "column-sweep",
@@ -94,8 +141,23 @@ impl std::fmt::Display for Stage {
             Stage::Acquire => "acquire",
             Stage::Vision => "vision",
             Stage::Refine => "refine",
-        };
-        write!(f, "{name}")
+        }
+    }
+
+    /// Parses a [`Stage::name`] token.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        match name {
+            "anchors" => Some(Stage::Anchors),
+            "row-sweep" => Some(Stage::RowSweep),
+            "column-sweep" => Some(Stage::ColumnSweep),
+            "postprocess" => Some(Stage::Postprocess),
+            "fit" => Some(Stage::Fit),
+            "verify" => Some(Stage::Verify),
+            "acquire" => Some(Stage::Acquire),
+            "vision" => Some(Stage::Vision),
+            "refine" => Some(Stage::Refine),
+            _ => None,
+        }
     }
 }
 
@@ -109,6 +171,36 @@ pub struct StageTiming {
     /// Wall-clock time inside the stage (includes any real source
     /// latency; varies run-to-run).
     pub elapsed: Duration,
+}
+
+impl StageTiming {
+    /// Serializes to the wire schema
+    /// (`{"stage": ..., "probes": ..., "elapsed_ns": ...}`).
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("stage", self.stage.name())
+            .field("probes", self.probes)
+            .field("elapsed_ns", self.elapsed.as_nanos())
+            .build()
+    }
+
+    /// Parses the wire schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on missing or mistyped fields or an unknown
+    /// stage token.
+    pub fn from_json(json: &Json) -> Result<Self, WireError> {
+        let stage = wire_str(json, "stage").and_then(|name| {
+            Stage::from_name(name)
+                .ok_or_else(|| WireError::new(format!("report: unknown stage {name:?}")))
+        })?;
+        Ok(Self {
+            stage,
+            probes: wire_usize(json, "probes")?,
+            elapsed: wire_duration(json, "elapsed_ns")?,
+        })
+    }
 }
 
 /// One observed `getCurrent` call.
@@ -394,6 +486,22 @@ pub enum ExtractionDetails {
     Fast(Box<ExtractionResult>),
     /// Full trace of a Canny+Hough baseline extraction.
     Baseline(Box<BaselineResult>),
+    /// The compact summary a report parsed back off the wire carries —
+    /// the in-memory traces (sweep steps, Hough lines, …) are not
+    /// transmitted.
+    Summary(DetailSummary),
+}
+
+/// What the wire keeps of [`ExtractionDetails`]: which trace kind the
+/// report carried and its headline geometry count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetailSummary {
+    /// `"fast"` or `"baseline"` (the trace kind, not the method — a
+    /// [`Method::TunedFast`] run carries a fast trace).
+    pub kind: String,
+    /// Transition points (fast trace) or Hough lines (baseline trace)
+    /// behind the fit.
+    pub points: usize,
 }
 
 impl ExtractionDetails {
@@ -413,6 +521,22 @@ impl ExtractionDetails {
             _ => None,
         }
     }
+
+    /// The wire summary of this payload (identity on
+    /// [`ExtractionDetails::Summary`]).
+    pub fn summarize(&self) -> DetailSummary {
+        match self {
+            ExtractionDetails::Fast(r) => DetailSummary {
+                kind: "fast".to_string(),
+                points: r.transition_points.len(),
+            },
+            ExtractionDetails::Baseline(r) => DetailSummary {
+                kind: "baseline".to_string(),
+                points: r.lines.len(),
+            },
+            ExtractionDetails::Summary(s) => s.clone(),
+        }
+    }
 }
 
 impl ExtractionReport {
@@ -430,6 +554,106 @@ impl ExtractionReport {
     /// Coefficient `α₂₁ = −slope_h`.
     pub fn alpha21(&self) -> f64 {
         self.matrix.alpha21()
+    }
+
+    /// Serializes this report to the wire schema (`docs/PROTOCOL.md`).
+    ///
+    /// Everything is transmitted except the in-memory trace behind
+    /// [`ExtractionReport::details`], which is flattened to its
+    /// [`DetailSummary`]; durations travel as integer nanoseconds and
+    /// floats in shortest round-trip form, so every transmitted field is
+    /// recovered bit-for-bit by [`ExtractionReport::from_json`].
+    pub fn to_json(&self) -> Json {
+        let summary = self.details.summarize();
+        Json::object()
+            .field("method", self.method.wire_name())
+            .field("slope_h", Json::num(self.slope_h))
+            .field("slope_v", Json::num(self.slope_v))
+            .field("alpha12", Json::num(self.alpha12()))
+            .field("alpha21", Json::num(self.alpha21()))
+            .field("probes", self.probes)
+            .field("unique_pixels", self.unique_pixels)
+            .field("coverage", Json::num(self.coverage))
+            .field("simulated_dwell_ns", self.simulated_dwell.as_nanos())
+            .field("compute_time_ns", self.compute_time.as_nanos())
+            .field("attempts", self.attempts)
+            .field(
+                "retry_failures",
+                self.retry_failures
+                    .iter()
+                    .map(|s| Json::from(s.as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "stages",
+                self.stages
+                    .iter()
+                    .map(StageTiming::to_json)
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "details",
+                Json::object()
+                    .field("kind", summary.kind)
+                    .field("points", summary.points)
+                    .build(),
+            )
+            .build()
+    }
+
+    /// Parses a report off the wire schema.
+    ///
+    /// The result carries [`ExtractionDetails::Summary`] details (traces
+    /// are not transmitted); every other field is recovered exactly, and
+    /// re-serializing the parsed report reproduces the input document
+    /// byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on missing or mistyped fields, or alphas a
+    /// [`VirtualizationMatrix`] rejects.
+    pub fn from_json(json: &Json) -> Result<Self, WireError> {
+        let method = wire_str(json, "method").and_then(|name| {
+            Method::from_wire_name(name)
+                .ok_or_else(|| WireError::new(format!("report: unknown method {name:?}")))
+        })?;
+        let matrix =
+            VirtualizationMatrix::new(wire_f64(json, "alpha12")?, wire_f64(json, "alpha21")?)
+                .map_err(|e| WireError::new(format!("report: bad virtualization matrix: {e}")))?;
+        let retry_failures = wire_arr(json, "retry_failures")?
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_string).ok_or_else(|| {
+                    WireError::new("report: \"retry_failures\" entries must be strings")
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let stages = wire_arr(json, "stages")?
+            .iter()
+            .map(StageTiming::from_json)
+            .collect::<Result<_, _>>()?;
+        let details = json
+            .get("details")
+            .ok_or_else(|| WireError::new("report: missing \"details\""))?;
+        let details = ExtractionDetails::Summary(DetailSummary {
+            kind: wire_str(details, "kind")?.to_string(),
+            points: wire_usize(details, "points")?,
+        });
+        Ok(Self {
+            method,
+            slope_h: wire_f64(json, "slope_h")?,
+            slope_v: wire_f64(json, "slope_v")?,
+            matrix,
+            probes: wire_usize(json, "probes")?,
+            unique_pixels: wire_usize(json, "unique_pixels")?,
+            coverage: wire_f64(json, "coverage")?,
+            simulated_dwell: wire_duration(json, "simulated_dwell_ns")?,
+            compute_time: wire_duration(json, "compute_time_ns")?,
+            attempts: wire_usize(json, "attempts")?,
+            retry_failures,
+            stages,
+            details,
+        })
     }
 
     pub(crate) fn from_fast(result: ExtractionResult, view: &mut SessionView<'_>) -> Self {
@@ -824,6 +1048,84 @@ mod tests {
         fn on_error(&self, _error: &ExtractError) {
             self.events.lock().unwrap().push("error".into());
         }
+    }
+
+    #[test]
+    fn report_round_trips_through_wire_json() {
+        let methods: Vec<Box<dyn Extractor>> = vec![
+            Box::new(FastExtractor::new()),
+            Box::new(HoughBaseline::new()),
+            Box::new(TuningLoop::new()),
+        ];
+        for extractor in &methods {
+            let mut session = synthetic_session(100);
+            let report = extract_with(extractor.as_ref(), &mut session).unwrap();
+
+            let text = report.to_json().dump();
+            let parsed = Json::parse(&text).unwrap();
+            let back = ExtractionReport::from_json(&parsed).unwrap();
+
+            // Every transmitted field is recovered bit-for-bit.
+            assert_eq!(back.method, report.method);
+            assert_eq!(back.slope_h.to_bits(), report.slope_h.to_bits());
+            assert_eq!(back.slope_v.to_bits(), report.slope_v.to_bits());
+            assert_eq!(back.matrix, report.matrix);
+            assert_eq!(back.probes, report.probes);
+            assert_eq!(back.unique_pixels, report.unique_pixels);
+            assert_eq!(back.coverage.to_bits(), report.coverage.to_bits());
+            assert_eq!(back.simulated_dwell, report.simulated_dwell);
+            assert_eq!(back.compute_time, report.compute_time);
+            assert_eq!(back.attempts, report.attempts);
+            assert_eq!(back.retry_failures, report.retry_failures);
+            assert_eq!(back.stages, report.stages);
+            // Traces flatten to their summary; the summary is stable.
+            assert_eq!(
+                back.details,
+                ExtractionDetails::Summary(report.details.summarize())
+            );
+            // Re-serialization reproduces the document byte-for-byte —
+            // a parsed report is a fixpoint of the wire format.
+            assert_eq!(back.to_json().dump(), text, "{}", report.method);
+        }
+    }
+
+    #[test]
+    fn report_from_json_rejects_malformed_documents() {
+        let mut session = synthetic_session(100);
+        let good = extract_with(&FastExtractor::new(), &mut session)
+            .unwrap()
+            .to_json();
+
+        // Dropping any required member must fail decoding.
+        let members = good.as_obj().unwrap().to_vec();
+        for (skip, _) in &members {
+            let stripped = Json::Obj(members.iter().filter(|(k, _)| k != skip).cloned().collect());
+            assert!(
+                ExtractionReport::from_json(&stripped).is_err(),
+                "dropping {skip:?} must fail"
+            );
+        }
+        let err = ExtractionReport::from_json(&Json::Null).unwrap_err();
+        assert!(err.to_string().contains("method"), "{err}");
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for stage in [
+            Stage::Anchors,
+            Stage::RowSweep,
+            Stage::ColumnSweep,
+            Stage::Postprocess,
+            Stage::Fit,
+            Stage::Verify,
+            Stage::Acquire,
+            Stage::Vision,
+            Stage::Refine,
+        ] {
+            assert_eq!(Stage::from_name(stage.name()), Some(stage));
+            assert_eq!(stage.to_string(), stage.name());
+        }
+        assert_eq!(Stage::from_name("warmup"), None);
     }
 
     #[test]

@@ -130,14 +130,148 @@ pub enum ErrorCategory {
 
 impl fmt::Display for ErrorCategory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl ErrorCategory {
+    /// The stable lowercase token used on the wire.
+    pub fn name(&self) -> &'static str {
         match self {
-            ErrorCategory::Probe => write!(f, "probe"),
-            ErrorCategory::Geometry => write!(f, "geometry"),
-            ErrorCategory::Fit => write!(f, "fit"),
-            ErrorCategory::Verify => write!(f, "verify"),
+            ErrorCategory::Probe => "probe",
+            ErrorCategory::Geometry => "geometry",
+            ErrorCategory::Fit => "fit",
+            ErrorCategory::Verify => "verify",
+        }
+    }
+
+    /// Parses a [`ErrorCategory::name`] token.
+    pub fn from_name(name: &str) -> Option<ErrorCategory> {
+        match name {
+            "probe" => Some(ErrorCategory::Probe),
+            "geometry" => Some(ErrorCategory::Geometry),
+            "fit" => Some(ErrorCategory::Fit),
+            "verify" => Some(ErrorCategory::Verify),
+            _ => None,
         }
     }
 }
+
+/// The wire form of an [`ExtractError`]: the category plus the flattened
+/// [`std::error::Error::source`] chain.
+///
+/// The typed taxonomy wraps live lower-crate errors
+/// (`qd_vision::VisionError`, …) that cannot be reconstructed from text,
+/// so the service protocol transmits this flattened view instead: the
+/// coarse [`ErrorCategory`] for routing, the top-level message, and each
+/// deeper `source()` message in order. `wire → JSON → wire` is lossless
+/// (see [`WireFailure::from_json`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFailure {
+    /// Which pipeline phase failed.
+    pub category: ErrorCategory,
+    /// The top-level error message.
+    pub message: String,
+    /// Messages of the `source()` chain below the top level, outermost
+    /// first.
+    pub chain: Vec<String>,
+}
+
+impl WireFailure {
+    /// Serializes to the protocol's error object.
+    pub fn to_json(&self) -> fastvg_wire::Json {
+        fastvg_wire::Json::object()
+            .field("category", self.category.name())
+            .field("message", self.message.as_str())
+            .field(
+                "chain",
+                self.chain
+                    .iter()
+                    .map(|m| fastvg_wire::Json::from(m.as_str()))
+                    .collect::<Vec<_>>(),
+            )
+            .build()
+    }
+
+    /// Parses the protocol's error object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on missing or mistyped fields.
+    pub fn from_json(json: &fastvg_wire::Json) -> Result<Self, WireError> {
+        let category = json
+            .get("category")
+            .and_then(fastvg_wire::Json::as_str)
+            .and_then(ErrorCategory::from_name)
+            .ok_or_else(|| WireError::new("failure: bad or missing \"category\""))?;
+        let message = json
+            .get("message")
+            .and_then(fastvg_wire::Json::as_str)
+            .ok_or_else(|| WireError::new("failure: bad or missing \"message\""))?
+            .to_string();
+        let chain = match json.get("chain") {
+            None => Vec::new(),
+            Some(v) => v
+                .as_arr()
+                .ok_or_else(|| WireError::new("failure: \"chain\" must be an array"))?
+                .iter()
+                .map(|m| {
+                    m.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| WireError::new("failure: \"chain\" entries must be strings"))
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        Ok(Self {
+            category,
+            message,
+            chain,
+        })
+    }
+}
+
+impl fmt::Display for WireFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)?;
+        for cause in &self.chain {
+            write!(f, "; caused by: {cause}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for WireFailure {}
+
+impl From<&ExtractError> for WireFailure {
+    fn from(e: &ExtractError) -> Self {
+        e.to_wire()
+    }
+}
+
+/// A malformed wire document: a field the decoder needed was missing or
+/// had the wrong type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was wrong.
+    pub message: String,
+}
+
+impl WireError {
+    /// A decode error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed wire document: {}", self.message)
+    }
+}
+
+impl Error for WireError {}
 
 impl ExtractError {
     /// Which pipeline phase the error belongs to.
@@ -173,6 +307,23 @@ impl ExtractError {
     /// Fitted lines failing the contrast validation.
     pub fn low_contrast(ratio: f64, threshold: f64) -> Self {
         ExtractError::Verify(VerifyError::LowContrast { ratio, threshold })
+    }
+
+    /// Flattens this error into its wire form: category, top-level
+    /// message, and the [`Error::source`] chain as plain strings
+    /// (outermost source first).
+    pub fn to_wire(&self) -> WireFailure {
+        let mut chain = Vec::new();
+        let mut cursor: Option<&(dyn Error + 'static)> = self.source();
+        while let Some(err) = cursor {
+            chain.push(err.to_string());
+            cursor = err.source();
+        }
+        WireFailure {
+            category: self.category(),
+            message: self.to_string(),
+            chain,
+        }
     }
 }
 
@@ -395,5 +546,77 @@ mod tests {
     fn send_sync() {
         fn f<T: Send + Sync>() {}
         f::<ExtractError>();
+    }
+
+    #[test]
+    fn wire_failure_flattens_the_source_chain() {
+        let e = ExtractError::from(qd_vision::VisionError::NoEdges);
+        let w = e.to_wire();
+        assert_eq!(w.category, ErrorCategory::Geometry);
+        assert_eq!(w.message, e.to_string());
+        assert_eq!(w.chain.len(), 2, "taxonomy level + crate level");
+        assert_eq!(w.chain[1], qd_vision::VisionError::NoEdges.to_string());
+
+        // Leaf variants flatten to a single taxonomy-level source.
+        let leaf = ExtractError::window_too_small(20, 5).to_wire();
+        assert_eq!(leaf.chain.len(), 1);
+        assert!(leaf.to_string().contains("caused by"));
+    }
+
+    #[test]
+    fn wire_failure_round_trips_through_json() {
+        let cases: Vec<ExtractError> = vec![
+            ExtractError::window_too_small(20, 5),
+            ExtractError::degenerate_anchors((1, 2), (3, 4)),
+            ExtractError::too_few_transition_points(1, 4),
+            ExtractError::unphysical_slopes(0.5, -0.1),
+            ExtractError::low_contrast(0.1, 0.8),
+            ExtractError::from(qd_vision::VisionError::NoEdges),
+            ExtractError::from(qd_numerics::NumericsError::EmptyInput),
+        ];
+        for e in cases {
+            let wire = WireFailure::from(&e);
+            let json = wire.to_json();
+            let text = json.dump();
+            let back = WireFailure::from_json(&fastvg_wire::Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, wire, "{e}");
+            assert_eq!(back.to_json().dump(), text, "re-emission must be stable");
+        }
+    }
+
+    #[test]
+    fn wire_failure_rejects_malformed_documents() {
+        for text in [
+            "{}",
+            "{\"category\": \"nope\", \"message\": \"m\"}",
+            "{\"category\": \"fit\"}",
+            "{\"category\": \"fit\", \"message\": 3}",
+            "{\"category\": \"fit\", \"message\": \"m\", \"chain\": \"x\"}",
+            "{\"category\": \"fit\", \"message\": \"m\", \"chain\": [1]}",
+        ] {
+            let json = fastvg_wire::Json::parse(text).unwrap();
+            let err = WireFailure::from_json(&json).unwrap_err();
+            assert!(!err.to_string().is_empty(), "{text}");
+        }
+        // A missing chain is tolerated (defaults to empty).
+        let json = fastvg_wire::Json::parse("{\"category\": \"fit\", \"message\": \"m\"}").unwrap();
+        assert_eq!(
+            WireFailure::from_json(&json).unwrap().chain,
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn category_names_round_trip() {
+        for c in [
+            ErrorCategory::Probe,
+            ErrorCategory::Geometry,
+            ErrorCategory::Fit,
+            ErrorCategory::Verify,
+        ] {
+            assert_eq!(ErrorCategory::from_name(c.name()), Some(c));
+            assert_eq!(c.to_string(), c.name());
+        }
+        assert_eq!(ErrorCategory::from_name("other"), None);
     }
 }

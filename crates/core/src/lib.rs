@@ -86,10 +86,13 @@ pub mod window_search;
 mod error;
 
 pub use api::{
-    extract_with, ExtractionDetails, ExtractionReport, Extractor, Observer, Pipeline,
-    PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
+    extract_with, DetailSummary, ExtractionDetails, ExtractionReport, Extractor, Observer,
+    Pipeline, PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
 };
 pub use batch::{BatchExtractor, BatchOutcome};
-pub use error::{ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError};
+pub use error::{
+    ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError, WireError,
+    WireFailure,
+};
 pub use extraction::{ExtractionResult, FastExtractor};
 pub use report::{Method, ReportRow, SuccessCriteria};

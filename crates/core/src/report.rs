@@ -33,6 +33,29 @@ impl std::fmt::Display for Method {
     }
 }
 
+impl Method {
+    /// The stable lowercase token used on the wire and in request
+    /// `"method"` fields (`fast` / `hough` / `tuned`).
+    pub fn wire_name(&self) -> &'static str {
+        match self {
+            Method::FastExtraction => "fast",
+            Method::HoughBaseline => "hough",
+            Method::TunedFast => "tuned",
+        }
+    }
+
+    /// Parses a [`Method::wire_name`] token (also accepts the `baseline`
+    /// alias the bench CLIs take).
+    pub fn from_wire_name(name: &str) -> Option<Method> {
+        match name {
+            "fast" => Some(Method::FastExtraction),
+            "hough" | "baseline" => Some(Method::HoughBaseline),
+            "tuned" => Some(Method::TunedFast),
+            _ => None,
+        }
+    }
+}
+
 /// Success criteria for judging an extraction against ground truth.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SuccessCriteria {
@@ -87,13 +110,6 @@ pub struct ReportRow {
     /// Human-readable failure reason, if any.
     pub failure: Option<String>,
 }
-
-/// Deprecated name of [`ReportRow`], kept for one release.
-#[deprecated(
-    since = "0.2.0",
-    note = "renamed to `ReportRow`; the unified per-run report is now `fastvg_core::api::ExtractionReport`"
-)]
-pub type ExtractionReport = ReportRow;
 
 impl ReportRow {
     /// A report row for a hard failure (the method returned an error).
@@ -213,5 +229,21 @@ mod tests {
         assert_eq!(Method::FastExtraction.to_string(), "Fast Extraction");
         assert_eq!(Method::HoughBaseline.to_string(), "Baseline");
         assert_eq!(Method::TunedFast.to_string(), "Tuned Fast");
+    }
+
+    #[test]
+    fn method_wire_names_round_trip() {
+        for m in [
+            Method::FastExtraction,
+            Method::HoughBaseline,
+            Method::TunedFast,
+        ] {
+            assert_eq!(Method::from_wire_name(m.wire_name()), Some(m));
+        }
+        assert_eq!(
+            Method::from_wire_name("baseline"),
+            Some(Method::HoughBaseline)
+        );
+        assert_eq!(Method::from_wire_name("slow"), None);
     }
 }

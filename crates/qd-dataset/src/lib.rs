@@ -43,6 +43,7 @@ pub mod archive;
 pub mod generator;
 pub mod spec;
 pub mod suite;
+pub mod wire;
 
 mod error;
 

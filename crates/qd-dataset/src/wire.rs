@@ -1,0 +1,304 @@
+//! Request-side spec parsing: [`BenchmarkSpec`] ⇄ JSON.
+//!
+//! `fastvg-serve` accepts extraction jobs over the wire as JSON scenario
+//! specs (`docs/PROTOCOL.md`); this module is the boundary where those
+//! untrusted documents become validated [`BenchmarkSpec`]s. Parsing is
+//! *partial*: `size` is the only required member and everything else
+//! defaults from [`BenchmarkSpec::clean`], so a request can be as small
+//! as `{"size": 100}` or pin the full device recipe. Values are
+//! range-checked here — the daemon should reject a hostile 10⁶-pixel
+//! request at the door, not inside a worker.
+
+use crate::{BenchmarkSpec, DatasetError, NoiseRecipe};
+use fastvg_wire::Json;
+
+/// Largest accepted `size` (pixels per axis). The paper's diagrams top
+/// out at 200; 512 leaves generous headroom without letting one request
+/// allocate unbounded memory.
+pub const MAX_SPEC_SIZE: usize = 512;
+
+/// Smallest accepted `size` — below this the extraction masks do not fit.
+pub const MIN_SPEC_SIZE: usize = 16;
+
+fn invalid(message: impl Into<String>) -> DatasetError {
+    DatasetError::InvalidSpec {
+        message: message.into(),
+    }
+}
+
+fn opt_f64(json: &Json, key: &str, default: f64) -> Result<f64, DatasetError> {
+    match json.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| invalid(format!("\"{key}\" must be a finite number"))),
+    }
+}
+
+fn opt_usize(json: &Json, key: &str, default: usize) -> Result<usize, DatasetError> {
+    match json.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_usize()
+            .ok_or_else(|| invalid(format!("\"{key}\" must be a non-negative integer"))),
+    }
+}
+
+impl NoiseRecipe {
+    /// Serializes to the wire schema.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("white_sigma", Json::num(self.white_sigma))
+            .field("drift_step", Json::num(self.drift_step))
+            .field("drift_relaxation", Json::num(self.drift_relaxation))
+            .field("telegraph_amplitude", Json::num(self.telegraph_amplitude))
+            .field(
+                "telegraph_probability",
+                Json::num(self.telegraph_probability),
+            )
+            .build()
+    }
+
+    /// Parses the wire schema; missing members default to
+    /// [`NoiseRecipe::clean`]. Also accepts the preset strings
+    /// `"silent"` / `"clean"` / `"noisy"` / `"swamped"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] on mistyped members or
+    /// out-of-range values.
+    pub fn from_json(json: &Json) -> Result<Self, DatasetError> {
+        if let Some(preset) = json.as_str() {
+            return match preset {
+                "silent" => Ok(NoiseRecipe::silent()),
+                "clean" => Ok(NoiseRecipe::clean()),
+                "noisy" => Ok(NoiseRecipe::noisy()),
+                "swamped" => Ok(NoiseRecipe::swamped()),
+                other => Err(invalid(format!("unknown noise preset {other:?}"))),
+            };
+        }
+        if json.as_obj().is_none() {
+            return Err(invalid("\"noise\" must be an object or preset string"));
+        }
+        let defaults = NoiseRecipe::clean();
+        let recipe = NoiseRecipe {
+            white_sigma: opt_f64(json, "white_sigma", defaults.white_sigma)?,
+            drift_step: opt_f64(json, "drift_step", defaults.drift_step)?,
+            drift_relaxation: opt_f64(json, "drift_relaxation", defaults.drift_relaxation)?,
+            telegraph_amplitude: opt_f64(
+                json,
+                "telegraph_amplitude",
+                defaults.telegraph_amplitude,
+            )?,
+            telegraph_probability: opt_f64(
+                json,
+                "telegraph_probability",
+                defaults.telegraph_probability,
+            )?,
+        };
+        for (name, v) in [
+            ("white_sigma", recipe.white_sigma),
+            ("drift_step", recipe.drift_step),
+            ("telegraph_amplitude", recipe.telegraph_amplitude),
+        ] {
+            if v < 0.0 {
+                return Err(invalid(format!("\"{name}\" must be non-negative")));
+            }
+        }
+        if !(0.0..1.0).contains(&recipe.drift_relaxation) {
+            return Err(invalid("\"drift_relaxation\" must be in [0, 1)"));
+        }
+        if !(0.0..=1.0).contains(&recipe.telegraph_probability) {
+            return Err(invalid("\"telegraph_probability\" must be in [0, 1]"));
+        }
+        Ok(recipe)
+    }
+}
+
+impl BenchmarkSpec {
+    /// Serializes to the wire schema — the canonical scenario form behind
+    /// `fastvg-serve` cache fingerprints, so it must emit every member
+    /// that influences generation.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("index", self.index)
+            .field("size", self.size)
+            .field(
+                "lever_arms",
+                self.lever_arms
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(|&v| Json::num(v)).collect()))
+                    .collect::<Vec<_>>(),
+            )
+            .field("mutual", Json::num(self.mutual))
+            .field("temperature", Json::num(self.temperature))
+            .field("contrast", Json::num(self.contrast))
+            .field("noise", self.noise.to_json())
+            .field("seed", self.seed)
+            .build()
+    }
+
+    /// Parses a scenario spec off the wire. `size` is required; all other
+    /// members default from [`BenchmarkSpec::clean`] (index defaults
+    /// to 0 — wire specs are not Table 1 rows, so the expected-outcome
+    /// flags always take their clean defaults and are not accepted from
+    /// the wire).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::InvalidSpec`] on missing/mistyped members
+    /// or physically unreasonable values (size outside
+    /// [`MIN_SPEC_SIZE`]..=[`MAX_SPEC_SIZE`], non-positive lever arms or
+    /// temperature, …).
+    pub fn from_json(json: &Json) -> Result<Self, DatasetError> {
+        if json.as_obj().is_none() {
+            return Err(invalid("spec must be an object"));
+        }
+        let size = json
+            .get("size")
+            .and_then(Json::as_usize)
+            .ok_or_else(|| invalid("\"size\" is required and must be a positive integer"))?;
+        if !(MIN_SPEC_SIZE..=MAX_SPEC_SIZE).contains(&size) {
+            return Err(invalid(format!(
+                "\"size\" must be in {MIN_SPEC_SIZE}..={MAX_SPEC_SIZE}, got {size}"
+            )));
+        }
+        let index = opt_usize(json, "index", 0)?;
+        let mut spec = BenchmarkSpec::clean(index, size);
+
+        if let Some(arms) = json.get("lever_arms") {
+            let rows = arms
+                .as_arr()
+                .filter(|rows| rows.len() == 2)
+                .ok_or_else(|| invalid("\"lever_arms\" must be a 2x2 array"))?;
+            for (i, row) in rows.iter().enumerate() {
+                let cells = row
+                    .as_arr()
+                    .filter(|cells| cells.len() == 2)
+                    .ok_or_else(|| invalid("\"lever_arms\" must be a 2x2 array"))?;
+                for (j, cell) in cells.iter().enumerate() {
+                    spec.lever_arms[i][j] = cell
+                        .as_f64()
+                        .filter(|v| v.is_finite())
+                        .ok_or_else(|| invalid("\"lever_arms\" entries must be finite numbers"))?;
+                }
+            }
+            if spec.lever_arms[0][0] <= 0.0 || spec.lever_arms[1][1] <= 0.0 {
+                return Err(invalid("diagonal lever arms must be positive"));
+            }
+            if spec.lever_arms[0][1] < 0.0 || spec.lever_arms[1][0] < 0.0 {
+                return Err(invalid("cross lever arms must be non-negative"));
+            }
+        }
+
+        spec.mutual = opt_f64(json, "mutual", spec.mutual)?;
+        if !(0.0..=1.0).contains(&spec.mutual) {
+            return Err(invalid("\"mutual\" must be in [0, 1]"));
+        }
+        spec.temperature = opt_f64(json, "temperature", spec.temperature)?;
+        if spec.temperature <= 0.0 {
+            return Err(invalid("\"temperature\" must be positive"));
+        }
+        spec.contrast = opt_f64(json, "contrast", spec.contrast)?;
+        if spec.contrast <= 0.0 {
+            return Err(invalid("\"contrast\" must be positive"));
+        }
+        if let Some(noise) = json.get("noise") {
+            spec.noise = NoiseRecipe::from_json(noise)?;
+        }
+        if let Some(seed) = json.get("seed") {
+            spec.seed = seed
+                .as_u64()
+                .ok_or_else(|| invalid("\"seed\" must be a u64"))?;
+        }
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::paper_specs;
+
+    #[test]
+    fn paper_specs_round_trip() {
+        for spec in paper_specs() {
+            let text = spec.to_json().dump();
+            let back = BenchmarkSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+            // Expected-outcome flags are Table 1 metadata, not wire data.
+            let mut normalized = spec.clone();
+            normalized.expect_fast_success = true;
+            normalized.expect_baseline_success = true;
+            assert_eq!(back, normalized, "benchmark {}", spec.index);
+            assert_eq!(back.to_json().dump(), text, "stable re-emission");
+        }
+    }
+
+    #[test]
+    fn minimal_request_defaults_to_clean() {
+        let spec = BenchmarkSpec::from_json(&Json::parse("{\"size\": 100}").unwrap()).unwrap();
+        let mut expect = BenchmarkSpec::clean(0, 100);
+        expect.seed = spec.seed; // clean() derives the seed from the index
+        assert_eq!(spec.noise, NoiseRecipe::clean());
+        assert_eq!(spec.size, 100);
+        assert_eq!(spec, expect);
+    }
+
+    #[test]
+    fn noise_presets_parse() {
+        let j = Json::parse("{\"size\": 64, \"noise\": \"swamped\"}").unwrap();
+        let spec = BenchmarkSpec::from_json(&j).unwrap();
+        assert_eq!(spec.noise, NoiseRecipe::swamped());
+        let bad = Json::parse("{\"size\": 64, \"noise\": \"loud\"}").unwrap();
+        assert!(BenchmarkSpec::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn seeds_survive_as_full_u64() {
+        let seed = u64::MAX - 3;
+        let j = Json::object()
+            .field("size", 64usize)
+            .field("seed", seed)
+            .build();
+        assert_eq!(BenchmarkSpec::from_json(&j).unwrap().seed, seed);
+    }
+
+    #[test]
+    fn hostile_requests_are_rejected_at_the_door() {
+        for text in [
+            "{}",                                       // no size
+            "{\"size\": 4}",                            // too small
+            "{\"size\": 4096}",                         // too big
+            "{\"size\": 100, \"temperature\": 0.0}",    // unphysical
+            "{\"size\": 100, \"temperature\": -1.0}",   // unphysical
+            "{\"size\": 100, \"contrast\": 0}",         // unphysical
+            "{\"size\": 100, \"mutual\": 2.0}",         // out of range
+            "{\"size\": 100, \"seed\": -1}",            // not a u64
+            "{\"size\": 100, \"lever_arms\": [[1,2]]}", // not 2x2
+            "{\"size\": 100, \"lever_arms\": [[0,0],[0,0]]}",
+            "{\"size\": 100, \"noise\": {\"white_sigma\": -1}}",
+            "{\"size\": 100, \"noise\": {\"drift_relaxation\": 1.5}}",
+            "{\"size\": 100, \"noise\": 3}",
+            "[]",
+        ] {
+            let j = Json::parse(text).unwrap();
+            let err = BenchmarkSpec::from_json(&j).unwrap_err();
+            assert!(
+                matches!(err, DatasetError::InvalidSpec { .. }),
+                "{text} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_specs_generate() {
+        let j = Json::parse("{\"size\": 63, \"seed\": 7, \"mutual\": 0.18}").unwrap();
+        let spec = BenchmarkSpec::from_json(&j).unwrap();
+        let bench = crate::generate(&spec).unwrap();
+        assert_eq!(bench.csd.size(), (63, 63));
+        // Same request parses to the same spec → bit-identical diagrams.
+        let again = crate::generate(&BenchmarkSpec::from_json(&j).unwrap()).unwrap();
+        assert_eq!(bench.csd, again.csd);
+    }
+}

@@ -1,0 +1,92 @@
+//! The `fastvg-serve` daemon binary.
+//!
+//! ```sh
+//! cargo run --release -p fastvg-serve -- --addr 127.0.0.1:8737
+//! curl -s localhost:8737/healthz
+//! curl -s -X POST localhost:8737/extract?wait -d '{"benchmark": 6}'
+//! curl -s -X POST localhost:8737/shutdown
+//! ```
+//!
+//! Flags (all optional):
+//!
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:8737`; port
+//!   `0` picks an ephemeral port, printed on stdout).
+//! * `--jobs N` — concurrent extraction workers (default: one per core).
+//! * `--http-workers N` — connection worker threads (default 8).
+//! * `--queue-capacity N` — pending jobs before 503 (default 256).
+//! * `--cache-capacity N` — cached results, `0` disables (default 1024).
+//! * `--cache-shards N` — cache lock shards (default 8).
+//! * `--shutdown-after SECS` — stop gracefully after a deadline (CI
+//!   smoke harnesses; `std` cannot catch SIGTERM, so the deadline and
+//!   `POST /shutdown` are the daemon's stop channels).
+
+use fastvg_serve::{start, CacheConfig, ServeConfig};
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let value = args
+        .next()
+        .unwrap_or_else(|| panic!("{flag} expects a value"));
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} got malformed value {value:?}"))
+}
+
+fn main() {
+    let mut config = ServeConfig::default();
+    let mut cache = CacheConfig::default();
+    let mut shutdown_after: Option<u64> = None;
+
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_flag(&mut args, "--addr"),
+            "--jobs" => config.extract_jobs = parse_flag(&mut args, "--jobs"),
+            "--http-workers" => config.http_workers = parse_flag(&mut args, "--http-workers"),
+            "--queue-capacity" => config.queue_capacity = parse_flag(&mut args, "--queue-capacity"),
+            "--batch-max" => config.batch_max = parse_flag(&mut args, "--batch-max"),
+            "--cache-capacity" => cache.capacity = parse_flag(&mut args, "--cache-capacity"),
+            "--cache-shards" => cache.shards = parse_flag(&mut args, "--cache-shards"),
+            "--max-body-bytes" => config.max_body_bytes = parse_flag(&mut args, "--max-body-bytes"),
+            "--wait-timeout-s" => {
+                config.wait_timeout = Duration::from_secs(parse_flag(&mut args, "--wait-timeout-s"))
+            }
+            "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
+            other => {
+                eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    config.cache = cache;
+
+    let daemon = match start(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("fastvg-serve failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The line scripts grep for; flush so pipes see it immediately.
+    println!("fastvg-serve listening on http://{}", daemon.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if let Some(secs) = shutdown_after {
+        let handle = daemon.shutdown_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(secs));
+            handle.shutdown();
+        });
+    }
+
+    // Runs until POST /shutdown, a ShutdownHandle, or --shutdown-after.
+    let handle = daemon.shutdown_handle();
+    while !handle.is_shutdown() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    daemon.shutdown(); // stop the queue too, then drain
+    daemon.join();
+    println!("fastvg-serve stopped");
+}

@@ -1,0 +1,178 @@
+//! A minimal keep-alive HTTP/1.1 client for the daemon's protocol.
+//!
+//! Shared by `fastvg-loadgen`, the integration tests and the `serve`
+//! example so none of them re-implement response framing. One [`Client`]
+//! is one persistent connection; drop it to close.
+
+use fastvg_wire::{Json, JsonError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code.
+    pub status: u16,
+    /// Headers (names lowercased) in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as one (newline-framed) JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`JsonError`] for non-JSON bodies.
+    pub fn json(&self) -> Result<Json, JsonError> {
+        let text = std::str::from_utf8(&self.body).map_err(|_| JsonError {
+            offset: 0,
+            message: "body is not UTF-8".to_string(),
+        })?;
+        Json::parse(text.trim_end_matches(['\r', '\n']))
+    }
+}
+
+/// A persistent connection to a `fastvg-serve` daemon.
+#[derive(Debug)]
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (e.g. `"127.0.0.1:8737"`) with a generous
+    /// read timeout sized for `?wait` extraction requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        Self::connect_with_timeout(addr, Duration::from_secs(120))
+    }
+
+    /// [`Client::connect`] with an explicit read timeout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Sends a `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, &[])
+    }
+
+    /// Sends a `POST` with a body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn post(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, body)
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nhost: fastvg\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let malformed = |what: &str| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("malformed {what}"))
+        };
+        let mut status_line = String::new();
+        loop {
+            status_line.clear();
+            if self.reader.read_line(&mut status_line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before response",
+                ));
+            }
+            let status = status_line
+                .split_whitespace()
+                .nth(1)
+                .and_then(|s| s.parse::<u16>().ok())
+                .ok_or_else(|| malformed("status line"))?;
+            // Interim 1xx responses (100 Continue) precede the real one.
+            if status >= 200 {
+                break;
+            }
+            self.read_headers()?; // discard the interim header block
+        }
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| malformed("status line"))?;
+        let headers = self.read_headers()?;
+        let length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .ok_or_else(|| malformed("content-length"))?;
+        let mut body = vec![0u8; length];
+        self.reader.read_exact(&mut body)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn read_headers(&mut self) -> std::io::Result<Vec<(String, String)>> {
+        let mut headers = Vec::new();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed inside headers",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if line.is_empty() {
+                return Ok(headers);
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            }
+        }
+    }
+}

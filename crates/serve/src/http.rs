@@ -1,0 +1,536 @@
+//! A minimal, dependency-free HTTP/1.1 server on `std::net`.
+//!
+//! Exactly the surface the extraction daemon needs, hardened the way a
+//! long-running service must be:
+//!
+//! * **threaded acceptor** — one accept loop feeding a fixed pool of
+//!   connection workers over a channel (bounded by the worker count:
+//!   a connection is only accepted when a worker will take it next);
+//! * **keep-alive** — workers serve any number of requests per
+//!   connection (HTTP/1.1 default), honoring `Connection: close`;
+//! * **request limits** — header block and body sizes are capped before
+//!   any allocation trusts the peer; per-syscall read timeouts close
+//!   idle connections, and a whole-request deadline
+//!   ([`HttpConfig::max_request_read`]) bounds how long a trickling
+//!   client (one byte per interval, each read "making progress") can
+//!   pin a worker;
+//! * **graceful shutdown** — a [`ShutdownHandle`] (the SIGTERM stand-in;
+//!   `std` cannot install signal handlers) flips a flag, unblocks the
+//!   acceptor, lets in-flight requests finish, and [`HttpServer::join`]
+//!   waits for every worker to drain.
+//!
+//! Routing, bodies and status codes are the caller's job via [`Handler`];
+//! this module speaks only the protocol.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Connection worker threads (each serves one connection at a time).
+    pub workers: usize,
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum request body bytes (larger bodies get `413`).
+    pub max_body_bytes: usize,
+    /// Socket read timeout per syscall; bounds how long a worker needs
+    /// to notice a shutdown while parked on an idle keep-alive
+    /// connection.
+    pub read_timeout: Duration,
+    /// Hard deadline for reading one full request (head + body). The
+    /// per-syscall timeout alone would let a trickling client that
+    /// delivers one byte per interval pin a worker forever; this caps
+    /// the total.
+    pub max_request_read: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            workers: 8,
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            read_timeout: Duration::from_secs(5),
+            max_request_read: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Raw query string (no leading `?`; empty if absent).
+    pub query: String,
+    /// Header name/value pairs in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of `name` (ASCII case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the query string contains flag `name` (bare or `=true`).
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|pair| {
+            pair == name
+                || pair
+                    .split_once('=')
+                    .is_some_and(|(k, v)| k == name && v != "false" && v != "0")
+        })
+    }
+}
+
+/// One response to write.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response from an already serialized document.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Appends one header (builder style).
+    #[must_use]
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            431 => "Request Header Fields Too Large",
+            503 => "Service Unavailable",
+            _ => "Response",
+        }
+    }
+}
+
+/// What the server calls per request. Implementations are shared across
+/// workers, so they take `&self`.
+pub trait Handler: Send + Sync {
+    /// Produces the response for one request.
+    fn handle(&self, request: &Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request) -> Response + Send + Sync,
+{
+    fn handle(&self, request: &Request) -> Response {
+        self(request)
+    }
+}
+
+/// Why reading one request failed.
+enum ReadOutcome {
+    /// A complete request was read.
+    Request(Box<Request>),
+    /// The peer closed (or never spoke) — end the connection silently.
+    Closed,
+    /// A protocol violation worth a status code before closing.
+    Reject(u16, &'static str),
+}
+
+/// A running HTTP server; dropping it does **not** stop it — use
+/// [`ShutdownHandle::shutdown`] then [`HttpServer::join`].
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Triggers a graceful stop of an [`HttpServer`] — the daemon's
+/// "SIGTERM channel": `std` cannot hook real signals, so anything that
+/// wants the server down (CLI flag timers, the `/shutdown` route, tests)
+/// calls [`ShutdownHandle::shutdown`] instead.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Requests the stop: no new connections are accepted, in-flight
+    /// requests finish, idle keep-alive connections close within the
+    /// read timeout.
+    pub fn shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopping
+        }
+        // Unblock the acceptor's `accept()` with a throwaway connection.
+        // A wildcard bind (0.0.0.0 / ::) is not a connectable
+        // destination on every platform — poke loopback instead.
+        let mut poke = self.addr;
+        if poke.ip().is_unspecified() {
+            poke.set_ip(match poke.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(poke);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+}
+
+impl HttpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts the acceptor and
+    /// worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bind failure, invalid address).
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn Handler>,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // sync_channel(0): the acceptor only admits a connection when a
+        // worker is ready to rendezvous, so the listener backlog is the
+        // only queue and workers are never oversubscribed.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(0);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let handler = Arc::clone(&handler);
+                let config = config.clone();
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let guard = rx.lock().expect("http rx poisoned");
+                        guard.recv()
+                    };
+                    match stream {
+                        Ok(stream) => serve_connection(stream, &*handler, &config, &stop),
+                        Err(_) => return, // acceptor gone: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break; // the shutdown poke or a late client
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Dropping `tx` wakes every idle worker with RecvError.
+            })
+        };
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that can stop this server from anywhere.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            addr: self.addr,
+            stop: Arc::clone(&self.stop),
+        }
+    }
+
+    /// Waits until the server has fully stopped (acceptor and all
+    /// workers joined). Call [`ShutdownHandle::shutdown`] first — or
+    /// from another thread — or this blocks forever.
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serves requests on one connection until close, error, or shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    handler: &dyn Handler,
+    config: &HttpConfig,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let deadline = Instant::now() + config.max_request_read;
+        let outcome = read_request(&mut reader, &mut writer, config, deadline);
+        let request = match outcome {
+            ReadOutcome::Request(request) => request,
+            ReadOutcome::Closed => return,
+            ReadOutcome::Reject(status, message) => {
+                let response = Response::text(status, message);
+                let _ = write_response(&mut writer, &response, true);
+                return;
+            }
+        };
+        let close = request
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"));
+        let response = handler.handle(&request);
+        if write_response(&mut writer, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Reads one full request, enforcing the head/body limits and the
+/// whole-request read deadline.
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    config: &HttpConfig,
+    deadline: Instant,
+) -> ReadOutcome {
+    // Head: everything up to the blank line, capped.
+    let mut head = Vec::new();
+    loop {
+        if Instant::now() >= deadline {
+            return ReadOutcome::Reject(408, "request read deadline exceeded");
+        }
+        let mut line = Vec::new();
+        match read_line(reader, &mut line, config.max_head_bytes, deadline) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) => {}
+            Err(LineError::TooLong) => return ReadOutcome::Reject(431, "request head too large"),
+            Err(LineError::Deadline) => {
+                return ReadOutcome::Reject(408, "request read deadline exceeded")
+            }
+            Err(LineError::Io) => return ReadOutcome::Closed,
+        }
+        if line == b"\r\n" || line == b"\n" {
+            if head.is_empty() {
+                continue; // tolerate leading blank lines (RFC 9112 §2.2)
+            }
+            break;
+        }
+        head.extend_from_slice(&line);
+        if head.len() > config.max_head_bytes {
+            return ReadOutcome::Reject(431, "request head too large");
+        }
+    }
+    let Ok(head) = String::from_utf8(head) else {
+        return ReadOutcome::Reject(400, "request head is not UTF-8");
+    };
+
+    let mut lines = head.lines();
+    let Some(request_line) = lines.next() else {
+        return ReadOutcome::Closed;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return ReadOutcome::Reject(400, "malformed request line");
+    };
+    if !version.starts_with("HTTP/1.") {
+        return ReadOutcome::Reject(400, "unsupported protocol version");
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            return ReadOutcome::Reject(400, "malformed header line");
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut request = Request {
+        method: method.to_uppercase(),
+        path,
+        query,
+        headers,
+        body: Vec::new(),
+    };
+
+    // Body, if declared. (No chunked support — the protocol's clients
+    // always send Content-Length, and unknown transfer codings are
+    // rejected rather than mis-framed.)
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return ReadOutcome::Reject(400, "transfer-encoding not supported");
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return ReadOutcome::Reject(400, "malformed content-length"),
+        },
+    };
+    if length > config.max_body_bytes {
+        return ReadOutcome::Reject(413, "request body too large");
+    }
+    if request
+        .header("expect")
+        .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+    {
+        let _ = writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n");
+    }
+    if length > 0 {
+        // Chunked fill instead of one read_exact, so a trickling body
+        // is checked against the whole-request deadline between reads.
+        let mut body = vec![0u8; length];
+        let mut filled = 0usize;
+        while filled < length {
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(n) => filled += n,
+                Err(_) => return ReadOutcome::Closed,
+            }
+            if filled < length && Instant::now() >= deadline {
+                return ReadOutcome::Reject(408, "request read deadline exceeded");
+            }
+        }
+        request.body = body;
+    }
+    ReadOutcome::Request(Box::new(request))
+}
+
+enum LineError {
+    TooLong,
+    Deadline,
+    Io,
+}
+
+/// `read_until(b'\n')` with a byte cap and a wall-clock deadline.
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    cap: usize,
+    deadline: Instant,
+) -> Result<usize, LineError> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(_) => return Err(LineError::Io),
+        };
+        if available.is_empty() {
+            return Ok(line.len()); // EOF
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                line.extend_from_slice(&available[..=i]);
+                reader.consume(i + 1);
+                return Ok(line.len());
+            }
+            None => {
+                let n = available.len();
+                line.extend_from_slice(available);
+                reader.consume(n);
+                if line.len() > cap {
+                    return Err(LineError::TooLong);
+                }
+                if Instant::now() >= deadline {
+                    return Err(LineError::Deadline);
+                }
+            }
+        }
+    }
+}
+
+fn write_response(stream: &mut TcpStream, response: &Response, close: bool) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    for (name, value) in &response.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}

@@ -1,0 +1,74 @@
+//! `fastvg-serve` — the extraction service daemon.
+//!
+//! The paper makes single-device virtual-gate extraction fast; the
+//! ROADMAP's north star is a system that *serves* that extraction at
+//! fleet scale. This crate is the missing layer between the two: a
+//! long-running daemon that accepts extraction jobs over HTTP, schedules
+//! them onto the same worker pool and object-safe
+//! [`fastvg_core::api::Extractor`] path the offline harnesses use,
+//! caches results by content, and exposes live telemetry.
+//!
+//! Everything is built on `std::net` — zero new external dependencies,
+//! consistent with the workspace's offline vendor policy.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`http`] | hand-rolled HTTP/1.1: threaded acceptor, keep-alive, request limits, graceful shutdown |
+//! | [`queue`] | bounded job queue + batch scheduler over the mini-rayon pool |
+//! | [`cache`] | sharded LRU result cache keyed by canonical-request fingerprints |
+//! | [`metrics`] | counters + latency histograms behind `GET /metrics` |
+//! | [`service`] | the routes, request validation, and daemon lifecycle |
+//! | [`client`] | the minimal keep-alive client used by `fastvg-loadgen`, tests and examples |
+//!
+//! The wire protocol — newline-framed JSON over `POST /extract`,
+//! `GET /jobs/<id>`, `GET /healthz`, `GET /metrics` — is specified in
+//! `docs/PROTOCOL.md`. Responses reuse the workspace's own currencies:
+//! success bodies embed a serialized
+//! [`fastvg_core::api::ExtractionReport`], failures the flattened
+//! [`fastvg_core::WireFailure`] taxonomy.
+//!
+//! # In-process quickstart
+//!
+//! ```
+//! use fastvg_serve::{start, Client, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let daemon = start(ServeConfig {
+//!     addr: "127.0.0.1:0".into(), // ephemeral port
+//!     ..ServeConfig::default()
+//! })?;
+//!
+//! let mut client = Client::connect(&daemon.addr().to_string())?;
+//! let response = client.post("/extract?wait", br#"{"benchmark": 6}"#)?;
+//! assert_eq!(response.status, 200);
+//! assert_eq!(response.header("x-fastvg-cache"), Some("miss"));
+//! let doc = response.json()?;
+//! assert_eq!(doc.get("ok").and_then(|v| v.as_bool()), Some(true));
+//!
+//! // The same request again is a cache hit with byte-identical body.
+//! let again = client.post("/extract?wait", br#"{"benchmark": 6}"#)?;
+//! assert_eq!(again.header("x-fastvg-cache"), Some("hit"));
+//! assert_eq!(again.body, response.body);
+//!
+//! daemon.shutdown();
+//! daemon.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CacheConfig, ResultCache};
+pub use client::{Client, ClientResponse};
+pub use http::{HttpConfig, HttpServer, Request, Response, ShutdownHandle};
+pub use metrics::Metrics;
+pub use queue::{JobQueue, JobRequest, JobState, Scenario};
+pub use service::{start, ExtractService, ServeConfig, ServeError, ServiceHandle};

@@ -1,0 +1,347 @@
+//! Service telemetry: lock-free counters and latency histograms with a
+//! Prometheus-style text exposition on `GET /metrics`.
+//!
+//! Counters are plain relaxed atomics — every hot-path touch is one
+//! `fetch_add`. Histograms use fixed log-spaced buckets so p50/p95/p99
+//! can be read off the cumulative counts without the server retaining
+//! per-request samples. Per-stage extraction latencies are fed from the
+//! [`fastvg_core::api::StageTiming`]s each completed job reports, which
+//! makes the paper's per-stage cost profile (§4) observable on a live
+//! daemon, not just in offline benches.
+
+use fastvg_core::api::StageTiming;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A monotonically increasing counter (relaxed atomics — telemetry does
+/// not need ordering).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Upper bounds (µs) of the latency buckets, log-spaced from 50 µs to
+/// 10 s. An implicit `+Inf` bucket catches the rest.
+const BUCKET_BOUNDS_US: [u64; 16] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_ns: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(
+            u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, read off the bucket bounds
+    /// (`None` when empty). Upper-bound biased: the true value is at or
+    /// below the returned bound.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                let us = BUCKET_BOUNDS_US.get(i).copied().unwrap_or(u64::MAX / 1000);
+                return Some(Duration::from_micros(us));
+            }
+        }
+        None
+    }
+
+    /// Appends the exposition lines for a histogram named `name`.
+    fn render(&self, name: &str, labels: &str, out: &mut String) {
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let le = match BUCKET_BOUNDS_US.get(i) {
+                Some(&us) => format!("{}", us as f64 / 1e6),
+                None => "+Inf".to_string(),
+            };
+            let sep = if labels.is_empty() { "" } else { "," };
+            out.push_str(&format!(
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}\n"
+            ));
+        }
+        let braces = if labels.is_empty() {
+            String::new()
+        } else {
+            format!("{{{labels}}}")
+        };
+        out.push_str(&format!(
+            "{name}_sum{braces} {}\n",
+            self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+        ));
+        out.push_str(&format!("{name}_count{braces} {}\n", self.count()));
+    }
+}
+
+/// All the daemon's telemetry, shared by every connection worker and the
+/// scheduler.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `POST /extract` requests accepted for parsing.
+    pub requests_extract: Counter,
+    /// `GET /jobs/<id>` requests.
+    pub requests_jobs: Counter,
+    /// `GET /healthz` requests.
+    pub requests_healthz: Counter,
+    /// `GET /metrics` requests.
+    pub requests_metrics: Counter,
+    /// Requests answered with a 4xx status.
+    pub http_4xx: Counter,
+    /// Requests answered with a 5xx status.
+    pub http_5xx: Counter,
+    /// Jobs accepted into the queue.
+    pub jobs_submitted: Counter,
+    /// Jobs that finished with a report.
+    pub jobs_completed: Counter,
+    /// Jobs that finished with an extraction failure.
+    pub jobs_failed: Counter,
+    /// Submissions rejected because the queue was full.
+    pub queue_rejected: Counter,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: Gauge,
+    /// Jobs currently running on the pool.
+    pub jobs_running: Gauge,
+    /// Results served from the cache.
+    pub cache_hits: Counter,
+    /// Submissions that missed the cache.
+    pub cache_misses: Counter,
+    /// Entries currently cached.
+    pub cache_entries: Gauge,
+    /// Wall-clock latency of `POST /extract` handling (including waits).
+    pub request_latency: Histogram,
+    /// End-to-end job latency, submit → finished.
+    pub job_latency: Histogram,
+    /// Per-extraction-stage latency, fed from each report's
+    /// [`StageTiming`]s.
+    stage_latency: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Metrics {
+    /// Folds one finished job's per-stage timings in.
+    pub fn observe_stages(&self, stages: &[StageTiming]) {
+        let mut map = self.stage_latency.lock().expect("metrics poisoned");
+        for timing in stages {
+            map.entry(timing.stage.name())
+                .or_default()
+                .observe(timing.elapsed);
+        }
+    }
+
+    /// The `GET /metrics` exposition document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let counters: [(&str, u64); 11] = [
+            (
+                "fastvg_requests_total{route=\"extract\"}",
+                self.requests_extract.get(),
+            ),
+            (
+                "fastvg_requests_total{route=\"jobs\"}",
+                self.requests_jobs.get(),
+            ),
+            (
+                "fastvg_requests_total{route=\"healthz\"}",
+                self.requests_healthz.get(),
+            ),
+            (
+                "fastvg_requests_total{route=\"metrics\"}",
+                self.requests_metrics.get(),
+            ),
+            (
+                "fastvg_http_responses_total{class=\"4xx\"}",
+                self.http_4xx.get(),
+            ),
+            (
+                "fastvg_http_responses_total{class=\"5xx\"}",
+                self.http_5xx.get(),
+            ),
+            (
+                "fastvg_jobs_total{state=\"submitted\"}",
+                self.jobs_submitted.get(),
+            ),
+            (
+                "fastvg_jobs_total{state=\"completed\"}",
+                self.jobs_completed.get(),
+            ),
+            (
+                "fastvg_jobs_total{state=\"failed\"}",
+                self.jobs_failed.get(),
+            ),
+            (
+                "fastvg_jobs_total{state=\"rejected\"}",
+                self.queue_rejected.get(),
+            ),
+            (
+                "fastvg_cache_requests_total{outcome=\"hit\"}",
+                self.cache_hits.get(),
+            ),
+        ];
+        for (name, value) in counters {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        out.push_str(&format!(
+            "fastvg_cache_requests_total{{outcome=\"miss\"}} {}\n",
+            self.cache_misses.get()
+        ));
+        out.push_str(&format!(
+            "fastvg_cache_entries {}\n",
+            self.cache_entries.get()
+        ));
+        out.push_str(&format!("fastvg_queue_depth {}\n", self.queue_depth.get()));
+        out.push_str(&format!(
+            "fastvg_jobs_running {}\n",
+            self.jobs_running.get()
+        ));
+        self.request_latency
+            .render("fastvg_request_latency_seconds", "", &mut out);
+        self.job_latency
+            .render("fastvg_job_latency_seconds", "", &mut out);
+        let stages = self.stage_latency.lock().expect("metrics poisoned");
+        for (stage, histogram) in stages.iter() {
+            histogram.render(
+                "fastvg_stage_latency_seconds",
+                &format!("stage=\"{stage}\""),
+                &mut out,
+            );
+        }
+        out
+    }
+
+    /// The cache hit rate so far (`None` before any lookup).
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let hits = self.cache_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastvg_core::api::Stage;
+
+    #[test]
+    fn counters_and_gauges() {
+        let m = Metrics::default();
+        m.requests_extract.inc();
+        m.requests_extract.add(2);
+        m.queue_depth.set(5);
+        assert_eq!(m.requests_extract.get(), 3);
+        assert_eq!(m.queue_depth.get(), 5);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        for _ in 0..99 {
+            h.observe(Duration::from_micros(80));
+        }
+        h.observe(Duration::from_millis(40));
+        assert_eq!(h.quantile(0.5), Some(Duration::from_micros(100)));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_micros(100)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_micros(50_000)));
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn exposition_contains_every_family() {
+        let m = Metrics::default();
+        m.requests_extract.inc();
+        m.cache_misses.inc();
+        m.request_latency.observe(Duration::from_micros(300));
+        m.observe_stages(&[StageTiming {
+            stage: Stage::Anchors,
+            probes: 12,
+            elapsed: Duration::from_micros(90),
+        }]);
+        let text = m.render();
+        for needle in [
+            "fastvg_requests_total{route=\"extract\"} 1",
+            "fastvg_cache_requests_total{outcome=\"miss\"} 1",
+            "fastvg_queue_depth 0",
+            "fastvg_request_latency_seconds_bucket",
+            "fastvg_request_latency_seconds_count 1",
+            "fastvg_stage_latency_seconds_bucket{stage=\"anchors\",le=",
+            "fastvg_stage_latency_seconds_count{stage=\"anchors\"} 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn hit_rate() {
+        let m = Metrics::default();
+        assert_eq!(m.cache_hit_rate(), None);
+        m.cache_hits.add(3);
+        m.cache_misses.add(1);
+        assert_eq!(m.cache_hit_rate(), Some(0.75));
+    }
+}

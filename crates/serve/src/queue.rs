@@ -1,0 +1,758 @@
+//! The bounded job queue, job table, and batch scheduler.
+//!
+//! `POST /extract` submissions land here as validated [`JobRequest`]s.
+//! One scheduler thread drains the queue in arrival order, *realizes*
+//! each scenario into a diagram and fans the extractions out over the
+//! vendored mini-rayon pool through the same
+//! [`fastvg_core::batch::BatchExtractor`]`/&dyn `[`Extractor`] path
+//! every offline harness uses — the daemon adds scheduling and caching,
+//! never a second extraction code path.
+//!
+//! # Determinism
+//!
+//! Scenario specs carry their own seeds ([`qd_dataset::BenchmarkSpec`]),
+//! generation derives per-job RNGs from them, and replay sessions are
+//! pure, so resubmitting a request reproduces the same slopes, α
+//! coefficients and probe counts bit-for-bit regardless of batch
+//! composition or worker count — only wall-clock fields vary. That is
+//! what makes result caching sound.
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use fastvg_core::api::{extract_with, ExtractionReport, Extractor};
+use fastvg_core::baseline::HoughBaseline;
+use fastvg_core::extraction::FastExtractor;
+use fastvg_core::report::Method;
+use fastvg_core::tuning::TuningLoop;
+use fastvg_core::ExtractError;
+use fastvg_wire::Json;
+use mini_rayon::ThreadPool;
+use qd_csd::Csd;
+use qd_dataset::BenchmarkSpec;
+use qd_instrument::{CsdSource, MeasurementSession};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// What one job extracts: a scenario to realize into a diagram.
+#[derive(Debug, Clone)]
+pub enum Scenario {
+    /// Generate a synthetic device from a (seeded) spec.
+    Spec(BenchmarkSpec),
+    /// Replay an inline charge stability diagram.
+    Grid(Box<Csd>),
+}
+
+impl Scenario {
+    /// Produces the diagram to probe. Spec generation is deterministic
+    /// in the spec's seed, so realization commutes with batching.
+    fn realize(&self) -> Result<Csd, String> {
+        match self {
+            Scenario::Spec(spec) => qd_dataset::generate(spec)
+                .map(|bench| bench.csd)
+                .map_err(|e| e.to_string()),
+            Scenario::Grid(csd) => Ok((**csd).clone()),
+        }
+    }
+}
+
+/// A validated submission: the scenario, the method to run, and the
+/// canonical form + fingerprint the result cache is keyed by.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// What to extract.
+    pub scenario: Scenario,
+    /// Which method to run.
+    pub method: Method,
+    /// [`fastvg_wire::fnv1a64`] of [`JobRequest::canonical`].
+    pub fingerprint: u64,
+    /// The canonical request document (sorted keys, resolved spec).
+    pub canonical: String,
+}
+
+/// A finished job's outcome: the serialized, newline-framed result
+/// document — exactly the bytes a cache hit will replay.
+#[derive(Debug, Clone)]
+pub struct FinishedJob {
+    /// Whether extraction succeeded (`"ok": true` in the document).
+    pub ok: bool,
+    /// Whether this outcome was served from the result cache.
+    pub cache_hit: bool,
+    /// The result document bytes.
+    pub body: Vec<u8>,
+}
+
+impl FinishedJob {
+    /// The wire token for this outcome — `done` or `failed`, carried in
+    /// the `x-fastvg-status` header of finished-job responses.
+    pub fn status_name(&self) -> &'static str {
+        if self.ok {
+            "done"
+        } else {
+            "failed"
+        }
+    }
+}
+
+/// Where a job currently is.
+#[derive(Debug, Clone)]
+pub enum JobState {
+    /// Waiting in the queue.
+    Queued,
+    /// Being extracted by a batch worker.
+    Running,
+    /// Finished (result or failure).
+    Finished(FinishedJob),
+}
+
+impl JobState {
+    /// The wire token for status documents and headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Finished(finished) => finished.status_name(),
+        }
+    }
+}
+
+struct JobEntry {
+    state: JobState,
+    /// Taken by the scheduler when the job starts running.
+    request: Option<JobRequest>,
+    submitted: Instant,
+}
+
+struct QueueInner {
+    pending: VecDeque<u64>,
+    jobs: HashMap<u64, JobEntry>,
+    finished_order: VecDeque<u64>,
+    stopping: bool,
+}
+
+/// The bounded submission queue plus the job table behind
+/// `GET /jobs/<id>`.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    cv: Condvar,
+    capacity: usize,
+    retain_finished: usize,
+    next_id: AtomicU64,
+}
+
+/// The queue refused a submission because it is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("job queue at capacity")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .field("depth", &self.depth())
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobQueue {
+    /// An empty queue holding at most `capacity` pending jobs and
+    /// remembering the last `retain_finished` finished ones.
+    pub fn new(capacity: usize, retain_finished: usize) -> Self {
+        Self {
+            inner: Mutex::new(QueueInner {
+                pending: VecDeque::new(),
+                jobs: HashMap::new(),
+                finished_order: VecDeque::new(),
+                stopping: false,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+            retain_finished: retain_finished.max(1),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn allocate_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Enqueues a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when `capacity` jobs are already pending.
+    pub fn submit(&self, request: JobRequest) -> Result<u64, QueueFull> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.pending.len() >= self.capacity {
+            return Err(QueueFull);
+        }
+        let id = self.allocate_id();
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                state: JobState::Queued,
+                request: Some(request),
+                submitted: Instant::now(),
+            },
+        );
+        inner.pending.push_back(id);
+        drop(inner);
+        self.cv.notify_all();
+        Ok(id)
+    }
+
+    /// Registers a job that is already finished (cache hits), so
+    /// `GET /jobs/<id>` works uniformly.
+    pub fn insert_finished(&self, finished: FinishedJob) -> u64 {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let id = self.allocate_id();
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                state: JobState::Finished(finished),
+                request: None,
+                submitted: Instant::now(),
+            },
+        );
+        Self::remember_finished(&mut inner, id, self.retain_finished);
+        id
+    }
+
+    fn remember_finished(inner: &mut QueueInner, id: u64, retain: usize) {
+        inner.finished_order.push_back(id);
+        while inner.finished_order.len() > retain {
+            if let Some(old) = inner.finished_order.pop_front() {
+                inner.jobs.remove(&old);
+            }
+        }
+    }
+
+    /// The current state of a job, if it is still remembered.
+    pub fn status(&self, id: u64) -> Option<JobState> {
+        let inner = self.inner.lock().expect("queue poisoned");
+        inner.jobs.get(&id).map(|entry| entry.state.clone())
+    }
+
+    /// Blocks until job `id` finishes, the timeout lapses, or the queue
+    /// stops. Returns the outcome only in the first case.
+    pub fn wait_finished(&self, id: u64, timeout: Duration) -> Option<FinishedJob> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            match inner.jobs.get(&id) {
+                Some(JobEntry {
+                    state: JobState::Finished(finished),
+                    ..
+                }) => return Some(finished.clone()),
+                Some(_) => {}
+                None => return None,
+            }
+            if inner.stopping {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .expect("queue poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Takes up to `max` pending jobs (blocking while the queue is empty)
+    /// and marks them running. Returns `None` once the queue is stopping
+    /// and drained — the scheduler's exit condition.
+    pub fn take_batch(&self, max: usize) -> Option<Vec<(u64, JobRequest, Instant)>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if !inner.pending.is_empty() {
+                let take = inner.pending.len().min(max.max(1));
+                let mut batch = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let id = inner.pending.pop_front().expect("checked non-empty");
+                    let entry = inner.jobs.get_mut(&id).expect("pending job in table");
+                    entry.state = JobState::Running;
+                    let request = entry.request.take().expect("queued job has request");
+                    batch.push((id, request, entry.submitted));
+                }
+                return Some(batch);
+            }
+            if inner.stopping {
+                return None;
+            }
+            inner = self.cv.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Records a job's outcome and wakes any waiters.
+    pub fn finish(&self, id: u64, finished: FinishedJob) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.state = JobState::Finished(finished);
+            Self::remember_finished(&mut inner, id, self.retain_finished);
+        }
+        drop(inner);
+        self.cv.notify_all();
+    }
+
+    /// Pending jobs waiting for the scheduler.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").pending.len()
+    }
+
+    /// Starts the shutdown: wakes the scheduler and every waiter.
+    pub fn stop(&self) {
+        self.inner.lock().expect("queue poisoned").stopping = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Serializes a successful extraction into the newline-framed result
+/// document (`{"ok":true,"report":{…}}`).
+pub fn result_body(report: &ExtractionReport) -> Vec<u8> {
+    let mut body = Json::object()
+        .field("ok", true)
+        .field("report", report.to_json())
+        .build()
+        .dump();
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// Serializes an extraction failure into the newline-framed result
+/// document (`{"ok":false,"error":{…}}`), flattening the taxonomy chain.
+pub fn failure_body(error: &ExtractError) -> Vec<u8> {
+    let mut body = Json::object()
+        .field("ok", false)
+        .field("error", error.to_wire().to_json())
+        .build()
+        .dump();
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// Serializes a protocol-level failure (scenario realization, queue
+/// administration) with the out-of-taxonomy category `"request"`.
+pub fn request_failure_body(message: &str) -> Vec<u8> {
+    let mut body = Json::object()
+        .field("ok", false)
+        .field(
+            "error",
+            Json::object()
+                .field("category", "request")
+                .field("message", message)
+                .field("chain", Vec::<Json>::new())
+                .build(),
+        )
+        .build()
+        .dump();
+    body.push('\n');
+    body.into_bytes()
+}
+
+/// The scheduler: drains the queue, realizes scenarios, and fans each
+/// batch onto the worker pool through the erased [`Extractor`] path.
+pub struct Scheduler {
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    jobs: usize,
+    batch_max: usize,
+}
+
+impl Scheduler {
+    /// A scheduler over the shared queue/cache/metrics, running up to
+    /// `jobs` concurrent extractions (`0` = one per core) and draining
+    /// at most `batch_max` submissions per wakeup.
+    pub fn new(
+        queue: Arc<JobQueue>,
+        cache: Arc<ResultCache>,
+        metrics: Arc<Metrics>,
+        jobs: usize,
+        batch_max: usize,
+    ) -> Self {
+        Self {
+            queue,
+            cache,
+            metrics,
+            jobs: if jobs == 0 {
+                mini_rayon::available_workers()
+            } else {
+                jobs
+            },
+            batch_max: batch_max.max(1),
+        }
+    }
+
+    /// Runs until [`JobQueue::stop`] — the scheduler thread's body.
+    pub fn run(self) {
+        // One extractor per method, built once and driven erased — the
+        // scheduler never branches on what it is running.
+        let extractors: Vec<(Method, Box<dyn Extractor>)> = vec![
+            (Method::FastExtraction, Box::new(FastExtractor::new())),
+            (Method::HoughBaseline, Box::new(HoughBaseline::new())),
+            (Method::TunedFast, Box::new(TuningLoop::new())),
+        ];
+        while let Some(batch) = self.queue.take_batch(self.batch_max) {
+            self.metrics.queue_depth.set(self.queue.depth() as u64);
+            self.metrics.jobs_running.set(batch.len() as u64);
+            self.run_batch(&batch, &extractors);
+            self.metrics.jobs_running.set(0);
+            self.metrics.queue_depth.set(self.queue.depth() as u64);
+        }
+    }
+
+    fn run_batch(
+        &self,
+        batch: &[(u64, JobRequest, Instant)],
+        extractors: &[(Method, Box<dyn Extractor>)],
+    ) {
+        let pool = ThreadPool::new(self.jobs);
+        let realized: Vec<Result<Csd, String>> =
+            pool.par_map(batch, |_, (_, request, _)| request.scenario.realize());
+
+        // Scenarios that failed to realize finish immediately.
+        for ((id, request, submitted), realized) in batch.iter().zip(&realized) {
+            if let Err(message) = realized {
+                self.finish(
+                    *id,
+                    request,
+                    *submitted,
+                    FinishedJob {
+                        ok: false,
+                        cache_hit: false,
+                        body: request_failure_body(message),
+                    },
+                    None,
+                );
+            }
+        }
+
+        // A method with no registered extractor must still finish its
+        // jobs (defensive: `Method` is non-exhaustive, and a hung job
+        // would pin its waiter until the timeout).
+        for ((id, request, submitted), realized) in batch.iter().zip(&realized) {
+            if realized.is_ok() && !extractors.iter().any(|(m, _)| *m == request.method) {
+                self.finish(
+                    *id,
+                    request,
+                    *submitted,
+                    FinishedJob {
+                        ok: false,
+                        cache_hit: false,
+                        body: request_failure_body(&format!(
+                            "method {} not servable",
+                            request.method
+                        )),
+                    },
+                    None,
+                );
+            }
+        }
+
+        // Group the rest by method and run each group through the one
+        // erased batch path.
+        for (method, extractor) in extractors {
+            let group: Vec<usize> = batch
+                .iter()
+                .enumerate()
+                .filter(|(i, (_, request, _))| request.method == *method && realized[*i].is_ok())
+                .map(|(i, _)| i)
+                .collect();
+            if group.is_empty() {
+                continue;
+            }
+            let outcomes = fastvg_core::batch::BatchExtractor::new()
+                .with_jobs(self.jobs)
+                .run(extractor.as_ref(), group.len(), |k| {
+                    let csd = realized[group[k]]
+                        .as_ref()
+                        .expect("group members realized")
+                        .clone();
+                    MeasurementSession::new(CsdSource::new(csd))
+                });
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                let (id, request, submitted) = &batch[group[k]];
+                let (finished, stages) = match outcome.outcome {
+                    Ok(report) => {
+                        let body = result_body(&report);
+                        (
+                            FinishedJob {
+                                ok: true,
+                                cache_hit: false,
+                                body,
+                            },
+                            Some(report.stages),
+                        )
+                    }
+                    Err(error) => (
+                        FinishedJob {
+                            ok: false,
+                            cache_hit: false,
+                            body: failure_body(&error),
+                        },
+                        None,
+                    ),
+                };
+                self.finish(*id, request, *submitted, finished, stages.as_deref());
+            }
+        }
+    }
+
+    fn finish(
+        &self,
+        id: u64,
+        request: &JobRequest,
+        submitted: Instant,
+        finished: FinishedJob,
+        stages: Option<&[fastvg_core::api::StageTiming]>,
+    ) {
+        if finished.ok {
+            self.metrics.jobs_completed.inc();
+        } else {
+            self.metrics.jobs_failed.inc();
+        }
+        if let Some(stages) = stages {
+            self.metrics.observe_stages(stages);
+        }
+        self.metrics.job_latency.observe(submitted.elapsed());
+        // Failures are cached too: they are as deterministic as results.
+        self.cache.insert(
+            request.fingerprint,
+            &request.canonical,
+            crate::cache::CachedResult {
+                body: finished.body.clone(),
+                ok: finished.ok,
+            },
+        );
+        self.metrics.cache_entries.set(self.cache.len() as u64);
+        self.queue.finish(id, finished);
+    }
+}
+
+/// Convenience used by tests and the `serve` example: runs one request
+/// synchronously through the same code path the scheduler uses (realize,
+/// erased extract, serialize), without a daemon.
+///
+/// # Errors
+///
+/// Returns the realization error message for unrealizable scenarios.
+pub fn run_inline(request: &JobRequest) -> Result<Vec<u8>, String> {
+    let csd = request.scenario.realize()?;
+    let extractor: Box<dyn Extractor> = match request.method {
+        Method::FastExtraction => Box::new(FastExtractor::new()),
+        Method::HoughBaseline => Box::new(HoughBaseline::new()),
+        Method::TunedFast => Box::new(TuningLoop::new()),
+        other => return Err(format!("method {other} not servable")),
+    };
+    let mut session = MeasurementSession::new(CsdSource::new(csd));
+    Ok(match extract_with(extractor.as_ref(), &mut session) {
+        Ok(report) => result_body(&report),
+        Err(error) => failure_body(&error),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheConfig;
+
+    fn request(seed: u64) -> JobRequest {
+        let mut spec = BenchmarkSpec::clean(0, 64);
+        spec.seed = seed;
+        let canonical = spec.to_json().canonical();
+        JobRequest {
+            fingerprint: fastvg_wire::fnv1a64(canonical.as_bytes()),
+            canonical,
+            scenario: Scenario::Spec(spec),
+            method: Method::FastExtraction,
+        }
+    }
+
+    #[test]
+    fn queue_respects_capacity_and_order() {
+        let q = JobQueue::new(2, 16);
+        let a = q.submit(request(1)).unwrap();
+        let b = q.submit(request(2)).unwrap();
+        assert_eq!(q.submit(request(3)).unwrap_err(), QueueFull);
+        assert_eq!(q.depth(), 2);
+        let batch = q.take_batch(8).unwrap();
+        let ids: Vec<u64> = batch.iter().map(|(id, _, _)| *id).collect();
+        assert_eq!(ids, vec![a, b], "arrival order preserved");
+        assert_eq!(q.depth(), 0);
+        assert!(matches!(q.status(a), Some(JobState::Running)));
+    }
+
+    #[test]
+    fn finish_wakes_waiters_and_is_observable() {
+        let q = Arc::new(JobQueue::new(8, 16));
+        let id = q.submit(request(7)).unwrap();
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.wait_finished(id, Duration::from_secs(5)))
+        };
+        let batch = q.take_batch(1).unwrap();
+        q.finish(
+            batch[0].0,
+            FinishedJob {
+                ok: true,
+                cache_hit: false,
+                body: b"{}\n".to_vec(),
+            },
+        );
+        let finished = waiter.join().unwrap().expect("woken with outcome");
+        assert!(finished.ok);
+        assert!(matches!(q.status(id), Some(JobState::Finished(_))));
+        assert_eq!(q.status(id).unwrap().name(), "done");
+    }
+
+    #[test]
+    fn wait_times_out_and_stop_unblocks() {
+        let q = Arc::new(JobQueue::new(8, 16));
+        let id = q.submit(request(9)).unwrap();
+        assert!(q.wait_finished(id, Duration::from_millis(30)).is_none());
+
+        let blocked = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.take_batch(4))
+        };
+        let waiter = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.wait_finished(9999, Duration::from_secs(30)))
+        };
+        // Unknown job id returns immediately.
+        assert!(waiter.join().unwrap().is_none());
+        // take_batch first drains the one pending job…
+        assert!(blocked.join().unwrap().is_some());
+        // …then stop() makes the next take return None.
+        q.stop();
+        assert!(q.take_batch(4).is_none());
+    }
+
+    #[test]
+    fn finished_jobs_are_garbage_collected() {
+        let q = JobQueue::new(64, 2);
+        let first = q.insert_finished(FinishedJob {
+            ok: true,
+            cache_hit: true,
+            body: b"1".to_vec(),
+        });
+        for _ in 0..2 {
+            q.insert_finished(FinishedJob {
+                ok: true,
+                cache_hit: true,
+                body: b"x".to_vec(),
+            });
+        }
+        assert!(q.status(first).is_none(), "oldest finished job evicted");
+    }
+
+    #[test]
+    fn scheduler_drains_and_caches() {
+        let queue = Arc::new(JobQueue::new(16, 64));
+        let cache = Arc::new(ResultCache::new(CacheConfig::default()));
+        let metrics = Arc::new(Metrics::default());
+        let scheduler = Scheduler::new(
+            Arc::clone(&queue),
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+            2,
+            8,
+        );
+        let handle = std::thread::spawn(move || scheduler.run());
+
+        let ids: Vec<u64> = (0..3)
+            .map(|k| queue.submit(request(100 + k)).unwrap())
+            .collect();
+        let outcomes: Vec<FinishedJob> = ids
+            .iter()
+            .map(|&id| {
+                queue
+                    .wait_finished(id, Duration::from_secs(60))
+                    .expect("job finishes")
+            })
+            .collect();
+        for outcome in &outcomes {
+            assert!(outcome.ok, "clean spec must extract");
+            assert!(outcome.body.ends_with(b"\n"), "newline framing");
+        }
+        assert_eq!(metrics.jobs_completed.get(), 3);
+        assert_eq!(cache.len(), 3, "every outcome cached");
+
+        // The cache now replays the exact bytes, outcome attached.
+        let req = request(100);
+        let cached = cache.get(req.fingerprint, &req.canonical).unwrap();
+        assert_eq!(cached.body, outcomes[0].body);
+        assert!(cached.ok);
+
+        queue.stop();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn inline_runner_matches_scheduler_bytes_except_timing() {
+        // Same request through run_inline twice: slopes identical
+        // (timing fields differ, so compare the parsed reports).
+        let req = request(5);
+        let a = run_inline(&req).unwrap();
+        let b = run_inline(&req).unwrap();
+        let parse = |bytes: &[u8]| {
+            let doc = Json::parse(std::str::from_utf8(bytes).unwrap().trim()).unwrap();
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+            ExtractionReport::from_json(doc.get("report").unwrap()).unwrap()
+        };
+        let (ra, rb) = (parse(&a), parse(&b));
+        assert_eq!(ra.slope_h.to_bits(), rb.slope_h.to_bits());
+        assert_eq!(ra.slope_v.to_bits(), rb.slope_v.to_bits());
+        assert_eq!(ra.probes, rb.probes);
+    }
+
+    #[test]
+    fn unrealizable_scenarios_fail_with_request_category() {
+        let queue = Arc::new(JobQueue::new(4, 16));
+        let cache = Arc::new(ResultCache::new(CacheConfig::default()));
+        let metrics = Arc::new(Metrics::default());
+
+        // A spec the generator rejects: lever arms that make the device
+        // model singular.
+        let mut spec = BenchmarkSpec::clean(0, 64);
+        spec.lever_arms = [[0.01, 0.01], [0.01, 0.01]];
+        let canonical = spec.to_json().canonical();
+        let id = queue
+            .submit(JobRequest {
+                fingerprint: fastvg_wire::fnv1a64(canonical.as_bytes()),
+                canonical,
+                scenario: Scenario::Spec(spec),
+                method: Method::FastExtraction,
+            })
+            .unwrap();
+
+        let scheduler = Scheduler::new(Arc::clone(&queue), cache, Arc::clone(&metrics), 1, 4);
+        let handle = std::thread::spawn(move || scheduler.run());
+        let finished = queue
+            .wait_finished(id, Duration::from_secs(30))
+            .expect("finishes");
+        assert!(!finished.ok);
+        let doc = Json::parse(std::str::from_utf8(&finished.body).unwrap().trim()).unwrap();
+        assert_eq!(
+            doc.get("error")
+                .and_then(|e| e.get("category"))
+                .and_then(Json::as_str),
+            Some("request")
+        );
+        assert_eq!(metrics.jobs_failed.get(), 1);
+        queue.stop();
+        handle.join().unwrap();
+    }
+}

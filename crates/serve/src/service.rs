@@ -1,0 +1,539 @@
+//! The extraction service: routes, request validation, cache fronting,
+//! and daemon lifecycle.
+//!
+//! [`ExtractService`] is the [`Handler`] behind the four routes of
+//! `docs/PROTOCOL.md` (`POST /extract`, `GET /jobs/<id>`,
+//! `GET /healthz`, `GET /metrics`, plus the administrative
+//! `POST /shutdown`). [`start`] assembles the full daemon: HTTP server,
+//! scheduler thread, result cache and metrics, returned as a
+//! [`ServiceHandle`] whose [`ServiceHandle::shutdown`] /
+//! [`ServiceHandle::join`] implement the graceful stop.
+
+use crate::cache::{CacheConfig, ResultCache};
+use crate::http::{Handler, HttpConfig, HttpServer, Request, Response, ShutdownHandle};
+use crate::metrics::Metrics;
+use crate::queue::{FinishedJob, JobQueue, JobRequest, JobState, Scenario, Scheduler};
+use fastvg_core::report::Method;
+use fastvg_wire::{fnv1a64, Json};
+use qd_csd::{Csd, VoltageGrid};
+use qd_dataset::wire::MAX_SPEC_SIZE;
+use qd_dataset::BenchmarkSpec;
+use std::net::SocketAddr;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`"127.0.0.1:0"` for an ephemeral port).
+    pub addr: String,
+    /// HTTP connection worker threads.
+    pub http_workers: usize,
+    /// Concurrent extraction workers (`0` = one per core).
+    pub extract_jobs: usize,
+    /// Maximum pending jobs before `POST /extract` answers 503.
+    pub queue_capacity: usize,
+    /// Maximum jobs the scheduler drains per wakeup.
+    pub batch_max: usize,
+    /// Result-cache sizing.
+    pub cache: CacheConfig,
+    /// Maximum request body bytes (inline grids are the big ones).
+    pub max_body_bytes: usize,
+    /// How long `?wait` requests block before falling back to `202`.
+    pub wait_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8737".to_string(),
+            http_workers: 8,
+            extract_jobs: 0,
+            queue_capacity: 256,
+            batch_max: 32,
+            cache: CacheConfig::default(),
+            max_body_bytes: 8 * 1024 * 1024,
+            wait_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Errors starting the daemon.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "service socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// The request handler — shared by every HTTP worker.
+pub struct ExtractService {
+    queue: Arc<JobQueue>,
+    cache: Arc<ResultCache>,
+    metrics: Arc<Metrics>,
+    wait_timeout: Duration,
+    shutdown: OnceLock<ShutdownHandle>,
+    started: Instant,
+}
+
+impl std::fmt::Debug for ExtractService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractService").finish_non_exhaustive()
+    }
+}
+
+/// A protocol-level rejection: status code + message for the error body.
+struct Rejection {
+    status: u16,
+    message: String,
+}
+
+fn reject(status: u16, message: impl Into<String>) -> Rejection {
+    Rejection {
+        status,
+        message: message.into(),
+    }
+}
+
+impl ExtractService {
+    fn new(config: &ServeConfig) -> Self {
+        Self {
+            queue: Arc::new(JobQueue::new(config.queue_capacity, 4096)),
+            cache: Arc::new(ResultCache::new(config.cache)),
+            metrics: Arc::new(Metrics::default()),
+            wait_timeout: config.wait_timeout,
+            shutdown: OnceLock::new(),
+            started: Instant::now(),
+        }
+    }
+
+    /// The service telemetry (shared with the scheduler).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn error_response(&self, rejection: &Rejection) -> Response {
+        if rejection.status >= 500 {
+            self.metrics.http_5xx.inc();
+        } else {
+            self.metrics.http_4xx.inc();
+        }
+        let mut body = Json::object()
+            .field("ok", false)
+            .field(
+                "error",
+                Json::object()
+                    .field("category", "request")
+                    .field("message", rejection.message.as_str())
+                    .field("chain", Vec::<Json>::new())
+                    .build(),
+            )
+            .build()
+            .dump();
+        body.push('\n');
+        Response::json(rejection.status, body)
+    }
+
+    /// Parses and validates a `POST /extract` body into a [`JobRequest`]
+    /// plus its `wait` flag.
+    fn parse_extract(&self, request: &Request) -> Result<(JobRequest, bool), Rejection> {
+        let text = std::str::from_utf8(&request.body)
+            .map_err(|_| reject(400, "body must be UTF-8 JSON"))?;
+        let doc = Json::parse(text.trim_end_matches(['\r', '\n']))
+            .map_err(|e| reject(400, format!("body is not valid JSON: {e}")))?;
+        if doc.as_obj().is_none() {
+            return Err(reject(400, "body must be a JSON object"));
+        }
+
+        let method = match doc.get("method") {
+            None => Method::FastExtraction,
+            Some(v) => v
+                .as_str()
+                .and_then(Method::from_wire_name)
+                .ok_or_else(|| reject(400, "\"method\" must be fast|hough|tuned"))?,
+        };
+        let wait =
+            request.query_flag("wait") || doc.get("wait").and_then(Json::as_bool).unwrap_or(false);
+        let seed = match doc.get("seed") {
+            None => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .ok_or_else(|| reject(400, "\"seed\" must be a u64"))?,
+            ),
+        };
+
+        let selectors = ["benchmark", "spec", "grid"]
+            .iter()
+            .filter(|k| doc.get(k).is_some())
+            .count();
+        if selectors != 1 {
+            return Err(reject(
+                400,
+                "exactly one of \"benchmark\", \"spec\", \"grid\" is required",
+            ));
+        }
+
+        let (scenario, scenario_json) = if let Some(v) = doc.get("benchmark") {
+            let index = v
+                .as_usize()
+                .filter(|i| (1..=12).contains(i))
+                .ok_or_else(|| reject(400, "\"benchmark\" must be 1..=12"))?;
+            let mut spec = qd_dataset::paper_specs()
+                .into_iter()
+                .find(|s| s.index == index)
+                .expect("paper suite has indices 1..=12");
+            if let Some(seed) = seed {
+                spec.seed = seed;
+            }
+            let json = spec.to_json();
+            (Scenario::Spec(spec), json)
+        } else if let Some(v) = doc.get("spec") {
+            let mut spec = BenchmarkSpec::from_json(v).map_err(|e| reject(400, e.to_string()))?;
+            if let Some(seed) = seed {
+                spec.seed = seed;
+            }
+            let json = spec.to_json();
+            (Scenario::Spec(spec), json)
+        } else {
+            let v = doc.get("grid").expect("selector counted");
+            if seed.is_some() {
+                return Err(reject(400, "\"seed\" does not apply to inline grids"));
+            }
+            let csd = parse_grid(v)?;
+            let json = grid_canonical_json(&csd);
+            (Scenario::Grid(Box::new(csd)), json)
+        };
+
+        // Fingerprint the *resolved* scenario: `{"benchmark": 3}` and the
+        // equivalent full spec share a cache entry.
+        let canonical = Json::object()
+            .field("method", method.wire_name())
+            .field("scenario", scenario_json)
+            .build()
+            .canonical();
+        Ok((
+            JobRequest {
+                fingerprint: fnv1a64(canonical.as_bytes()),
+                canonical,
+                scenario,
+                method,
+            },
+            wait,
+        ))
+    }
+
+    fn handle_extract(&self, request: &Request) -> Response {
+        self.metrics.requests_extract.inc();
+        let started = Instant::now();
+        let response = match self.parse_extract(request) {
+            Err(rejection) => self.error_response(&rejection),
+            Ok((job, wait)) => self.dispatch(job, wait),
+        };
+        self.metrics.request_latency.observe(started.elapsed());
+        response
+    }
+
+    fn dispatch(&self, job: JobRequest, wait: bool) -> Response {
+        // Cache front: a hit never touches the queue or the pool, and it
+        // replays the stored bytes verbatim (outcome flag travels with
+        // the entry — it is never re-derived from the bytes).
+        if let Some(cached) = self.cache.get(job.fingerprint, &job.canonical) {
+            self.metrics.cache_hits.inc();
+            let finished = FinishedJob {
+                ok: cached.ok,
+                cache_hit: true,
+                body: cached.body,
+            };
+            let status = finished.status_name();
+            let id = self.queue.insert_finished(finished.clone());
+            return if wait {
+                Response::json(200, finished.body)
+                    .with_header("x-fastvg-job", id.to_string())
+                    .with_header("x-fastvg-cache", "hit")
+                    .with_header("x-fastvg-status", status)
+            } else {
+                self.job_status_response(202, id, status, true)
+            };
+        }
+        self.metrics.cache_misses.inc();
+
+        let id = match self.queue.submit(job) {
+            Ok(id) => id,
+            Err(_) => {
+                self.metrics.queue_rejected.inc();
+                return self.error_response(&reject(503, "job queue at capacity"));
+            }
+        };
+        self.metrics.jobs_submitted.inc();
+        self.metrics.queue_depth.set(self.queue.depth() as u64);
+
+        if wait {
+            if let Some(finished) = self.queue.wait_finished(id, self.wait_timeout) {
+                let status = finished.status_name();
+                return Response::json(200, finished.body)
+                    .with_header("x-fastvg-job", id.to_string())
+                    .with_header("x-fastvg-cache", "miss")
+                    .with_header("x-fastvg-status", status);
+            }
+            // Timed out (or shutting down): fall through to the async
+            // answer so the client can poll.
+        }
+        self.job_status_response(202, id, "queued", false)
+    }
+
+    fn job_status_response(&self, status: u16, id: u64, state: &str, cache: bool) -> Response {
+        let mut body = Json::object()
+            .field("job", id)
+            .field("status", state)
+            .field("cache", cache)
+            .build()
+            .dump();
+        body.push('\n');
+        Response::json(status, body).with_header("x-fastvg-job", id.to_string())
+    }
+
+    fn handle_job(&self, id_text: &str) -> Response {
+        self.metrics.requests_jobs.inc();
+        let Ok(id) = id_text.parse::<u64>() else {
+            return self.error_response(&reject(400, "job id must be an integer"));
+        };
+        match self.queue.status(id) {
+            None => self.error_response(&reject(404, "unknown job id")),
+            Some(JobState::Queued) => self.job_status_response(200, id, "queued", false),
+            Some(JobState::Running) => self.job_status_response(200, id, "running", false),
+            Some(JobState::Finished(finished)) => {
+                let status = finished.status_name();
+                Response::json(200, finished.body)
+                    .with_header("x-fastvg-job", id.to_string())
+                    .with_header(
+                        "x-fastvg-cache",
+                        if finished.cache_hit { "hit" } else { "miss" },
+                    )
+                    .with_header("x-fastvg-status", status)
+            }
+        }
+    }
+
+    fn handle_healthz(&self) -> Response {
+        self.metrics.requests_healthz.inc();
+        let mut body = Json::object()
+            .field("ok", true)
+            .field("uptime_s", Json::num(self.started.elapsed().as_secs_f64()))
+            .field("queue_depth", self.queue.depth())
+            .field("cache_entries", self.cache.len())
+            .build()
+            .dump();
+        body.push('\n');
+        Response::json(200, body)
+    }
+
+    fn handle_shutdown(&self) -> Response {
+        self.queue.stop();
+        if let Some(handle) = self.shutdown.get() {
+            handle.shutdown();
+        }
+        Response::json(202, "{\"ok\":true,\"status\":\"stopping\"}\n")
+    }
+}
+
+impl Handler for ExtractService {
+    fn handle(&self, request: &Request) -> Response {
+        match (request.method.as_str(), request.path.as_str()) {
+            ("POST", "/extract") => self.handle_extract(request),
+            ("GET", "/healthz") => self.handle_healthz(),
+            ("GET", "/metrics") => {
+                self.metrics.requests_metrics.inc();
+                Response::text(200, self.metrics.render())
+            }
+            ("POST", "/shutdown") => self.handle_shutdown(),
+            (method, path) => {
+                if let Some(id) = path.strip_prefix("/jobs/") {
+                    if method == "GET" {
+                        return self.handle_job(id);
+                    }
+                }
+                let known = matches!(
+                    request.path.as_str(),
+                    "/extract" | "/healthz" | "/metrics" | "/shutdown"
+                ) || request.path.starts_with("/jobs/");
+                if known {
+                    self.error_response(&reject(405, format!("{method} not allowed here")))
+                } else {
+                    self.error_response(&reject(404, "no such route"))
+                }
+            }
+        }
+    }
+}
+
+/// Parses an inline grid scenario:
+/// `{"x0":…,"y0":…,"delta":…,"width":…,"height":…,"data":[…]}` with
+/// row-major `data` of `width × height` currents.
+fn parse_grid(json: &Json) -> Result<Csd, Rejection> {
+    if json.as_obj().is_none() {
+        return Err(reject(400, "\"grid\" must be an object"));
+    }
+    let dim = |key: &str| -> Result<usize, Rejection> {
+        json.get(key)
+            .and_then(Json::as_usize)
+            .filter(|&v| (1..=MAX_SPEC_SIZE).contains(&v))
+            .ok_or_else(|| {
+                reject(
+                    400,
+                    format!("grid \"{key}\" must be an integer in 1..={MAX_SPEC_SIZE}"),
+                )
+            })
+    };
+    let num = |key: &str| -> Result<f64, Rejection> {
+        json.get(key)
+            .and_then(Json::as_f64)
+            .filter(|v| v.is_finite())
+            .ok_or_else(|| reject(400, format!("grid \"{key}\" must be a finite number")))
+    };
+    let width = dim("width")?;
+    let height = dim("height")?;
+    let grid = VoltageGrid::new(num("x0")?, num("y0")?, num("delta")?, width, height)
+        .map_err(|e| reject(400, format!("bad grid geometry: {e}")))?;
+    let data = json
+        .get("data")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| reject(400, "grid \"data\" must be an array"))?;
+    if data.len() != width * height {
+        return Err(reject(
+            400,
+            format!(
+                "grid \"data\" must hold width*height = {} values, got {}",
+                width * height,
+                data.len()
+            ),
+        ));
+    }
+    let values: Vec<f64> = data
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|v| v.is_finite())
+                .ok_or_else(|| reject(400, "grid \"data\" entries must be finite numbers"))
+        })
+        .collect::<Result<_, _>>()?;
+    Csd::from_data(grid, values).map_err(|e| reject(400, format!("bad grid data: {e}")))
+}
+
+/// The canonical JSON of an inline grid, rebuilt from the parsed diagram
+/// so formatting differences in the request never split cache entries.
+fn grid_canonical_json(csd: &Csd) -> Json {
+    let grid = csd.grid();
+    let (x0, y0) = grid.origin();
+    Json::object()
+        .field(
+            "grid",
+            Json::object()
+                .field("x0", Json::num(x0))
+                .field("y0", Json::num(y0))
+                .field("delta", Json::num(grid.delta()))
+                .field("width", grid.width())
+                .field("height", grid.height())
+                .field(
+                    "data",
+                    csd.data().iter().map(|&v| Json::num(v)).collect::<Vec<_>>(),
+                )
+                .build(),
+        )
+        .build()
+}
+
+/// A running daemon: HTTP server + scheduler + shared state.
+#[derive(Debug)]
+pub struct ServiceHandle {
+    service: Arc<ExtractService>,
+    server: HttpServer,
+    scheduler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServiceHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// The shared service (metrics access for tests and embedding).
+    pub fn service(&self) -> &ExtractService {
+        &self.service
+    }
+
+    /// A clonable handle that stops the daemon from anywhere.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        self.server.shutdown_handle()
+    }
+
+    /// Requests a graceful stop: the queue drains no further, in-flight
+    /// requests finish, the acceptor closes.
+    pub fn shutdown(&self) {
+        self.service.queue.stop();
+        self.server.shutdown_handle().shutdown();
+    }
+
+    /// Waits for the scheduler and every HTTP worker to exit. Call
+    /// [`ServiceHandle::shutdown`] first (or let `POST /shutdown` do it).
+    pub fn join(mut self) {
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+        self.server.join();
+    }
+}
+
+/// Boots the full daemon described by `config`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Io`] when the listen socket cannot be bound.
+pub fn start(config: ServeConfig) -> Result<ServiceHandle, ServeError> {
+    let service = Arc::new(ExtractService::new(&config));
+
+    // Bind before spawning the scheduler so a bind failure leaks nothing.
+    let http = HttpConfig {
+        workers: config.http_workers,
+        max_body_bytes: config.max_body_bytes,
+        ..HttpConfig::default()
+    };
+    let server = HttpServer::bind(&config.addr, Arc::clone(&service) as Arc<dyn Handler>, http)?;
+    let _ = service.shutdown.set(server.shutdown_handle());
+
+    let scheduler = Scheduler::new(
+        Arc::clone(&service.queue),
+        Arc::clone(&service.cache),
+        Arc::clone(&service.metrics),
+        config.extract_jobs,
+        config.batch_max,
+    );
+    let scheduler = std::thread::spawn(move || scheduler.run());
+
+    Ok(ServiceHandle {
+        service,
+        server,
+        scheduler: Some(scheduler),
+    })
+}

@@ -1,0 +1,88 @@
+//! Boot the extraction daemon in-process, drive it like a remote client,
+//! and read its telemetry — the serving path end to end.
+//!
+//! ```sh
+//! cargo run --release --example serve
+//! ```
+//!
+//! For a standalone daemon use the binary instead:
+//! `cargo run --release -p fastvg-serve -- --addr 127.0.0.1:8737`
+//! (protocol in `docs/PROTOCOL.md`).
+
+use fastvg::prelude::*;
+use fastvg::serve::{start, ServeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // An ephemeral port keeps the example parallel-safe (CI runs every
+    // example); a real deployment would pin addr and capacities.
+    let daemon = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    })?;
+    println!("daemon listening on http://{}", daemon.addr());
+
+    let mut client = Client::connect(&daemon.addr().to_string())?;
+
+    // Synchronous extraction: POST a scenario with ?wait and get the
+    // newline-framed result document back.
+    let cold = client.post("/extract?wait", br#"{"benchmark": 6, "method": "fast"}"#)?;
+    let doc = cold.json()?;
+    let report = ExtractionReport::from_json(doc.get("report").expect("report"))?;
+    println!(
+        "cold run : cache={} slopes=({:.3}, {:.3}) probes={} stages={}",
+        cold.header("x-fastvg-cache").unwrap_or("?"),
+        report.slope_h,
+        report.slope_v,
+        report.probes,
+        report.stages.len(),
+    );
+
+    // The same request again is a cache hit — and byte-identical.
+    let hot = client.post("/extract?wait", br#"{"benchmark": 6, "method": "fast"}"#)?;
+    println!(
+        "hot run  : cache={} byte-identical={}",
+        hot.header("x-fastvg-cache").unwrap_or("?"),
+        hot.body == cold.body,
+    );
+    assert_eq!(hot.body, cold.body);
+
+    // Asynchronous flow: submit, poll /jobs/<id>.
+    let accepted = client.post("/extract", br#"{"spec": {"size": 100, "seed": 99}}"#)?;
+    let id = accepted
+        .json()?
+        .get("job")
+        .and_then(Json::as_u64)
+        .expect("job id");
+    println!("submitted: job {id} (status {})", accepted.status);
+    loop {
+        let polled = client.get(&format!("/jobs/{id}"))?;
+        let doc = polled.json()?;
+        match doc.get("status").and_then(Json::as_str) {
+            Some(state @ ("queued" | "running")) => {
+                println!("polling  : job {id} is {state}");
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            _ => {
+                println!(
+                    "finished : job {id} ok={}",
+                    doc.get("ok").and_then(Json::as_bool).unwrap_or(false)
+                );
+                break;
+            }
+        }
+    }
+
+    // Telemetry: queue/cache counters and per-stage latency histograms.
+    let metrics = client.get("/metrics")?;
+    let text = String::from_utf8(metrics.body)?;
+    for line in text.lines().filter(|l| {
+        l.starts_with("fastvg_jobs_total") || l.starts_with("fastvg_cache_requests_total")
+    }) {
+        println!("metrics  : {line}");
+    }
+
+    daemon.shutdown();
+    daemon.join();
+    println!("daemon stopped cleanly");
+    Ok(())
+}

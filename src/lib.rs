@@ -9,6 +9,8 @@
 //! |---|---|---|
 //! | [`prelude`] | — | **the stable public surface**: `Extractor`, `Pipeline`, `ExtractionReport`, sessions, configs |
 //! | [`core`] | `fastvg-core` | the paper's algorithm, Hough baseline, unified `api`, batch layer |
+//! | [`serve`] | `fastvg-serve` | the extraction service daemon: HTTP job queue, scheduler, result cache, metrics |
+//! | [`wire`] | `fastvg-wire` | the shared JSON value/parser/serializer behind artifacts and the wire protocol |
 //! | [`physics`] | `qd-physics` | constant-interaction device models |
 //! | [`csd`] | `qd-csd` | charge stability diagrams & virtualization |
 //! | [`instrument`] | `qd-instrument` | `getCurrent` sessions, dwell clock, probe ledger |
@@ -66,19 +68,26 @@
 //! # }
 //! ```
 //!
-//! # Migration note (0.2)
+//! # Serving
+//!
+//! [`serve`] turns extraction into a long-running network service: a
+//! `std::net`-only daemon with a bounded job queue over the batch pool,
+//! a sharded result cache keyed by content fingerprints, and live
+//! `/metrics`. See `docs/PROTOCOL.md` for the wire schema and the
+//! README's *Serving* section for the curl-level quickstart;
+//! `examples/serve.rs` boots one in-process.
+//!
+//! # Migration note (0.2 → 0.3)
 //!
 //! The 0.1 per-method entry points still work: `FastExtractor::extract`,
 //! `HoughBaseline::extract` and `TuningLoop::run` keep returning their
 //! typed results ([`prelude::ExtractionResult`] etc.), and those structs
 //! also ride along inside [`prelude::ExtractionReport::details`]. The
 //! Table 1 row struct `fastvg::core::report::ExtractionReport` was
-//! renamed to [`prelude::ReportRow`]; that module path remains as a
-//! deprecated alias for one release. Note the *crate-root* re-export
-//! `fastvg::core::ExtractionReport` now names the unified per-run
-//! report instead (both types cannot share the root name) — code that
-//! imported the row from the root should switch to `ReportRow` and
-//! will get a compile error pointing here. Error matching moved to the
+//! renamed to [`prelude::ReportRow`] in 0.2; the deprecated
+//! `report::ExtractionReport` alias has now been **removed** after its
+//! one-release grace period — the name `ExtractionReport` everywhere
+//! means the unified per-run report. Error matching moved to the
 //! structured taxonomy: `ExtractError::UnphysicalSlopes { .. }` is now
 //! `ExtractError::Fit(FitError::UnphysicalSlopes { .. })` (see
 //! [`prelude::ExtractError`]).
@@ -86,6 +95,8 @@
 #![forbid(unsafe_code)]
 
 pub use fastvg_core as core;
+pub use fastvg_serve as serve;
+pub use fastvg_wire as wire;
 pub use mini_rayon as par;
 pub use qd_csd as csd;
 pub use qd_dataset as dataset;
@@ -105,8 +116,8 @@ pub use qd_vision as vision;
 pub mod prelude {
     // The unified extraction API (the tentpole surface).
     pub use fastvg_core::api::{
-        extract_with, ExtractionDetails, ExtractionReport, Extractor, Observer, Pipeline,
-        PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
+        extract_with, DetailSummary, ExtractionDetails, ExtractionReport, Extractor, Observer,
+        Pipeline, PipelineBuilder, ProbeObservation, SessionView, Stage, StageTiming,
     };
     // Methods, their configs and typed results.
     pub use fastvg_core::anchors::AnchorConfig;
@@ -121,8 +132,12 @@ pub mod prelude {
     // Errors and scoring.
     pub use fastvg_core::report::{Method, ReportRow, SuccessCriteria};
     pub use fastvg_core::{
-        ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError,
+        ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError, WireError,
+        WireFailure,
     };
+    // The service layer and its wire format.
+    pub use fastvg_serve::{Client, ServeConfig, ServiceHandle};
+    pub use fastvg_wire::Json;
     // The measurement stack.
     pub use qd_instrument::{
         CsdSource, CurrentSource, DwellClock, FnSource, MeasurementSession, PhysicsSource,

@@ -1,0 +1,59 @@
+//! Tier-1 serving smoke: the daemon boots, serves the protocol over a
+//! real socket, replays cache hits byte-identically, and stops cleanly.
+//! (The exhaustive protocol matrix lives in `crates/serve/tests`.)
+
+use fastvg::prelude::*;
+use fastvg::serve::{start, ServeConfig};
+
+#[test]
+fn daemon_serves_caches_and_shuts_down() {
+    let daemon = start(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        extract_jobs: 2,
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+    let mut client = Client::connect(&daemon.addr().to_string()).expect("connect");
+
+    // Health first: the CI smoke job polls this exact route.
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert_eq!(
+        health.json().unwrap().get("ok").and_then(Json::as_bool),
+        Some(true)
+    );
+
+    // Cold extraction over the wire parses back into the unified report
+    // and matches a local in-process run of the same benchmark.
+    let cold = client
+        .post("/extract?wait", br#"{"benchmark": 6, "method": "fast"}"#)
+        .expect("cold request");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-fastvg-cache"), Some("miss"));
+    let doc = cold.json().unwrap();
+    assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+    let served = ExtractionReport::from_json(doc.get("report").unwrap()).unwrap();
+
+    let bench = paper_benchmark(6).unwrap();
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let local = extract_with(&FastExtractor::new(), &mut session).unwrap();
+    assert_eq!(served.slope_h.to_bits(), local.slope_h.to_bits());
+    assert_eq!(served.slope_v.to_bits(), local.slope_v.to_bits());
+    assert_eq!(served.probes, local.probes);
+
+    // The cache replays the cold bytes verbatim.
+    let hit = client
+        .post("/extract?wait", br#"{"benchmark": 6, "method": "fast"}"#)
+        .expect("hot request");
+    assert_eq!(hit.header("x-fastvg-cache"), Some("hit"));
+    assert_eq!(hit.body, cold.body, "cache-hit must be byte-identical");
+
+    // Metrics reflect the workload.
+    let metrics = client.get("/metrics").expect("metrics");
+    let text = String::from_utf8(metrics.body).unwrap();
+    assert!(text.contains("fastvg_cache_requests_total{outcome=\"hit\"} 1"));
+    assert!(text.contains("fastvg_jobs_total{state=\"completed\"} 1"));
+
+    daemon.shutdown();
+    daemon.join(); // returning proves every thread drained
+}

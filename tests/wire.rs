@@ -1,0 +1,118 @@
+//! Tier-1 wire round-trips: every document the protocol transmits —
+//! [`ExtractionReport`], every [`ExtractError`] category via
+//! [`WireFailure`], benchmark specs — serializes and parses back
+//! losslessly through `fastvg::wire::Json`.
+
+use fastvg::prelude::*;
+
+fn session_for(bench: &GeneratedBenchmark) -> MeasurementSession<CsdSource> {
+    MeasurementSession::new(CsdSource::new(bench.csd.clone()))
+}
+
+#[test]
+fn every_method_report_round_trips_losslessly() {
+    let bench = paper_benchmark(6).expect("paper benchmark");
+    let methods: Vec<Box<dyn Extractor>> = vec![
+        Box::new(FastExtractor::new()),
+        Box::new(HoughBaseline::new()),
+        Box::new(TuningLoop::new()),
+    ];
+    for method in &methods {
+        let mut session = session_for(&bench);
+        let report = extract_with(method.as_ref(), &mut session).expect("extraction");
+
+        let text = report.to_json().dump();
+        let back = ExtractionReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+
+        // Every transmitted field survives bit-for-bit.
+        assert_eq!(back.method, report.method);
+        assert_eq!(back.slope_h.to_bits(), report.slope_h.to_bits());
+        assert_eq!(back.slope_v.to_bits(), report.slope_v.to_bits());
+        assert_eq!(back.matrix, report.matrix);
+        assert_eq!(back.alpha12().to_bits(), report.alpha12().to_bits());
+        assert_eq!(back.probes, report.probes);
+        assert_eq!(back.unique_pixels, report.unique_pixels);
+        assert_eq!(back.coverage.to_bits(), report.coverage.to_bits());
+        assert_eq!(back.simulated_dwell, report.simulated_dwell);
+        assert_eq!(back.compute_time, report.compute_time);
+        assert_eq!(back.attempts, report.attempts);
+        assert_eq!(back.retry_failures, report.retry_failures);
+        assert_eq!(back.stages, report.stages);
+        assert_eq!(
+            back.details,
+            ExtractionDetails::Summary(report.details.summarize())
+        );
+        // A parsed report is a fixpoint: re-serialization is identical.
+        assert_eq!(back.to_json().dump(), text, "{}", report.method);
+    }
+}
+
+#[test]
+fn every_error_category_round_trips_with_flattened_chain() {
+    // One representative error per taxonomy category, including ones
+    // whose source() chain reaches the lower crates.
+    let errors: Vec<ExtractError> = vec![
+        ExtractError::window_too_small(20, 5),
+        ExtractError::degenerate_anchors((1, 2), (3, 4)),
+        ExtractError::too_few_transition_points(1, 4),
+        ExtractError::unphysical_slopes(0.5, -0.1),
+        ExtractError::low_contrast(0.12, 0.8),
+        ExtractError::from(fastvg::vision::VisionError::NoEdges),
+        ExtractError::from(fastvg::numerics::NumericsError::EmptyInput),
+    ];
+    let mut seen = std::collections::HashSet::new();
+    for error in &errors {
+        let wire = error.to_wire();
+        seen.insert(wire.category);
+
+        // The chain flattens the full source() walk, message by message.
+        let mut expected = Vec::new();
+        let mut cursor = std::error::Error::source(error);
+        while let Some(e) = cursor {
+            expected.push(e.to_string());
+            cursor = e.source();
+        }
+        assert_eq!(wire.chain, expected, "{error}");
+        assert_eq!(wire.message, error.to_string());
+
+        let text = wire.to_json().dump();
+        let back = WireFailure::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, wire, "{error}");
+        assert_eq!(back.to_json().dump(), text);
+    }
+    assert_eq!(seen.len(), 4, "all four categories exercised");
+}
+
+#[test]
+fn specs_and_stage_timings_round_trip() {
+    for spec in fastvg::dataset::paper_specs() {
+        let text = spec.to_json().dump();
+        let back = BenchmarkSpec::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.size, spec.size);
+        assert_eq!(back.seed, spec.seed);
+        assert_eq!(back.lever_arms, spec.lever_arms);
+        assert_eq!(back.noise, spec.noise);
+    }
+    let timing = StageTiming {
+        stage: Stage::RowSweep,
+        probes: 321,
+        elapsed: std::time::Duration::from_nanos(123_456_789),
+    };
+    let back = StageTiming::from_json(&Json::parse(&timing.to_json().dump()).unwrap()).unwrap();
+    assert_eq!(back, timing);
+}
+
+#[test]
+fn wire_tokens_are_stable() {
+    // The protocol document pins these strings; breaking them breaks
+    // deployed clients.
+    assert_eq!(Method::FastExtraction.wire_name(), "fast");
+    assert_eq!(Method::HoughBaseline.wire_name(), "hough");
+    assert_eq!(Method::TunedFast.wire_name(), "tuned");
+    assert_eq!(ErrorCategory::Probe.name(), "probe");
+    assert_eq!(ErrorCategory::Geometry.name(), "geometry");
+    assert_eq!(ErrorCategory::Fit.name(), "fit");
+    assert_eq!(ErrorCategory::Verify.name(), "verify");
+    assert_eq!(Stage::Anchors.name(), "anchors");
+    assert_eq!(Stage::RowSweep.name(), "row-sweep");
+}
