@@ -23,7 +23,7 @@
 //! *probe order* interacts with live drift, so its acquisitions must
 //! stay serial.
 
-use fastvg_bench::{run_method, Artifacts, BenchArgs, MethodFilter, Tee};
+use fastvg_bench::{run_method_on, Artifacts, BenchArgs, MethodFilter, Tee};
 use fastvg_core::anchors::AnchorConfig;
 use fastvg_core::baseline::acquire_full_csd_with;
 use fastvg_core::extraction::{ExtractorConfig, FastExtractor};
@@ -33,7 +33,7 @@ use fastvg_core::sweep::SweepConfig;
 use qd_dataset::{
     generate_suite, paper_suite_jobs, BenchmarkSpec, GeneratedBenchmark, NoiseRecipe,
 };
-use qd_instrument::{MeasurementSession, ScanPattern};
+use qd_instrument::{MeasurementSession, ScanPattern, SourceBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = BenchArgs::parse();
@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let all = which.is_none();
     let is = |name: &str| all || which.as_deref() == Some(name);
     let mut tee = Tee::new(args.out.is_some());
+    let backend = args.resolve_backend();
 
     // The healthy benchmarks (3..=12) every configuration sweep reuses —
     // rendered only if a sweep study actually runs (`scan`/`noise` build
@@ -56,25 +57,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     if is("shrink") {
-        ablate_shrink(&healthy, args.jobs, &mut tee);
+        ablate_shrink(&healthy, backend.as_ref(), args.jobs, &mut tee);
     }
     if is("sweeps") {
-        ablate_sweeps(&healthy, args.jobs, &mut tee);
+        ablate_sweeps(&healthy, backend.as_ref(), args.jobs, &mut tee);
     }
     if is("postproc") {
-        ablate_postproc(&healthy, args.jobs, &mut tee);
+        ablate_postproc(&healthy, backend.as_ref(), args.jobs, &mut tee);
     }
     if is("anchors") {
-        ablate_anchors(&healthy, args.jobs, &mut tee);
+        ablate_anchors(&healthy, backend.as_ref(), args.jobs, &mut tee);
     }
     if is("fit") {
-        ablate_fit(&healthy, args.jobs, &mut tee);
+        ablate_fit(&healthy, backend.as_ref(), args.jobs, &mut tee);
     }
     if is("scan") {
         ablate_scan(&mut tee)?;
     }
     if is("noise") {
-        ablate_noise(args.method, args.jobs, &mut tee)?;
+        ablate_noise(args.method, backend.as_ref(), args.jobs, &mut tee)?;
     }
 
     if let Some(dir) = &args.out {
@@ -90,12 +91,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// mean |alpha error| — one generic pass through the unified API.
 fn sweep_suite(
     healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
     config: ExtractorConfig,
     criteria: &SuccessCriteria,
     jobs: usize,
 ) -> (usize, f64, f64) {
     let extractor = FastExtractor::with_config(config);
-    let runs = run_method(&extractor, healthy, criteria, jobs);
+    let runs = run_method_on(backend, &extractor, healthy, criteria, jobs);
 
     let mut successes = 0;
     let mut probes = 0usize;
@@ -120,7 +122,12 @@ fn sweep_suite(
 }
 
 /// A1: triangle shrinking on/off.
-fn ablate_shrink(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
+fn ablate_shrink(
+    healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
+    jobs: usize,
+    tee: &mut Tee,
+) {
     let criteria = SuccessCriteria::default();
     tee.line("=== A1: dynamic triangle shrinking (10 healthy benchmarks) ===");
     tee.line(format!(
@@ -132,7 +139,7 @@ fn ablate_shrink(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
             sweep: SweepConfig { shrink },
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
+        let (s, p, e) = sweep_suite(healthy, backend, cfg, &criteria, jobs);
         tee.line(format!(
             "{:<12} {:>7}/10 {:>13.0} {:>12.4}",
             shrink, s, p, e
@@ -142,7 +149,12 @@ fn ablate_shrink(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
 }
 
 /// A2: which sweeps run.
-fn ablate_sweeps(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
+fn ablate_sweeps(
+    healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
+    jobs: usize,
+    tee: &mut Tee,
+) {
     let criteria = SuccessCriteria::default();
     tee.line("=== A2: sweep selection (10 healthy benchmarks) ===");
     tee.line(format!(
@@ -159,14 +171,19 @@ fn ablate_sweeps(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
             column_sweep: col,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
+        let (s, p, e) = sweep_suite(healthy, backend, cfg, &criteria, jobs);
         tee.line(format!("{:<14} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
     tee.line("single sweeps are cheaper but miss one line's geometry (§4.3.2)\n");
 }
 
 /// A3: post-processing filter on/off.
-fn ablate_postproc(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
+fn ablate_postproc(
+    healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
+    jobs: usize,
+    tee: &mut Tee,
+) {
     let criteria = SuccessCriteria::default();
     tee.line("=== A3: erroneous-point filtering (10 healthy benchmarks) ===");
     tee.line(format!(
@@ -178,7 +195,7 @@ fn ablate_postproc(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
             postprocess,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
+        let (s, p, e) = sweep_suite(healthy, backend, cfg, &criteria, jobs);
         tee.line(format!(
             "{:<12} {:>7}/10 {:>13.0} {:>12.4}",
             postprocess, s, p, e
@@ -190,7 +207,12 @@ fn ablate_postproc(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
 /// A4: anchor preprocessing quality — paper masks vs a single-pixel
 /// feature-gradient scan (no 3-px masks, no Gaussian weighting, emulated
 /// by a tiny mask-response window).
-fn ablate_anchors(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
+fn ablate_anchors(
+    healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
+    jobs: usize,
+    tee: &mut Tee,
+) {
     let criteria = SuccessCriteria::default();
     tee.line("=== A4: anchor preprocessing (10 healthy benchmarks) ===");
     tee.line(format!(
@@ -218,14 +240,19 @@ fn ablate_anchors(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
             anchors: cfg,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(healthy, config, &criteria, jobs);
+        let (s, p, e) = sweep_suite(healthy, backend, config, &criteria, jobs);
         tee.line(format!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
     tee.line("");
 }
 
 /// A-fit: Nelder–Mead (paper/SciPy-style) vs Levenberg–Marquardt.
-fn ablate_fit(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
+fn ablate_fit(
+    healthy: &[GeneratedBenchmark],
+    backend: &dyn SourceBackend,
+    jobs: usize,
+    tee: &mut Tee,
+) {
     let criteria = SuccessCriteria::default();
     tee.line("=== A-fit: intersection optimizer (10 healthy benchmarks) ===");
     tee.line(format!(
@@ -240,7 +267,7 @@ fn ablate_fit(healthy: &[GeneratedBenchmark], jobs: usize, tee: &mut Tee) {
             fit_method: method,
             ..ExtractorConfig::default()
         };
-        let (s, p, e) = sweep_suite(healthy, cfg, &criteria, jobs);
+        let (s, p, e) = sweep_suite(healthy, backend, cfg, &criteria, jobs);
         tee.line(format!("{:<22} {:>7}/10 {:>13.0} {:>12.4}", label, s, p, e));
     }
     tee.line("both fitters agree on this objective; NM handles the kinks natively\n");
@@ -321,6 +348,7 @@ fn ablate_scan(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
 /// generic pass per method.
 fn ablate_noise(
     filter: MethodFilter,
+    backend: &dyn SourceBackend,
     jobs: usize,
     tee: &mut Tee,
 ) -> Result<(), Box<dyn std::error::Error>> {
@@ -348,7 +376,7 @@ fn ablate_noise(
         let benches = generate_suite(&specs, jobs)?;
         let mut row = format!("{sigma:>8.2}");
         for e in &extractors {
-            let runs = run_method(e.as_ref(), &benches, &criteria, jobs);
+            let runs = run_method_on(backend, e.as_ref(), &benches, &criteria, jobs);
             let ok = runs.iter().filter(|r| r.report.success).count();
             row.push_str(&format!(" {:>14}/3", ok));
         }

@@ -24,14 +24,15 @@
 //! internals, so `--method hough` has nothing to draw and exits with a
 //! note.
 
-use fastvg_bench::{Artifacts, BenchArgs, MethodFilter, Tee};
+use fastvg_bench::{session_on, Artifacts, BenchArgs, MethodFilter, Tee};
 use fastvg_core::anchors::{find_anchors, AnchorConfig};
 use fastvg_core::postprocess::{leftmost_per_row, lowest_per_column, postprocess};
+use fastvg_core::report::Method;
 use fastvg_core::sweep::{column_major_sweep, row_major_sweep, SweepConfig, SweepKind};
 use qd_csd::render::AsciiRenderer;
 use qd_csd::{Csd, Pixel, VoltageGrid};
 use qd_dataset::{generate_suite, paper_specs, GeneratedBenchmark};
-use qd_instrument::{CsdSource, MeasurementSession};
+use qd_instrument::{SourceBackend, SourceScenario};
 use qd_physics::DeviceBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,6 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .filter(|s| wanted.contains(&s.index))
         .collect();
     let benches = generate_suite(&specs, args.jobs)?;
+    let backend = args.resolve_backend();
     let by_index = |index: usize| -> &GeneratedBenchmark {
         benches
             .iter()
@@ -82,17 +84,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if is("fig4") {
         let mut tee = Tee::new(teeing);
-        fig4(by_index(6), &mut tee)?;
+        fig4(by_index(6), backend.as_ref(), &mut tee)?;
         emit("fig4", &mut tee)?;
     }
     if is("fig5") {
         let mut tee = Tee::new(teeing);
-        fig5(&mut tee)?;
+        fig5(backend.as_ref(), &mut tee)?;
         emit("fig5", &mut tee)?;
     }
     if is("fig6") {
         let mut tee = Tee::new(teeing);
-        fig6(by_index(10), &mut tee)?;
+        fig6(by_index(10), backend.as_ref(), &mut tee)?;
         emit("fig6", &mut tee)?;
     }
     if is("honeycomb") {
@@ -198,8 +200,12 @@ fn fig2(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Figure 4: the critical region spanned by the anchors.
-fn fig4(bench: &GeneratedBenchmark, tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+fn fig4(
+    bench: &GeneratedBenchmark,
+    backend: &dyn SourceBackend,
+    tee: &mut Tee,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = session_on(backend, bench, Method::FastExtraction);
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;
 
@@ -238,7 +244,7 @@ fn fig4(bench: &GeneratedBenchmark, tee: &mut Tee) -> Result<(), Box<dyn std::er
 }
 
 /// Figure 5: sweep traces on a small 15x15 grid, as in the paper.
-fn fig5(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
+fn fig5(backend: &dyn SourceBackend, tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
     // A 15x15 toy CSD with a steep and a shallow line, like the paper's
     // illustration grid.
     let grid = VoltageGrid::new(0.0, 0.0, 1.0, 15, 15)?;
@@ -252,7 +258,7 @@ fn fig5(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
         }
         i
     })?;
-    let mut session = MeasurementSession::new(CsdSource::new(csd.clone()));
+    let mut session = backend.session(SourceScenario::new(csd.clone()).with_label("fig5-rows"))?;
     let region = fastvg_core::triangle::CriticalRegion::new(Pixel::new(0, 13), Pixel::new(12, 3))
         .expect("anchors are up-left/down-right");
 
@@ -269,7 +275,7 @@ fn fig5(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
         ));
     }
     tee.line("\n=== Figure 5 (b): column-major sweep ===");
-    let mut session2 = MeasurementSession::new(CsdSource::new(csd.clone()));
+    let mut session2 = backend.session(SourceScenario::new(csd.clone()).with_label("fig5-cols"))?;
     let cols = column_major_sweep(&mut session2, region, &SweepConfig::default());
     for step in &cols.steps {
         let probed: Vec<String> = step.probed.iter().map(|p| p.to_string()).collect();
@@ -293,8 +299,12 @@ fn fig5(tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 /// Figure 6: post-processing stages on a real benchmark.
-fn fig6(bench: &GeneratedBenchmark, tee: &mut Tee) -> Result<(), Box<dyn std::error::Error>> {
-    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+fn fig6(
+    bench: &GeneratedBenchmark,
+    backend: &dyn SourceBackend,
+    tee: &mut Tee,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = session_on(backend, bench, Method::FastExtraction);
     let anchors = find_anchors(&mut session, &AnchorConfig::default())?;
     let region = anchors.region()?;
     let rows = row_major_sweep(&mut session, region, &SweepConfig::default());

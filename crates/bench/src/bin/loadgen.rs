@@ -25,7 +25,20 @@
 //!   driving load (lets scripts race the daemon boot).
 //! * `--expect-cache-hits` — exit non-zero unless every post-cold
 //!   request was a cache hit.
+//! * `--remote-check` — after the passes, run paper benchmark 6 through
+//!   a [`fastvg_serve::RemoteExtractor`] and a local `Pipeline`, both
+//!   via the same `&dyn Extractor` batch path, and exit non-zero unless
+//!   the two `ExtractionReport`s agree bit-for-bit (slopes, matrix,
+//!   probes, coverage) — the end-to-end proof that the daemon is a
+//!   drop-in extractor.
+//! * `--record-tape PATH` — tape the local comparison run's probes to
+//!   `PATH` (implies nothing by itself; with `--remote-check` the tape
+//!   is also replayed strictly and must reproduce the local report).
 //! * `--out DIR` — artifact directory (default `target/artifacts`).
+//!
+//! On startup the generator asserts the daemon's `/healthz` build info:
+//! the reported crate version must match its own, so CI never load-tests
+//! a stale binary.
 //!
 //! Every request uses `?wait`, so a request's latency is the service's
 //! end-to-end job latency (queue + schedule + extract + serialize).
@@ -48,6 +61,8 @@ struct Args {
     budget: Option<usize>,
     wait_healthz: Option<u64>,
     expect_cache_hits: bool,
+    remote_check: bool,
+    record_tape: Option<std::path::PathBuf>,
     out: std::path::PathBuf,
 }
 
@@ -62,6 +77,8 @@ impl Default for Args {
             budget: None,
             wait_healthz: None,
             expect_cache_hits: false,
+            remote_check: false,
+            record_tape: None,
             out: std::path::PathBuf::from("target/artifacts"),
         }
     }
@@ -104,6 +121,8 @@ fn parse_args() -> Args {
                 )
             }
             "--expect-cache-hits" => parsed.expect_cache_hits = true,
+            "--remote-check" => parsed.remote_check = true,
+            "--record-tape" => parsed.record_tape = Some(value("--record-tape", &mut args).into()),
             "--out" => parsed.out = value("--out", &mut args).into(),
             other => panic!("unknown flag {other:?}"),
         }
@@ -178,6 +197,130 @@ fn drive_pass(
     (samples, started.elapsed())
 }
 
+/// Asserts the daemon's `/healthz` build info matches this binary: same
+/// workspace version, and the backend registry it claims to serve.
+fn assert_build_info(addr: &str) {
+    let mut client = Client::connect(addr).expect("connect for healthz");
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200, "daemon must be healthy");
+    let doc = health.json().expect("healthz is JSON");
+    let version = doc
+        .get("version")
+        .and_then(Json::as_str)
+        .expect("healthz reports a version");
+    // Every workspace crate inherits `version.workspace = true`, so
+    // fastvg-serve and fastvg-bench versions move in lockstep — a
+    // mismatch means the daemon binary came from a different tree.
+    assert_eq!(
+        version,
+        env!("CARGO_PKG_VERSION"),
+        "daemon version must match this load generator's build"
+    );
+    let backends: Vec<&str> = doc
+        .get("backends")
+        .and_then(Json::as_arr)
+        .expect("healthz reports enabled backends")
+        .iter()
+        .filter_map(Json::as_str)
+        .collect();
+    for required in ["sim", "throttled", "replay", "record"] {
+        assert!(
+            backends.contains(&required),
+            "daemon must serve the {required} backend, got {backends:?}"
+        );
+    }
+    println!(
+        "daemon build: version {version}, default backend {}, schemes {}",
+        doc.get("backend").and_then(Json::as_str).unwrap_or("?"),
+        backends.join(",")
+    );
+}
+
+/// The end-to-end interchangeability proof: a
+/// [`fastvg_serve::RemoteExtractor`] and a local `Pipeline` run through
+/// the *same* `&dyn Extractor` batch path on paper benchmark 6 and must
+/// report identical extractions. With `--record-tape` the local run is
+/// taped and strictly replayed, so the round also pins the
+/// record/replay fixtures.
+fn remote_check(addr: &str, record_tape: Option<&std::path::Path>) {
+    use fastvg_core::api::{ExtractionReport, Extractor, Pipeline};
+    use fastvg_core::batch::BatchExtractor;
+    use fastvg_serve::RemoteExtractor;
+    use qd_instrument::{ReplayMode, SimBackend, SourceBackend, SourceScenario};
+    use std::sync::Arc;
+
+    let bench = qd_dataset::paper_benchmark(6).expect("paper benchmark 6");
+    let runner = BatchExtractor::new().with_jobs(1);
+    let scenario = || {
+        SourceScenario::new(bench.csd.clone())
+            .with_label("remote-check")
+            .with_seed(bench.spec.seed)
+    };
+
+    // One closure drives both extractors through the erased batch path.
+    let run_one = |extractor: &dyn Extractor, backend: &dyn SourceBackend| -> ExtractionReport {
+        let mut outcomes = runner.run(extractor, 1, |_| {
+            backend.session(scenario()).expect("backend opens")
+        });
+        outcomes
+            .remove(0)
+            .outcome
+            .expect("benchmark 6 extracts cleanly")
+    };
+
+    let local_backend: Arc<dyn SourceBackend> = match record_tape {
+        Some(path) => Arc::new(qd_instrument::RecordBackend::new(
+            path,
+            Arc::new(SimBackend),
+        )),
+        None => Arc::new(SimBackend),
+    };
+    let local = run_one(&Pipeline::fast().build(), local_backend.as_ref());
+    // The remote extractor acquires the window itself; it must not run
+    // over the recording backend or the tape would hold its full-frame
+    // acquisition instead of the local pipeline's probes.
+    let remote = run_one(&RemoteExtractor::new(addr.to_string()), &SimBackend);
+
+    assert_eq!(
+        remote.method, local.method,
+        "remote must run the same method"
+    );
+    assert_eq!(
+        remote.slope_h.to_bits(),
+        local.slope_h.to_bits(),
+        "remote slope_h must match local"
+    );
+    assert_eq!(
+        remote.slope_v.to_bits(),
+        local.slope_v.to_bits(),
+        "remote slope_v must match local"
+    );
+    assert_eq!(remote.matrix, local.matrix, "virtualization matrices match");
+    assert_eq!(remote.probes, local.probes, "probe counts match");
+    assert_eq!(
+        remote.coverage.to_bits(),
+        local.coverage.to_bits(),
+        "coverage matches"
+    );
+    println!(
+        "remote-check: remote report matches local pipeline (slopes {:.4}/{:.4}, {} probes)",
+        local.slope_h, local.slope_v, local.probes
+    );
+
+    if let Some(path) = record_tape {
+        let replay = qd_instrument::ReplayBackend::new(path, ReplayMode::Strict);
+        let replayed = run_one(&Pipeline::fast().build(), &replay);
+        assert_eq!(replayed.slope_h.to_bits(), local.slope_h.to_bits());
+        assert_eq!(replayed.slope_v.to_bits(), local.slope_v.to_bits());
+        assert_eq!(replayed.probes, local.probes);
+        assert_eq!(replayed.matrix, local.matrix);
+        println!(
+            "remote-check: strict replay of {} reproduces the local report",
+            path.display()
+        );
+    }
+}
+
 fn main() {
     let args = parse_args();
 
@@ -216,6 +359,8 @@ fn main() {
             std::thread::sleep(Duration::from_millis(200));
         }
     }
+
+    assert_build_info(&addr);
 
     let mut benchmarks: Vec<usize> = (1..=12).collect();
     if let Some(budget) = args.budget {
@@ -306,6 +451,10 @@ fn main() {
     let path = args.out.join("BENCH_serve_throughput.json");
     std::fs::write(&path, doc.pretty()).expect("write artifact");
     println!("artifact: {}", path.display());
+
+    if args.remote_check {
+        remote_check(&addr, args.record_tape.as_deref());
+    }
 
     if let Some(daemon) = spawned {
         daemon.shutdown();

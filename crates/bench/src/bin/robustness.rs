@@ -18,10 +18,11 @@
 //!
 //! Standard flags: `--method fast|hough` (default both), `--jobs N`
 //! (generation and extraction both fan out; every spec carries its own
-//! seed, so results are bit-identical for every `N`), `--out DIR`
-//! (writes `robustness.csv` with one row per device × method).
+//! seed, so results are bit-identical for every `N`), `--backend SPEC`
+//! (probe-source selection; default `sim`), `--out DIR` (writes
+//! `robustness.csv` with one row per device × method).
 
-use fastvg_bench::{csv_f64, run_method, Artifacts, BenchArgs, MethodRun};
+use fastvg_bench::{csv_f64, run_method_on, Artifacts, BenchArgs, MethodRun};
 use fastvg_core::report::{Method, SuccessCriteria};
 use qd_dataset::{generate_suite, random_specs};
 
@@ -39,14 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let specs = random_specs(n, seed);
     let benches = generate_suite(&specs, args.jobs)?;
 
-    // One generic pass per selected method — no per-method code paths.
+    // One generic pass per selected method — no per-method code paths,
+    // and the probe source is the `--backend` flag's business.
+    let backend = args.resolve_backend();
     let extractors = args.method.extractors();
     let runs: Vec<(Method, Vec<MethodRun>)> = extractors
         .iter()
         .map(|e| {
             (
                 e.method(),
-                run_method(e.as_ref(), &benches, &criteria, args.jobs),
+                run_method_on(backend.as_ref(), e.as_ref(), &benches, &criteria, args.jobs),
             )
         })
         .collect();

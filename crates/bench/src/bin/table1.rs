@@ -14,6 +14,11 @@
 //! * `--jobs N` — run up to `N` benchmark sessions concurrently through
 //!   [`fastvg_core::batch::BatchExtractor`] (default: one per core).
 //!   Results are bit-identical for every `N`.
+//! * `--backend SPEC` — probe-source selection (`sim`,
+//!   `throttled:<dwell>`, `record:<tape>[+inner]`, `replay:<tape>`;
+//!   default `sim`). `record:tapes/{label}.tape` writes one tape per
+//!   benchmark and method; replaying them reproduces this table
+//!   bit-for-bit without the generator.
 //! * `--method fast|hough` — run a single method (reduced table, no
 //!   speedup column or artifacts). Default: both.
 //! * `--out DIR` — artifact directory for `table1.csv` / `table1.json` /
@@ -29,10 +34,11 @@
 //! `BENCH_batch_throughput.json`, so the perf trajectory is tracked
 //! across PRs by the uploaded CI artifact.
 
-use fastvg_bench::{csv_f64, fmt_secs, run_method, run_suite, Artifacts, BenchArgs};
+use fastvg_bench::{csv_f64, fmt_secs, run_method_on, run_suite_on, Artifacts, BenchArgs};
 use fastvg_core::report::SuccessCriteria;
 use fastvg_wire::Json;
 use qd_dataset::paper_suite_jobs;
+use qd_instrument::SourceBackend;
 use std::time::Instant;
 
 /// Gate thresholds (paper: 10/12 successes, speedups 5.84×–19.34×).
@@ -65,11 +71,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let criteria = SuccessCriteria::default();
     let suite = paper_suite_jobs(args.jobs)?;
+    let backend = args.resolve_backend();
 
     if !both {
         // Single-method mode: one table through the one generic path.
         let extractor = args.method.extractors().remove(0);
-        let runs = run_method(extractor.as_ref(), &suite, &criteria, args.jobs);
+        let runs = run_method_on(
+            backend.as_ref(),
+            extractor.as_ref(),
+            &suite,
+            &criteria,
+            args.jobs,
+        );
         println!("Table 1 ({} only)", extractor.method());
         println!(
             "{:>3} {:>9} | {:>7} | {:>16} | {:>10}",
@@ -98,7 +111,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
 
-    let runs = run_suite(&suite, &criteria, args.jobs);
+    let runs = run_suite_on(backend.as_ref(), &suite, &criteria, args.jobs);
 
     println!("Table 1: Result Summary (synthetic qflow-like suite)");
     println!(
@@ -200,6 +213,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     write_throughput_bench(
         &artifacts,
+        backend.as_ref(),
         &suite,
         &criteria,
         args.jobs,
@@ -231,8 +245,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// tracked across PRs. Wall times are compute-bound here (replayed
 /// sessions have no real dwell), so the parallel speedup reflects
 /// available cores, not dwell overlap.
+#[allow(clippy::too_many_arguments)]
 fn write_throughput_bench(
     artifacts: &Artifacts,
+    backend: &dyn SourceBackend,
     suite: &[qd_dataset::GeneratedBenchmark],
     criteria: &SuccessCriteria,
     jobs_flag: usize,
@@ -242,7 +258,7 @@ fn write_throughput_bench(
 ) -> std::io::Result<()> {
     let time_with = |jobs: usize| -> (f64, usize) {
         let started = Instant::now();
-        let runs = run_suite(suite, criteria, jobs);
+        let runs = run_suite_on(backend, suite, criteria, jobs);
         let ok = runs.iter().filter(|r| r.fast.report.success).count();
         (started.elapsed().as_secs_f64(), ok)
     };

@@ -4,10 +4,11 @@
 //! DAC'24 paper (see DESIGN.md §4 for the experiment index); this library
 //! holds the code they share: driving extraction methods over benchmarks
 //! — serially or batched across a worker pool — through the unified
-//! [`fastvg_core::api::Extractor`] trait, scoring outcomes into Table
+//! [`fastvg_core::api::Extractor`] trait and a runtime-selected
+//! [`qd_instrument::SourceBackend`], scoring outcomes into Table
 //! 1-style rows, and the standard CLI surface
-//! (`--method fast|hough` / `--jobs N` / `--out DIR`, parsed by
-//! [`BenchArgs`]).
+//! (`--method fast|hough` / `--jobs N` / `--backend SPEC` / `--out DIR`,
+//! parsed by [`BenchArgs`]).
 //!
 //! # Batch execution
 //!
@@ -23,8 +24,11 @@ use fastvg_core::batch::{BatchExtractor, BatchOutcome};
 use fastvg_core::extraction::{ExtractionResult, FastExtractor};
 use fastvg_core::report::{Method, ReportRow, SuccessCriteria};
 use qd_dataset::GeneratedBenchmark;
-use qd_instrument::{CsdSource, MeasurementSession};
+use qd_instrument::{
+    BackendRegistry, BoxedSource, CsdSource, MeasurementSession, SourceBackend, SourceScenario,
+};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Outcome of running one method on one benchmark: the report row plus
 /// the session ledger scatter (for Figure 7).
@@ -49,6 +53,51 @@ pub struct SuiteRun {
 /// A fresh replay session over a generated benchmark's diagram.
 pub fn session_for(bench: &GeneratedBenchmark) -> MeasurementSession<CsdSource> {
     MeasurementSession::new(CsdSource::new(bench.csd.clone()))
+}
+
+/// Resolves a `--backend` spec through the standard registry, exiting
+/// with the resolver's message on malformed specs — operator errors in
+/// harness invocations, like the rest of the CLI surface.
+pub fn resolve_backend(spec: &str) -> Arc<dyn SourceBackend> {
+    BackendRegistry::standard()
+        .resolve(spec)
+        .unwrap_or_else(|e| panic!("--backend {spec:?}: {e}"))
+}
+
+/// The backend scenario for one benchmark: its diagram, its generation
+/// seed, and a `bench<NN>-<method>` label so `{label}` tape templates
+/// fan out per benchmark and per method.
+pub fn scenario_for(bench: &GeneratedBenchmark, method: Method) -> SourceScenario {
+    SourceScenario::new(bench.csd.clone())
+        .with_label(format!(
+            "bench{:02}-{}",
+            bench.spec.index,
+            method.wire_name()
+        ))
+        .with_seed(bench.spec.seed)
+}
+
+/// A fresh session over a benchmark through a runtime-selected backend
+/// — the `--backend` flavor of [`session_for`].
+///
+/// # Panics
+///
+/// Panics when the backend cannot open a source (unreadable tape, …) —
+/// an operator error in harness invocations.
+pub fn session_on(
+    backend: &dyn SourceBackend,
+    bench: &GeneratedBenchmark,
+    method: Method,
+) -> MeasurementSession<BoxedSource> {
+    backend
+        .session(scenario_for(bench, method))
+        .unwrap_or_else(|e| {
+            panic!(
+                "backend {} failed to open benchmark {}: {e}",
+                backend.describe(),
+                bench.spec.index
+            )
+        })
 }
 
 /// Scores a batched extraction outcome (any method) into a Table 1 row.
@@ -124,7 +173,26 @@ pub fn score(
 /// Runs one extraction method over a benchmark suite with up to `jobs`
 /// concurrent sessions and scores each outcome — the single code path
 /// behind every per-method harness (no per-method dispatch needed).
+/// Probes the benchmarks directly (the `sim` backend).
 pub fn run_method(
+    extractor: &dyn Extractor,
+    benches: &[GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+    jobs: usize,
+) -> Vec<MethodRun> {
+    run_method_on(
+        &qd_instrument::SimBackend,
+        extractor,
+        benches,
+        criteria,
+        jobs,
+    )
+}
+
+/// [`run_method`] through a runtime-selected [`SourceBackend`] — what
+/// the harnesses' shared `--backend` flag feeds.
+pub fn run_method_on(
+    backend: &dyn SourceBackend,
     extractor: &dyn Extractor,
     benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
@@ -132,20 +200,24 @@ pub fn run_method(
 ) -> Vec<MethodRun> {
     run_method_with(
         &BatchExtractor::new().with_jobs(jobs),
+        backend,
         extractor,
         benches,
         criteria,
     )
 }
 
-/// [`run_method`] with a caller-configured [`BatchExtractor`].
+/// [`run_method_on`] with a caller-configured [`BatchExtractor`].
 pub fn run_method_with(
     runner: &BatchExtractor,
+    backend: &dyn SourceBackend,
     extractor: &dyn Extractor,
     benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
 ) -> Vec<MethodRun> {
-    let outcomes = runner.run(extractor, benches.len(), |i| session_for(&benches[i]));
+    let outcomes = runner.run(extractor, benches.len(), |i| {
+        session_on(backend, &benches[i], extractor.method())
+    });
     outcomes
         .into_iter()
         .zip(benches)
@@ -176,24 +248,41 @@ pub fn run_baseline(bench: &GeneratedBenchmark, criteria: &SuccessCriteria) -> M
 }
 
 /// Runs both methods over a benchmark suite with up to `jobs` concurrent
-/// sessions per method, returning scored rows in suite order.
+/// sessions per method, returning scored rows in suite order. Probes
+/// the benchmarks directly (the `sim` backend).
 pub fn run_suite(
     benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
     jobs: usize,
 ) -> Vec<SuiteRun> {
-    run_suite_with(&BatchExtractor::new().with_jobs(jobs), benches, criteria)
+    run_suite_on(&qd_instrument::SimBackend, benches, criteria, jobs)
 }
 
-/// [`run_suite`] with a custom-configured [`BatchExtractor`] (ablation
-/// configurations, custom baselines).
+/// [`run_suite`] through a runtime-selected [`SourceBackend`].
+pub fn run_suite_on(
+    backend: &dyn SourceBackend,
+    benches: &[GeneratedBenchmark],
+    criteria: &SuccessCriteria,
+    jobs: usize,
+) -> Vec<SuiteRun> {
+    run_suite_with(
+        &BatchExtractor::new().with_jobs(jobs),
+        backend,
+        benches,
+        criteria,
+    )
+}
+
+/// [`run_suite_on`] with a custom-configured [`BatchExtractor`]
+/// (ablation configurations, custom baselines).
 pub fn run_suite_with(
     runner: &BatchExtractor,
+    backend: &dyn SourceBackend,
     benches: &[GeneratedBenchmark],
     criteria: &SuccessCriteria,
 ) -> Vec<SuiteRun> {
-    let fast = run_method_with(runner, runner.extractor(), benches, criteria);
-    let base = run_method_with(runner, runner.baseline(), benches, criteria);
+    let fast = run_method_with(runner, backend, runner.extractor(), benches, criteria);
+    let base = run_method_with(runner, backend, runner.baseline(), benches, criteria);
     fast.into_iter()
         .zip(base)
         .map(|(fast, baseline)| SuiteRun { fast, baseline })
@@ -240,18 +329,35 @@ impl MethodFilter {
 
 /// The standard CLI surface shared by all bench binaries:
 /// `--method fast|hough` (default both), `--jobs N` (default: one worker
-/// per core), `--out DIR` (artifact directory). Everything else lands in
+/// per core), `--backend SPEC` (probe-source selection, default `sim`),
+/// `--out DIR` (artifact directory). Everything else lands in
 /// [`BenchArgs::rest`] for the binary's own flags/positionals.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Worker cap for batch execution (0 = one per core).
     pub jobs: usize,
     /// Which methods to run.
     pub method: MethodFilter,
+    /// Probe-backend spec (`sim`, `throttled:<dwell>`,
+    /// `record:<tape>[+inner]`, `replay:<tape>`; tape paths may contain
+    /// `{label}`, expanded to `bench<NN>-<method>`).
+    pub backend: String,
     /// Artifact directory, if requested.
     pub out: Option<PathBuf>,
     /// Unconsumed arguments, in order.
     pub rest: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            jobs: 0,
+            method: MethodFilter::default(),
+            backend: "sim".to_string(),
+            out: None,
+            rest: Vec::new(),
+        }
+    }
 }
 
 impl BenchArgs {
@@ -296,6 +402,8 @@ impl BenchArgs {
                     "both" => MethodFilter::Both,
                     other => panic!("--method expects fast|hough|both, got {other:?}"),
                 };
+            } else if a == "--backend" || a.starts_with("--backend=") {
+                parsed.backend = value_of(a.strip_prefix("--backend="), "--backend");
             } else if a == "--out" || a.starts_with("--out=") {
                 let v = value_of(a.strip_prefix("--out="), "--out");
                 assert!(!v.starts_with("--"), "--out expects a directory path");
@@ -310,6 +418,11 @@ impl BenchArgs {
     /// The artifact directory: `--out` if given, else `default`.
     pub fn out_dir(&self, default: &str) -> PathBuf {
         self.out.clone().unwrap_or_else(|| PathBuf::from(default))
+    }
+
+    /// Resolves the `--backend` spec — see [`resolve_backend`].
+    pub fn resolve_backend(&self) -> Arc<dyn SourceBackend> {
+        resolve_backend(&self.backend)
     }
 
     /// Whether a bare flag (e.g. `--gate`) appears in the leftovers.
@@ -457,9 +570,25 @@ mod tests {
         let d = args(&["shrink"]);
         assert_eq!(d.jobs, 0);
         assert_eq!(d.method, MethodFilter::Both);
+        assert_eq!(d.backend, "sim");
         assert!(d.out.is_none());
         assert_eq!(d.rest, vec!["shrink"]);
         assert_eq!(d.out_dir("target/artifacts"), Path::new("target/artifacts"));
+    }
+
+    #[test]
+    fn parses_and_resolves_backend_specs() {
+        let a = args(&["--backend", "throttled:50us"]);
+        assert_eq!(a.backend, "throttled:50us");
+        assert_eq!(a.resolve_backend().describe(), "throttled:50us");
+        let b = args(&["--backend=replay:tapes/{label}.tape"]);
+        assert_eq!(b.resolve_backend().scheme(), "replay");
+    }
+
+    #[test]
+    #[should_panic(expected = "--backend")]
+    fn rejects_malformed_backend_specs() {
+        let _ = args(&["--backend", "warp:9"]).resolve_backend();
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub enum ExtractError {
     Fit(FitError),
     /// The extracted result failed post-extraction validation.
     Verify(VerifyError),
+    /// An extraction delegated to a remote service failed.
+    Remote(RemoteError),
 }
 
 /// Failures of the measurement itself.
@@ -114,7 +116,30 @@ pub enum VerifyError {
     },
 }
 
-/// The four phases an extraction can fail in — `ExtractError` without
+/// Failures of remote (service-delegated) extraction.
+///
+/// A `fastvg-serve` daemon runs the same extraction code this crate
+/// ships, so a *completed* remote extraction that failed arrives as the
+/// server's own flattened taxonomy ([`RemoteError::Failure`]) and keeps
+/// its original [`ErrorCategory`]. Only failures of the delegation
+/// itself — transport, protocol — fall into the
+/// [`ErrorCategory::Remote`] category.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RemoteError {
+    /// The service could not be reached or the connection broke.
+    Transport(std::io::Error),
+    /// The service answered outside the protocol (malformed body,
+    /// unexpected status, wait window elapsed).
+    Protocol {
+        /// What was wrong.
+        message: String,
+    },
+    /// The service completed the extraction and reported this failure.
+    Failure(WireFailure),
+}
+
+/// The phases an extraction can fail in — `ExtractError` without
 /// the per-variant payload, for coarse routing and telemetry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorCategory {
@@ -126,6 +151,9 @@ pub enum ErrorCategory {
     Fit,
     /// Validation failure.
     Verify,
+    /// Remote delegation failure (transport or protocol — a remote
+    /// *extraction* failure keeps the category the server reported).
+    Remote,
 }
 
 impl fmt::Display for ErrorCategory {
@@ -142,6 +170,7 @@ impl ErrorCategory {
             ErrorCategory::Geometry => "geometry",
             ErrorCategory::Fit => "fit",
             ErrorCategory::Verify => "verify",
+            ErrorCategory::Remote => "remote",
         }
     }
 
@@ -152,6 +181,7 @@ impl ErrorCategory {
             "geometry" => Some(ErrorCategory::Geometry),
             "fit" => Some(ErrorCategory::Fit),
             "verify" => Some(ErrorCategory::Verify),
+            "remote" => Some(ErrorCategory::Remote),
             _ => None,
         }
     }
@@ -274,13 +304,17 @@ impl fmt::Display for WireError {
 impl Error for WireError {}
 
 impl ExtractError {
-    /// Which pipeline phase the error belongs to.
+    /// Which pipeline phase the error belongs to. A remote extraction
+    /// failure keeps the category the server reported; only transport
+    /// and protocol failures are [`ErrorCategory::Remote`].
     pub fn category(&self) -> ErrorCategory {
         match self {
             ExtractError::Probe(_) => ErrorCategory::Probe,
             ExtractError::Geometry(_) => ErrorCategory::Geometry,
             ExtractError::Fit(_) => ErrorCategory::Fit,
             ExtractError::Verify(_) => ErrorCategory::Verify,
+            ExtractError::Remote(RemoteError::Failure(w)) => w.category,
+            ExtractError::Remote(_) => ErrorCategory::Remote,
         }
     }
 
@@ -334,6 +368,27 @@ impl fmt::Display for ExtractError {
             ExtractError::Geometry(e) => write!(f, "geometry failure: {e}"),
             ExtractError::Fit(e) => write!(f, "fit failure: {e}"),
             ExtractError::Verify(e) => write!(f, "verify failure: {e}"),
+            ExtractError::Remote(e) => write!(f, "remote failure: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Transport(e) => write!(f, "transport error: {e}"),
+            RemoteError::Protocol { message } => write!(f, "protocol error: {message}"),
+            RemoteError::Failure(w) => write!(f, "service reported {}: {}", w.category, w.message),
+        }
+    }
+}
+
+impl Error for RemoteError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RemoteError::Transport(e) => Some(e),
+            RemoteError::Protocol { .. } => None,
+            RemoteError::Failure(w) => Some(w),
         }
     }
 }
@@ -398,6 +453,7 @@ impl Error for ExtractError {
             ExtractError::Geometry(e) => Some(e),
             ExtractError::Fit(e) => Some(e),
             ExtractError::Verify(e) => Some(e),
+            ExtractError::Remote(e) => Some(e),
         }
     }
 }
@@ -453,6 +509,12 @@ impl From<FitError> for ExtractError {
 impl From<VerifyError> for ExtractError {
     fn from(e: VerifyError) -> Self {
         ExtractError::Verify(e)
+    }
+}
+
+impl From<RemoteError> for ExtractError {
+    fn from(e: RemoteError) -> Self {
+        ExtractError::Remote(e)
     }
 }
 
@@ -607,12 +669,43 @@ mod tests {
     }
 
     #[test]
+    fn remote_failures_keep_the_server_category() {
+        let served = WireFailure {
+            category: ErrorCategory::Fit,
+            message: "fitted slopes violate device physics".to_string(),
+            chain: vec!["fit failure".to_string()],
+        };
+        let e = ExtractError::Remote(RemoteError::Failure(served.clone()));
+        assert_eq!(e.category(), ErrorCategory::Fit, "server category kept");
+        assert!(e.to_string().contains("remote failure"), "{e}");
+        // The wire failure is reachable through the source chain.
+        assert!(e
+            .source()
+            .and_then(|s| s.source())
+            .and_then(|s| s.downcast_ref::<WireFailure>())
+            .is_some());
+
+        // Delegation failures are their own category.
+        let t = ExtractError::Remote(RemoteError::Transport(std::io::Error::new(
+            std::io::ErrorKind::ConnectionRefused,
+            "refused",
+        )));
+        assert_eq!(t.category(), ErrorCategory::Remote);
+        let p = ExtractError::from(RemoteError::Protocol {
+            message: "wait window elapsed".to_string(),
+        });
+        assert_eq!(p.category(), ErrorCategory::Remote);
+        assert_eq!(p.to_wire().category, ErrorCategory::Remote);
+    }
+
+    #[test]
     fn category_names_round_trip() {
         for c in [
             ErrorCategory::Probe,
             ErrorCategory::Geometry,
             ErrorCategory::Fit,
             ErrorCategory::Verify,
+            ErrorCategory::Remote,
         ] {
             assert_eq!(ErrorCategory::from_name(c.name()), Some(c));
             assert_eq!(c.to_string(), c.name());

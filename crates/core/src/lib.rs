@@ -91,8 +91,8 @@ pub use api::{
 };
 pub use batch::{BatchExtractor, BatchOutcome};
 pub use error::{
-    ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError, WireError,
-    WireFailure,
+    ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, RemoteError, VerifyError,
+    WireError, WireFailure,
 };
 pub use extraction::{ExtractionResult, FastExtractor};
 pub use report::{Method, ReportRow, SuccessCriteria};

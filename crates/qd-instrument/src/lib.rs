@@ -16,6 +16,13 @@
 //! * [`MeasurementSession`] — glues the three together and adds an optional
 //!   measurement cache (re-probing a pixel costs nothing, as in the paper's
 //!   simulated evaluation).
+//! * [`SourceBackend`] + [`BackendRegistry`] — runtime probe-source
+//!   selection behind one object-safe seam: `sim`, `throttled:<dwell>`,
+//!   `replay:<tape>`, `record:<tape>[+inner]`, plus embedder-registered
+//!   schemes (see [`backend`]).
+//! * [`RecordingSource`] / [`ReplaySource`] — probe tapes: record every
+//!   dwell-costing probe to newline-framed JSON and play it back
+//!   bit-identically without the source (see [`tape`]).
 //!
 //! # Example
 //!
@@ -41,16 +48,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod clock;
 pub mod ledger;
 pub mod scan;
 pub mod session;
 pub mod source;
+pub mod tape;
 pub mod throttle;
 
+pub use backend::{
+    BackendError, BackendRegistry, BoxedSource, RecordBackend, ReplayBackend, SimBackend,
+    SourceBackend, SourceScenario, ThrottledBackend,
+};
 pub use clock::DwellClock;
 pub use ledger::{ProbeEvent, ProbeLedger};
 pub use scan::ScanPattern;
 pub use session::{MeasurementSession, ProbeSession};
 pub use source::{CsdSource, CurrentSource, FnSource, PhysicsSource, VoltageWindow};
+pub use tape::{RecordingSource, ReplayMode, ReplaySource, Tape, TapeError, TapeHeader, TapeProbe};
 pub use throttle::ThrottledSource;

@@ -84,6 +84,26 @@ pub trait CurrentSource {
     fn window(&self) -> VoltageWindow;
 }
 
+impl std::fmt::Debug for dyn CurrentSource + Send {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dyn CurrentSource")
+    }
+}
+
+/// Boxed sources probe like the source they wrap, so type-erased
+/// sources from a [`crate::backend::SourceBackend`] slot into every
+/// generic consumer (`MeasurementSession<Box<dyn CurrentSource + Send>>`
+/// is the runtime-selected session type).
+impl<S: CurrentSource + ?Sized> CurrentSource for Box<S> {
+    fn current(&mut self, v1: f64, v2: f64) -> f64 {
+        (**self).current(v1, v2)
+    }
+
+    fn window(&self) -> VoltageWindow {
+        (**self).window()
+    }
+}
+
 /// Replays a recorded or synthetic [`Csd`] — exactly how the paper
 /// evaluates on the qflow dataset: "the `getCurrent` function will return
 /// a current from a CSD in the dataset".

@@ -16,6 +16,10 @@
 //! * `--queue-capacity N` — pending jobs before 503 (default 256).
 //! * `--cache-capacity N` — cached results, `0` disables (default 1024).
 //! * `--cache-shards N` — cache lock shards (default 8).
+//! * `--backend SPEC` — default probe backend for scenarios
+//!   (`sim`, `throttled:<dwell>`, `record:<tape>[+inner]`,
+//!   `replay:<tape>`; default `sim`). Requests may override with their
+//!   own (restricted) `"backend"` member.
 //! * `--shutdown-after SECS` — stop gracefully after a deadline (CI
 //!   smoke harnesses; `std` cannot catch SIGTERM, so the deadline and
 //!   `POST /shutdown` are the daemon's stop channels).
@@ -52,6 +56,7 @@ fn main() {
             "--wait-timeout-s" => {
                 config.wait_timeout = Duration::from_secs(parse_flag(&mut args, "--wait-timeout-s"))
             }
+            "--backend" => config.backend = parse_flag(&mut args, "--backend"),
             "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
             other => {
                 eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");

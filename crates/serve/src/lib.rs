@@ -19,6 +19,11 @@
 //! | [`metrics`] | counters + latency histograms behind `GET /metrics` |
 //! | [`service`] | the routes, request validation, and daemon lifecycle |
 //! | [`client`] | the minimal keep-alive client used by `fastvg-loadgen`, tests and examples |
+//! | [`remote`] | [`RemoteExtractor`]: the daemon as a drop-in `&dyn Extractor` |
+//!
+//! Scenarios are measured through a runtime-selected
+//! [`qd_instrument::SourceBackend`] (`--backend` / the request's
+//! `"backend"` member); see `docs/BACKENDS.md`.
 //!
 //! The wire protocol — newline-framed JSON over `POST /extract`,
 //! `GET /jobs/<id>`, `GET /healthz`, `GET /metrics` — is specified in
@@ -64,6 +69,7 @@ pub mod client;
 pub mod http;
 pub mod metrics;
 pub mod queue;
+pub mod remote;
 pub mod service;
 
 pub use cache::{CacheConfig, ResultCache};
@@ -71,4 +77,8 @@ pub use client::{Client, ClientResponse};
 pub use http::{HttpConfig, HttpServer, Request, Response, ShutdownHandle};
 pub use metrics::Metrics;
 pub use queue::{JobQueue, JobRequest, JobState, Scenario};
-pub use service::{start, ExtractService, ServeConfig, ServeError, ServiceHandle};
+pub use remote::RemoteExtractor;
+pub use service::{
+    start, ExtractService, ServeConfig, ServeError, ServiceHandle, REQUEST_BACKEND_SCHEMES,
+    REQUEST_MAX_DWELL,
+};

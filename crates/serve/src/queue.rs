@@ -29,7 +29,7 @@ use fastvg_wire::Json;
 use mini_rayon::ThreadPool;
 use qd_csd::Csd;
 use qd_dataset::BenchmarkSpec;
-use qd_instrument::{CsdSource, MeasurementSession};
+use qd_instrument::{BoxedSource, MeasurementSession, SourceBackend, SourceScenario};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -55,19 +55,33 @@ impl Scenario {
             Scenario::Grid(csd) => Ok((**csd).clone()),
         }
     }
+
+    /// The generation seed behind the scenario (0 for inline grids),
+    /// recorded into tape headers by recording backends.
+    fn seed(&self) -> u64 {
+        match self {
+            Scenario::Spec(spec) => spec.seed,
+            Scenario::Grid(_) => 0,
+        }
+    }
 }
 
-/// A validated submission: the scenario, the method to run, and the
-/// canonical form + fingerprint the result cache is keyed by.
+/// A validated submission: the scenario, the method to run, the probe
+/// backend realizing it, and the canonical form + fingerprint the
+/// result cache is keyed by.
 #[derive(Debug, Clone)]
 pub struct JobRequest {
     /// What to extract.
     pub scenario: Scenario,
     /// Which method to run.
     pub method: Method,
+    /// The probe backend the scenario is measured through — the
+    /// daemon's default, or the request's validated `"backend"` member.
+    pub backend: Arc<dyn SourceBackend>,
     /// [`fastvg_wire::fnv1a64`] of [`JobRequest::canonical`].
     pub fingerprint: u64,
-    /// The canonical request document (sorted keys, resolved spec).
+    /// The canonical request document (sorted keys, resolved spec,
+    /// canonical backend string).
     pub canonical: String,
 }
 
@@ -462,28 +476,54 @@ impl Scheduler {
         }
 
         // Group the rest by method and run each group through the one
-        // erased batch path.
+        // erased batch path. Sources are opened through each job's
+        // backend *before* the fan-out, so an open failure (unreadable
+        // tape, unwritable path) finishes its job cleanly instead of
+        // panicking a worker.
         for (method, extractor) in extractors {
-            let group: Vec<usize> = batch
-                .iter()
-                .enumerate()
-                .filter(|(i, (_, request, _))| request.method == *method && realized[*i].is_ok())
-                .map(|(i, _)| i)
-                .collect();
+            let mut group: Vec<(usize, Mutex<Option<BoxedSource>>)> = Vec::new();
+            for (i, (id, request, submitted)) in batch.iter().enumerate() {
+                if request.method != *method || realized[i].is_err() {
+                    continue;
+                }
+                let csd = realized[i].as_ref().expect("checked ok").clone();
+                let scenario = SourceScenario::new(csd)
+                    .with_label(format!("job{id}"))
+                    .with_seed(request.scenario.seed());
+                match request.backend.open(scenario) {
+                    Ok(source) => group.push((i, Mutex::new(Some(source)))),
+                    // Open failures are environmental (a tape missing
+                    // *right now*, a directory briefly unwritable), not
+                    // deterministic properties of the request — finish
+                    // the job but keep the failure out of the result
+                    // cache so a fixed environment serves fresh runs.
+                    Err(e) => self.finish_uncached(
+                        *id,
+                        *submitted,
+                        FinishedJob {
+                            ok: false,
+                            cache_hit: false,
+                            body: request_failure_body(&format!("backend open failed: {e}")),
+                        },
+                    ),
+                }
+            }
             if group.is_empty() {
                 continue;
             }
             let outcomes = fastvg_core::batch::BatchExtractor::new()
                 .with_jobs(self.jobs)
                 .run(extractor.as_ref(), group.len(), |k| {
-                    let csd = realized[group[k]]
-                        .as_ref()
-                        .expect("group members realized")
-                        .clone();
-                    MeasurementSession::new(CsdSource::new(csd))
+                    let source = group[k]
+                        .1
+                        .lock()
+                        .expect("source slot poisoned")
+                        .take()
+                        .expect("each job's source is taken exactly once");
+                    MeasurementSession::new(source)
                 });
             for (k, outcome) in outcomes.into_iter().enumerate() {
-                let (id, request, submitted) = &batch[group[k]];
+                let (id, request, submitted) = &batch[group[k].0];
                 let (finished, stages) = match outcome.outcome {
                     Ok(report) => {
                         let body = result_body(&report);
@@ -518,16 +558,12 @@ impl Scheduler {
         finished: FinishedJob,
         stages: Option<&[fastvg_core::api::StageTiming]>,
     ) {
-        if finished.ok {
-            self.metrics.jobs_completed.inc();
-        } else {
-            self.metrics.jobs_failed.inc();
-        }
         if let Some(stages) = stages {
             self.metrics.observe_stages(stages);
         }
-        self.metrics.job_latency.observe(submitted.elapsed());
-        // Failures are cached too: they are as deterministic as results.
+        // Extraction and realization failures are cached too: they are
+        // as deterministic as results. (Environmental failures go
+        // through `finish_uncached` instead.)
         self.cache.insert(
             request.fingerprint,
             &request.canonical,
@@ -537,17 +573,31 @@ impl Scheduler {
             },
         );
         self.metrics.cache_entries.set(self.cache.len() as u64);
+        self.finish_uncached(id, submitted, finished);
+    }
+
+    /// [`Scheduler::finish`] without the cache insert — for failures
+    /// that depend on the daemon's environment rather than the request.
+    fn finish_uncached(&self, id: u64, submitted: Instant, finished: FinishedJob) {
+        if finished.ok {
+            self.metrics.jobs_completed.inc();
+        } else {
+            self.metrics.jobs_failed.inc();
+        }
+        self.metrics.job_latency.observe(submitted.elapsed());
         self.queue.finish(id, finished);
     }
 }
 
 /// Convenience used by tests and the `serve` example: runs one request
-/// synchronously through the same code path the scheduler uses (realize,
-/// erased extract, serialize), without a daemon.
+/// synchronously through the same code path the scheduler uses
+/// (realize, open through the request's backend, erased extract,
+/// serialize), without a daemon.
 ///
 /// # Errors
 ///
-/// Returns the realization error message for unrealizable scenarios.
+/// Returns the realization / backend-open error message for
+/// unrealizable scenarios.
 pub fn run_inline(request: &JobRequest) -> Result<Vec<u8>, String> {
     let csd = request.scenario.realize()?;
     let extractor: Box<dyn Extractor> = match request.method {
@@ -556,7 +606,13 @@ pub fn run_inline(request: &JobRequest) -> Result<Vec<u8>, String> {
         Method::TunedFast => Box::new(TuningLoop::new()),
         other => return Err(format!("method {other} not servable")),
     };
-    let mut session = MeasurementSession::new(CsdSource::new(csd));
+    let scenario = SourceScenario::new(csd)
+        .with_label("inline")
+        .with_seed(request.scenario.seed());
+    let mut session = request
+        .backend
+        .session(scenario)
+        .map_err(|e| format!("backend open failed: {e}"))?;
     Ok(match extract_with(extractor.as_ref(), &mut session) {
         Ok(report) => result_body(&report),
         Err(error) => failure_body(&error),
@@ -577,6 +633,7 @@ mod tests {
             canonical,
             scenario: Scenario::Spec(spec),
             method: Method::FastExtraction,
+            backend: Arc::new(qd_instrument::SimBackend),
         }
     }
 
@@ -735,6 +792,7 @@ mod tests {
                 canonical,
                 scenario: Scenario::Spec(spec),
                 method: Method::FastExtraction,
+                backend: Arc::new(qd_instrument::SimBackend),
             })
             .unwrap();
 

@@ -18,9 +18,21 @@ use fastvg_wire::{fnv1a64, Json};
 use qd_csd::{Csd, VoltageGrid};
 use qd_dataset::wire::MAX_SPEC_SIZE;
 use qd_dataset::BenchmarkSpec;
+use qd_instrument::{BackendError, BackendRegistry, SourceBackend};
 use std::net::SocketAddr;
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
+
+/// Largest dwell a request-supplied `throttled:<dwell>` backend may ask
+/// for — the paper's physical 50 ms. The *operator's* `--backend` flag
+/// is not capped (their machine, their dwell); this bound only stops a
+/// hostile request from parking extraction workers.
+pub const REQUEST_MAX_DWELL: Duration = Duration::from_millis(50);
+
+/// The backend schemes a request's `"backend"` member may use. Tape
+/// schemes (`record`, `replay`) touch the server's filesystem and stay
+/// operator-only.
+pub const REQUEST_BACKEND_SCHEMES: [&str; 2] = ["sim", "throttled"];
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -41,6 +53,10 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// How long `?wait` requests block before falling back to `202`.
     pub wait_timeout: Duration,
+    /// The probe backend scenarios are measured through when a request
+    /// does not pick its own (a [`BackendRegistry::standard`] spec
+    /// string; operator-supplied, so tape schemes are allowed here).
+    pub backend: String,
 }
 
 impl Default for ServeConfig {
@@ -54,6 +70,7 @@ impl Default for ServeConfig {
             cache: CacheConfig::default(),
             max_body_bytes: 8 * 1024 * 1024,
             wait_timeout: Duration::from_secs(60),
+            backend: "sim".to_string(),
         }
     }
 }
@@ -64,12 +81,15 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// Socket setup failed.
     Io(std::io::Error),
+    /// The configured default backend spec did not resolve.
+    Backend(BackendError),
 }
 
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Io(e) => write!(f, "service socket error: {e}"),
+            ServeError::Backend(e) => write!(f, "service backend error: {e}"),
         }
     }
 }
@@ -78,7 +98,14 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Io(e) => Some(e),
+            ServeError::Backend(e) => Some(e),
         }
+    }
+}
+
+impl From<BackendError> for ServeError {
+    fn from(e: BackendError) -> Self {
+        ServeError::Backend(e)
     }
 }
 
@@ -96,6 +123,8 @@ pub struct ExtractService {
     wait_timeout: Duration,
     shutdown: OnceLock<ShutdownHandle>,
     started: Instant,
+    registry: BackendRegistry,
+    default_backend: Arc<dyn SourceBackend>,
 }
 
 impl std::fmt::Debug for ExtractService {
@@ -118,15 +147,50 @@ fn reject(status: u16, message: impl Into<String>) -> Rejection {
 }
 
 impl ExtractService {
-    fn new(config: &ServeConfig) -> Self {
-        Self {
+    fn new(config: &ServeConfig) -> Result<Self, BackendError> {
+        let registry = BackendRegistry::standard();
+        let default_backend = registry.resolve(&config.backend)?;
+        Ok(Self {
             queue: Arc::new(JobQueue::new(config.queue_capacity, 4096)),
             cache: Arc::new(ResultCache::new(config.cache)),
             metrics: Arc::new(Metrics::default()),
             wait_timeout: config.wait_timeout,
             shutdown: OnceLock::new(),
             started: Instant::now(),
+            registry,
+            default_backend,
+        })
+    }
+
+    /// Validates a request-supplied backend spec at the door: only
+    /// [`REQUEST_BACKEND_SCHEMES`] are reachable over the wire, inner
+    /// compositions (`+`) are refused, and throttle dwells are capped
+    /// at [`REQUEST_MAX_DWELL`] so a hostile request cannot park the
+    /// extraction workers.
+    fn request_backend(&self, spec: &str) -> Result<Arc<dyn SourceBackend>, Rejection> {
+        let scheme = spec.split(':').next().unwrap_or("");
+        if !REQUEST_BACKEND_SCHEMES.contains(&scheme) || spec.contains('+') {
+            return Err(reject(
+                400,
+                format!(
+                    "backend {spec:?} is not allowed over the wire (allowed: sim, throttled:<dwell>)"
+                ),
+            ));
         }
+        let backend = self
+            .registry
+            .resolve(spec)
+            .map_err(|e| reject(400, e.to_string()))?;
+        if backend.dwell() > REQUEST_MAX_DWELL {
+            return Err(reject(
+                400,
+                format!(
+                    "requested dwell {:?} exceeds the {REQUEST_MAX_DWELL:?} cap",
+                    backend.dwell()
+                ),
+            ));
+        }
+        Ok(backend)
     }
 
     /// The service telemetry (shared with the scheduler).
@@ -176,6 +240,15 @@ impl ExtractService {
         };
         let wait =
             request.query_flag("wait") || doc.get("wait").and_then(Json::as_bool).unwrap_or(false);
+        let backend = match doc.get("backend") {
+            None => Arc::clone(&self.default_backend),
+            Some(v) => {
+                let spec = v
+                    .as_str()
+                    .ok_or_else(|| reject(400, "\"backend\" must be a string"))?;
+                self.request_backend(spec)?
+            }
+        };
         let seed = match doc.get("seed") {
             None => None,
             Some(v) => Some(
@@ -227,9 +300,12 @@ impl ExtractService {
         };
 
         // Fingerprint the *resolved* scenario: `{"benchmark": 3}` and the
-        // equivalent full spec share a cache entry.
+        // equivalent full spec share a cache entry, and the backend
+        // travels in canonical form so `throttled:1ms` and
+        // `throttled:1000us` do too.
         let canonical = Json::object()
             .field("method", method.wire_name())
+            .field("backend", backend.describe())
             .field("scenario", scenario_json)
             .build()
             .canonical();
@@ -239,6 +315,7 @@ impl ExtractService {
                 canonical,
                 scenario,
                 method,
+                backend,
             },
             wait,
         ))
@@ -340,6 +417,23 @@ impl ExtractService {
         self.metrics.requests_healthz.inc();
         let mut body = Json::object()
             .field("ok", true)
+            .field("version", env!("CARGO_PKG_VERSION"))
+            .field("backend", self.default_backend.describe())
+            .field(
+                "backends",
+                self.registry
+                    .schemes()
+                    .iter()
+                    .map(|s| Json::from(*s))
+                    .collect::<Vec<_>>(),
+            )
+            .field(
+                "request_backends",
+                REQUEST_BACKEND_SCHEMES
+                    .iter()
+                    .map(|s| Json::from(*s))
+                    .collect::<Vec<_>>(),
+            )
             .field("uptime_s", Json::num(self.started.elapsed().as_secs_f64()))
             .field("queue_depth", self.queue.depth())
             .field("cache_entries", self.cache.len())
@@ -509,9 +603,11 @@ impl ServiceHandle {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Io`] when the listen socket cannot be bound.
+/// Returns [`ServeError::Io`] when the listen socket cannot be bound,
+/// or [`ServeError::Backend`] when the configured default backend spec
+/// does not resolve.
 pub fn start(config: ServeConfig) -> Result<ServiceHandle, ServeError> {
-    let service = Arc::new(ExtractService::new(&config));
+    let service = Arc::new(ExtractService::new(&config)?);
 
     // Bind before spawning the scheduler so a bind failure leaks nothing.
     let http = HttpConfig {

@@ -72,6 +72,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
+    // The daemon as a drop-in extractor: a RemoteExtractor implements
+    // the same object-safe Extractor trait as the local methods, so the
+    // one-liner entry point (and the whole batch layer) drives it
+    // unchanged — and its report matches the local run bit-for-bit.
+    let bench = paper_benchmark(6)?;
+    let remote = RemoteExtractor::new(daemon.addr().to_string());
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let served = extract_with(&remote, &mut session)?;
+    let mut session = MeasurementSession::new(CsdSource::new(bench.csd.clone()));
+    let local = extract_with(&FastExtractor::new(), &mut session)?;
+    println!(
+        "remote   : slopes=({:.3}, {:.3}) probes={} — matches local: {}",
+        served.slope_h,
+        served.slope_v,
+        served.probes,
+        served.slope_h.to_bits() == local.slope_h.to_bits() && served.probes == local.probes,
+    );
+    assert_eq!(served.slope_v.to_bits(), local.slope_v.to_bits());
+
     // Telemetry: queue/cache counters and per-stage latency histograms.
     let metrics = client.get("/metrics")?;
     let text = String::from_utf8(metrics.body)?;

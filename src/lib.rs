@@ -132,16 +132,19 @@ pub mod prelude {
     // Errors and scoring.
     pub use fastvg_core::report::{Method, ReportRow, SuccessCriteria};
     pub use fastvg_core::{
-        ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, VerifyError, WireError,
-        WireFailure,
+        ErrorCategory, ExtractError, FitError, GeometryError, ProbeError, RemoteError, VerifyError,
+        WireError, WireFailure,
     };
     // The service layer and its wire format.
-    pub use fastvg_serve::{Client, ServeConfig, ServiceHandle};
+    pub use fastvg_serve::{Client, RemoteExtractor, ServeConfig, ServiceHandle};
     pub use fastvg_wire::Json;
-    // The measurement stack.
+    // The measurement stack: sessions, sources, and the runtime
+    // backend/tape seam.
     pub use qd_instrument::{
-        CsdSource, CurrentSource, DwellClock, FnSource, MeasurementSession, PhysicsSource,
-        ProbeSession, ScanPattern, ThrottledSource, VoltageWindow,
+        BackendError, BackendRegistry, BoxedSource, CsdSource, CurrentSource, DwellClock, FnSource,
+        MeasurementSession, PhysicsSource, ProbeSession, RecordBackend, RecordingSource,
+        ReplayBackend, ReplayMode, ReplaySource, ScanPattern, SimBackend, SourceBackend,
+        SourceScenario, Tape, ThrottledBackend, ThrottledSource, VoltageWindow,
     };
     // Diagrams and devices.
     pub use qd_csd::{Csd, Pixel, VirtualizationMatrix, VoltageGrid};
