@@ -55,6 +55,15 @@ pub enum ProbeError {
     /// Assembling acquired probes into a diagram failed (internal shape
     /// mismatches).
     Acquisition(qd_csd::CsdError),
+    /// Too many probed pixels read exactly at the zero-current rail —
+    /// the signature of dead DAC channels or stuck readouts. The scan
+    /// is instrument-dominated, not device-dominated.
+    StuckAtZero {
+        /// Fraction of probed pixels reading exactly zero current.
+        fraction: f64,
+        /// Maximum zero-rail fraction that was tolerated.
+        threshold: f64,
+    },
 }
 
 /// Failures to locate transition-line geometry.
@@ -112,6 +121,17 @@ pub enum VerifyError {
         /// Measured across-to-along contrast ratio.
         ratio: f64,
         /// Threshold that was required.
+        threshold: f64,
+    },
+    /// The transition points backing the fit do not actually lie on the
+    /// fitted lines: the fit was dragged off by scattered false
+    /// positives (dead pixels, impulse noise) rather than supported by
+    /// genuine line evidence.
+    ScatteredFit {
+        /// Fraction of transition points within the support radius of
+        /// either fitted line.
+        support: f64,
+        /// Minimum support fraction that was required.
         threshold: f64,
     },
 }
@@ -343,6 +363,19 @@ impl ExtractError {
         ExtractError::Verify(VerifyError::LowContrast { ratio, threshold })
     }
 
+    /// A fit whose transition points scatter off the fitted lines.
+    pub fn scattered_fit(support: f64, threshold: f64) -> Self {
+        ExtractError::Verify(VerifyError::ScatteredFit { support, threshold })
+    }
+
+    /// A scan dominated by zero-rail (dead-channel) readings.
+    pub fn stuck_at_zero(fraction: f64, threshold: f64) -> Self {
+        ExtractError::Probe(ProbeError::StuckAtZero {
+            fraction,
+            threshold,
+        })
+    }
+
     /// Flattens this error into its wire form: category, top-level
     /// message, and the [`Error::source`] chain as plain strings
     /// (outermost source first).
@@ -400,6 +433,16 @@ impl fmt::Display for ProbeError {
                 write!(f, "probe window dimension {got} below minimum {min}")
             }
             ProbeError::Acquisition(e) => write!(f, "acquisition failed: {e}"),
+            ProbeError::StuckAtZero {
+                fraction,
+                threshold,
+            } => write!(
+                f,
+                "{:.1}% of probed pixels read exactly zero current (tolerated {:.1}%): \
+                 dead channels dominate the scan",
+                fraction * 100.0,
+                threshold * 100.0
+            ),
         }
     }
 }
@@ -441,6 +484,13 @@ impl fmt::Display for VerifyError {
             VerifyError::LowContrast { ratio, threshold } => write!(
                 f,
                 "fitted lines have contrast ratio {ratio:.2}, below threshold {threshold:.2}"
+            ),
+            VerifyError::ScatteredFit { support, threshold } => write!(
+                f,
+                "only {:.0}% of transition points lie on the fitted lines \
+                 (need {:.0}%): the fit is not supported by line evidence",
+                100.0 * support,
+                100.0 * threshold
             ),
         }
     }

@@ -37,6 +37,22 @@ pub struct ExtractorConfig {
     /// "lines" are artefacts of the smooth background. Costs ~16 extra
     /// probes.
     pub contrast_threshold: Option<f64>,
+    /// Minimum fraction of transition points that must lie within two
+    /// pixels of either fitted line, or `None` to skip the check. Also
+    /// an extension over the paper: broken instruments (dead pixels,
+    /// telegraph bursts) produce scattered false transition points that
+    /// can drag the fit off the genuine lines while still passing the
+    /// physics bounds — such a fit has low evidential support. Costs no
+    /// probes (pure post-fit analysis).
+    pub min_line_support: Option<f64>,
+    /// Maximum fraction of probed pixels that may read *exactly* zero
+    /// current before the scan is rejected as dead-channel dominated,
+    /// or `None` to skip the check. Dead DAC channels and stuck
+    /// readouts sit on the zero rail bit-exactly, while genuine device
+    /// currents (signal, noise, drift) essentially never do. On a
+    /// caching session the audit re-reads only already-probed pixels,
+    /// so it costs no probes.
+    pub max_zero_fraction: Option<f64>,
 }
 
 impl Default for ExtractorConfig {
@@ -50,6 +66,8 @@ impl Default for ExtractorConfig {
             bounds: SlopeBounds::default(),
             fit_method: FitMethod::default(),
             contrast_threshold: Some(0.8),
+            min_line_support: Some(0.5),
+            max_zero_fraction: Some(0.02),
         }
     }
 }
@@ -183,6 +201,19 @@ impl FastExtractor {
             steps.extend(c.steps);
         }
 
+        // Extension: probe-health audit. With the sweeps done the
+        // ledger holds the bulk of the scan; if too much of it sits
+        // bit-exactly on the zero rail the instrument — not the device
+        // — dominates, and any fit downstream would be fiction. The
+        // audit re-reads probed pixels through the session cache, so
+        // it costs no probes.
+        if let Some(threshold) = self.config.max_zero_fraction {
+            let fraction = zero_rail_fraction(session);
+            if fraction > threshold {
+                return Err(ExtractError::stuck_at_zero(fraction, threshold));
+            }
+        }
+
         // Alg. 3: post-processing.
         session.begin_stage(Stage::Postprocess);
         let mut combined: Vec<Pixel> = row_points.iter().chain(&column_points).copied().collect();
@@ -209,14 +240,29 @@ impl FastExtractor {
         let matrix = VirtualizationMatrix::from_slopes(fit.slope_h, fit.slope_v)
             .map_err(|e| ExtractError::Fit(FitError::Matrix(e)))?;
 
-        // Extension: reject fits that do not sit on a genuine sensing
-        // step (see `ExtractorConfig::contrast_threshold`).
-        if let Some(threshold) = self.config.contrast_threshold {
+        // Extensions: post-fit verification (the paper verified by
+        // eye). The free line-support check runs first, the probing
+        // contrast check second.
+        if self.config.min_line_support.is_some() || self.config.contrast_threshold.is_some() {
             session.begin_stage(Stage::Verify);
-            let ratio = contrast_ratio(session, &anchors, &fit);
+            let mut failure = None;
+            if let Some(threshold) = self.config.min_line_support {
+                let support = line_support(&fit, &transition_points);
+                if support < threshold {
+                    failure = Some(ExtractError::scattered_fit(support, threshold));
+                }
+            }
+            if failure.is_none() {
+                if let Some(threshold) = self.config.contrast_threshold {
+                    let ratio = contrast_ratio(session, &anchors, &fit);
+                    if ratio.is_nan() || ratio < threshold {
+                        failure = Some(ExtractError::low_contrast(ratio, threshold));
+                    }
+                }
+            }
             session.end_stage();
-            if ratio.is_nan() || ratio < threshold {
-                return Err(ExtractError::low_contrast(ratio, threshold));
+            if let Some(e) = failure {
+                return Err(e);
             }
         }
 
@@ -258,6 +304,49 @@ impl Extractor for FastExtractor {
 /// stepping two pixels across each segment, divided by the standard
 /// deviation of the current along the segments. Genuine transition
 /// lines score ≫ 1; smooth ramps score ≪ 1.
+/// Fraction of transition points within two pixels of either fitted
+/// line (see `ExtractorConfig::min_line_support`). Genuine fits hug the
+/// lines they were fitted to; a fit dragged off by scattered false
+/// positives leaves most of its own evidence stranded.
+fn line_support(fit: &SlopeFit, points: &[Pixel]) -> f64 {
+    const RADIUS: f64 = 2.0;
+    if points.is_empty() {
+        return 0.0;
+    }
+    let (cx, cy) = fit.intersection;
+    let near = |slope: f64, p: &Pixel| {
+        let d =
+            (slope * (p.x as f64 - cx) - (p.y as f64 - cy)).abs() / (1.0 + slope * slope).sqrt();
+        d <= RADIUS
+    };
+    let hits = points
+        .iter()
+        .filter(|p| near(fit.slope_h, p) || near(fit.slope_v, p))
+        .count();
+    hits as f64 / points.len() as f64
+}
+
+/// Fraction of probed pixels whose reading is exactly `0.0` — the
+/// dead-channel rail (see `ExtractorConfig::max_zero_fraction`). Every
+/// re-read is a cache hit on a caching session: no dwell, no ledger
+/// entry.
+fn zero_rail_fraction<P: ProbeSession + ?Sized>(session: &mut P) -> f64 {
+    let w = session.window();
+    let scatter = session.scatter();
+    if scatter.is_empty() {
+        return 0.0;
+    }
+    let mut dead = 0usize;
+    for &(x, y) in &scatter {
+        let v1 = w.x_min + x as f64 * w.delta;
+        let v2 = w.y_min + y as f64 * w.delta;
+        if session.get_current(v1, v2) == 0.0 {
+            dead += 1;
+        }
+    }
+    dead as f64 / scatter.len() as f64
+}
+
 fn contrast_ratio<P: ProbeSession + ?Sized>(
     session: &mut P,
     anchors: &AnchorResult,
@@ -412,6 +501,82 @@ mod tests {
         };
         let without = FastExtractor::with_config(cfg).extract(&mut s2).unwrap();
         assert!(with.transition_points.len() <= without.transition_points.len());
+    }
+
+    #[test]
+    fn dead_pixel_scans_are_rejected_as_stuck_at_zero() {
+        // The clean synthetic diagram with ~10% of pixels stuck on the
+        // zero rail (deterministic hash selection): the probe-health
+        // audit must reject the scan with a classified Probe error
+        // before any fit is attempted.
+        let grid = VoltageGrid::new(0.0, 0.0, 1.0, 100, 100).unwrap();
+        let csd = Csd::from_fn(grid, |v1, v2| {
+            let h = (v1 * 12.9898 + v2 * 78.233).sin() * 43758.5453;
+            if h - h.floor() < 0.10 {
+                return 0.0;
+            }
+            let mut i = 8.0 - 0.002 * (v1 + v2);
+            if v2 > -4.0 * (v1 - 62.0) {
+                i -= 1.0;
+            }
+            if v2 > 58.0 - 0.3 * v1 {
+                i -= 0.8;
+            }
+            i
+        })
+        .unwrap();
+        let mut session = MeasurementSession::new(CsdSource::new(csd.clone()));
+        let err = FastExtractor::new().extract(&mut session).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::ExtractError::Probe(crate::ProbeError::StuckAtZero { .. })
+            ),
+            "unexpected failure mode: {err}"
+        );
+
+        // The audit is free: it re-reads only cached pixels, so with
+        // the check disabled the same scan spends exactly as many
+        // dwell-costing probes up to the audit point.
+        let audited = session.probe_count();
+        let mut unaudited = MeasurementSession::new(CsdSource::new(csd));
+        let cfg = ExtractorConfig {
+            max_zero_fraction: None,
+            ..ExtractorConfig::default()
+        };
+        let _ = FastExtractor::with_config(cfg).extract(&mut unaudited);
+        assert!(audited > 0 && audited <= unaudited.probe_count());
+    }
+
+    #[test]
+    fn scattered_transition_points_fail_line_support() {
+        // A fit through (50, 50) with points nowhere near either line
+        // has no evidential support; points on the lines have full
+        // support.
+        let fit = SlopeFit {
+            intersection: (50.0, 50.0),
+            slope_h: -0.3,
+            slope_v: -4.0,
+            sse: 0.0,
+            rms: 0.0,
+        };
+        let on_lines: Vec<Pixel> = (0..20usize)
+            .map(|k| {
+                let t = k as f64 - 10.0;
+                if k % 2 == 0 {
+                    Pixel::new((50.0 + t) as usize, (50.0 - 0.3 * t).round() as usize)
+                } else {
+                    Pixel::new((50.0 + t / 4.0).round() as usize, (50.0 - t) as usize)
+                }
+            })
+            .collect();
+        assert!(line_support(&fit, &on_lines) > 0.9);
+
+        let scattered: Vec<Pixel> = (0..20usize)
+            .map(|k| Pixel::new(10 + 4 * (k % 5), 90 - 7 * (k / 5)))
+            .collect();
+        assert!(line_support(&fit, &scattered) < 0.5);
+        assert_eq!(line_support(&fit, &[]), 0.0);
     }
 
     #[test]

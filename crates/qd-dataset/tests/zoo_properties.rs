@@ -1,0 +1,80 @@
+//! Property-based coverage of the device-zoo generator, on the vendored
+//! proptest shim: generation is a pure function of `(per_cell, seed)`,
+//! cohorts stay wire-addressable, and severity bands stay ordered.
+
+use proptest::prelude::*;
+use qd_dataset::zoo::{zoo_specs, Severity, ZooFamily};
+use qd_dataset::BenchmarkSpec;
+
+proptest! {
+    /// Same `(per_cell, seed)` → the same zoo, field for field;
+    /// different seeds → different devices. The whole CI gate leans on
+    /// this being exact.
+    #[test]
+    fn zoo_generation_is_seed_deterministic(n in 1usize..6, seed in 0u64..1_000_000) {
+        let a = zoo_specs(n, seed);
+        let b = zoo_specs(n, seed);
+        prop_assert_eq!(&a, &b, "seed {} must reproduce", seed);
+        let c = zoo_specs(n, seed ^ 0xFFFF_0000_0000_0001);
+        prop_assert!(a != c, "distinct seeds must give distinct zoos");
+    }
+
+    /// Growing the zoo only appends scenarios *within* each cell: the
+    /// scenarios of a smaller cohort all appear in a bigger one from the
+    /// same seed (modulo the running index), so pinning `per_cell` in CI
+    /// does not change what smaller local runs saw.
+    #[test]
+    fn smaller_cohorts_embed_in_bigger_ones(n in 1usize..4, seed in 0u64..1_000_000) {
+        let small = zoo_specs(n, seed);
+        let big = zoo_specs(n + 2, seed);
+        let key = |s: &qd_dataset::ZooScenario| {
+            let mut spec = s.spec.clone();
+            spec.index = 0; // the running index legitimately differs
+            (s.family, s.severity, format!("{spec:?}"), s.backend.clone())
+        };
+        let big_keys: std::collections::HashSet<_> = big.iter().map(key).collect();
+        for s in &small {
+            prop_assert!(big_keys.contains(&key(s)), "{} missing from bigger zoo", s.label());
+        }
+    }
+
+    /// Every generated spec survives the wire schema round trip — the
+    /// property that keeps the zoo addressable through `fastvg-serve`.
+    #[test]
+    fn every_scenario_is_wire_addressable(seed in 0u64..1_000_000) {
+        for s in zoo_specs(1, seed) {
+            let text = s.spec.to_json().dump();
+            let parsed = fastvg_wire::Json::parse(&text);
+            prop_assert!(parsed.is_ok(), "{}: {text}", s.label());
+            let back = BenchmarkSpec::from_json(&parsed.unwrap());
+            prop_assert!(back.is_ok(), "{}: {text}", s.label());
+            prop_assert_eq!(back.unwrap(), s.spec.clone(), "{}", s.label());
+        }
+    }
+
+    /// Severity never *relaxes* a family's pathology knob as the band
+    /// increases, whatever the seed.
+    #[test]
+    fn severity_bands_stay_ordered(seed in 0u64..1_000_000) {
+        let zoo = zoo_specs(1, seed);
+        let cell = |family: ZooFamily, sev: Severity| {
+            zoo.iter()
+                .find(|s| s.family == family && s.severity == sev)
+                .expect("cell populated")
+        };
+        for (a, b) in [(Severity::Mild, Severity::Moderate), (Severity::Moderate, Severity::Severe)] {
+            prop_assert!(
+                cell(ZooFamily::NoiseRegime, a).spec.noise.white_sigma
+                    <= cell(ZooFamily::NoiseRegime, b).spec.noise.white_sigma
+            );
+            prop_assert!(
+                cell(ZooFamily::DriftingBackground, a).spec.noise.drift_step
+                    <= cell(ZooFamily::DriftingBackground, b).spec.noise.drift_step
+            );
+            prop_assert!(
+                cell(ZooFamily::DistortedHoneycomb, a).spec.mutual
+                    <= cell(ZooFamily::DistortedHoneycomb, b).spec.mutual
+            );
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | `replay:<tape>` | play a recorded tape back, strictly ([`ReplaySource`]) |
 //! | `record:<tape>` | `sim`, taping every probe to `<tape>` ([`RecordingSource`]) |
 //! | `record:<tape>+<inner>` | any inner spec, taped |
+//! | `hwsim:<profile>` | the diagram behind a register-level DAC model ([`crate::hwsim`]) |
 //!
 //! `<dwell>` is an integer with a unit (`50us`, `2ms`, `1s`, `0`),
 //! validated and capped at the door like `qd-dataset`'s wire specs.
@@ -441,7 +442,7 @@ pub fn parse_dwell(text: &str) -> Result<Duration, BackendError> {
 
 /// Formats a dwell in the largest exact unit, inverse of
 /// [`parse_dwell`].
-fn format_dwell(dwell: Duration) -> String {
+pub(crate) fn format_dwell(dwell: Duration) -> String {
     let ns = dwell.as_nanos();
     if ns == 0 {
         "0".to_string()
@@ -498,7 +499,8 @@ impl BackendRegistry {
         }
     }
 
-    /// The built-in schemes: `sim`, `throttled`, `replay`, `record`.
+    /// The built-in schemes: `sim`, `throttled`, `replay`, `record`,
+    /// `hwsim`.
     pub fn standard() -> Self {
         let mut registry = Self::empty();
         registry.register("sim", |args, _| {
@@ -531,6 +533,10 @@ impl BackendRegistry {
             }
             Ok(Arc::new(RecordBackend::new(path, inner)) as _)
         });
+        registry.register("hwsim", |args, _| {
+            let profile = crate::hwsim::HwSimProfile::parse(args)?;
+            Ok(Arc::new(crate::hwsim::HwSimBackend::new(profile)) as _)
+        });
         registry
     }
 
@@ -553,6 +559,19 @@ impl BackendRegistry {
         self.factories.iter().map(|(s, _)| s.as_str()).collect()
     }
 
+    /// Splits a spec string into `(scheme, args)` exactly the way
+    /// [`BackendRegistry::resolve`] does: trim, then cut at the first
+    /// `:` (no `:` means no args). This is the one scheme parser —
+    /// request-level allowlists (the serve daemon) use it instead of
+    /// re-implementing prefix matching.
+    pub fn split_spec(spec: &str) -> (&str, &str) {
+        let spec = spec.trim();
+        match spec.split_once(':') {
+            Some((scheme, args)) => (scheme, args),
+            None => (spec, ""),
+        }
+    }
+
     /// Resolves a spec string (`scheme[:args]`) into a backend.
     ///
     /// # Errors
@@ -561,11 +580,7 @@ impl BackendRegistry {
     /// and whatever the scheme's factory returns for malformed
     /// arguments.
     pub fn resolve(&self, spec: &str) -> Result<Arc<dyn SourceBackend>, BackendError> {
-        let spec = spec.trim();
-        let (scheme, args) = match spec.split_once(':') {
-            Some((scheme, args)) => (scheme, args),
-            None => (spec, ""),
-        };
+        let (scheme, args) = Self::split_spec(spec);
         let factory = self
             .factories
             .iter()

@@ -23,6 +23,10 @@
 //! * [`RecordingSource`] / [`ReplaySource`] — probe tapes: record every
 //!   dwell-costing probe to newline-framed JSON and play it back
 //!   bit-identically without the source (see [`tape`]).
+//! * [`HwSimBackend`] — `hwsim:<profile>`: the diagram behind a
+//!   register-level DAC hardware model (code quantization, limit
+//!   tables, bus/slew probe cost, crosstalk, 1/f drift, dead pixels),
+//!   deterministic from the scenario seed (see [`hwsim`]).
 //!
 //! # Example
 //!
@@ -50,6 +54,7 @@
 
 pub mod backend;
 pub mod clock;
+pub mod hwsim;
 pub mod ledger;
 pub mod scan;
 pub mod session;
@@ -62,6 +67,9 @@ pub use backend::{
     SourceBackend, SourceScenario, ThrottledBackend,
 };
 pub use clock::DwellClock;
+pub use hwsim::{
+    BusStats, DacChannel, DacModel, HwSimBackend, HwSimPreset, HwSimProfile, HwSimSource,
+};
 pub use ledger::{ProbeEvent, ProbeLedger};
 pub use scan::ScanPattern;
 pub use session::{MeasurementSession, ProbeSession};

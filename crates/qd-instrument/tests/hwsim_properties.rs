@@ -1,0 +1,116 @@
+//! Property-based coverage of the `hwsim` DAC register model, on the
+//! vendored proptest shim: quantization round-trips, limit-table
+//! clamping, and slew-cost monotonicity hold over the whole profile
+//! space, not just the hand-picked unit cases.
+
+use proptest::prelude::*;
+use qd_instrument::hwsim::{DacChannel, HwSimProfile};
+use qd_instrument::VoltageWindow;
+
+/// An arbitrary square window strategy: origin in ±50 V, span 1..120 V.
+fn windows() -> impl Strategy<Value = VoltageWindow> {
+    (-50.0..50.0, 1.0..120.0).prop_map(|(lo, span)| VoltageWindow {
+        x_min: lo,
+        y_min: lo,
+        x_max: lo + span,
+        y_max: lo + span,
+        delta: span / 64.0,
+    })
+}
+
+/// A valid profile strategy over the full override space.
+fn profiles() -> impl Strategy<Value = HwSimProfile> {
+    (6u32..17, 0.0..0.2, 0.0..0.25, 0.0..0.5).prop_map(|(bits, clip, xt, dead)| {
+        HwSimProfile::parse(&format!(
+            "nominal,bits={bits},clip={clip},xt={xt},dead={dead}"
+        ))
+        .expect("in-range overrides parse")
+    })
+}
+
+proptest! {
+    /// Quantize→dequantize lands within 1 LSB of any voltage the limit
+    /// table admits, for every bit width, clip margin and window.
+    #[test]
+    fn quantization_round_trips_within_one_lsb(
+        pw in (profiles(), windows()),
+        unit in 0.0..1.0,
+    ) {
+        let (profile, window) = pw;
+        let dac = profile.dac_for(&window);
+        for ch in dac.channels {
+            let v = ch.v_min() + unit * (ch.v_max() - ch.v_min());
+            let back = ch.dequantize(ch.quantize(v));
+            prop_assert!(
+                (back - v).abs() <= ch.lsb,
+                "{v} -> {back}, lsb {} (bits {})",
+                ch.lsb,
+                dac.bits
+            );
+        }
+    }
+
+    /// Every code a channel emits honors its limit table — including
+    /// for requests far outside the window and for hand-built
+    /// asymmetric tables, and railed requests land exactly on the rail.
+    #[test]
+    fn clamping_honors_per_channel_limit_tables(
+        pw in (profiles(), windows()),
+        v in -1e6..1e6,
+        table in (0u16..2000, 0u16..2000),
+    ) {
+        let (profile, window) = pw;
+        let dac = profile.dac_for(&window);
+        for ch in dac.channels {
+            let code = ch.quantize(v);
+            prop_assert!(code >= ch.min_code && code <= ch.max_code);
+            if v < ch.v_min() {
+                prop_assert_eq!(code, ch.min_code);
+            }
+            if v > ch.v_max() {
+                prop_assert_eq!(code, ch.max_code);
+            }
+        }
+        // The same invariant for an arbitrary (non-derived) table.
+        let top = ((1u32 << dac.bits) - 1) as u16;
+        let lo = table.0.min(top);
+        let hi = lo.max(table.1.min(top));
+        let ch = DacChannel { min_code: lo, max_code: hi, ..dac.channels[0] };
+        let code = ch.quantize(v);
+        prop_assert!(code >= lo && code <= hi, "{code} outside [{lo}, {hi}]");
+    }
+
+    /// Probe cost is monotone (non-decreasing) in the gate-voltage
+    /// delta: stepping further from the same starting point never gets
+    /// cheaper. This is the property that prices sweeps realistically.
+    #[test]
+    fn slew_cost_is_monotone_in_voltage_delta(
+        pw in (profiles(), windows()),
+        start in 0.0..1.0,
+        d in (0.0..1.0, 0.0..1.0),
+    ) {
+        let (profile, window) = pw;
+        let dac = profile.dac_for(&window);
+        let span = window.x_max - window.x_min;
+        let v0 = window.x_min + start * span;
+        let (near, far) = (d.0.min(d.1), d.0.max(d.1));
+        let from = Some(dac.quantize(v0, window.y_min));
+        let cost = |delta: f64| {
+            profile.probe_cost(&dac, from, dac.quantize(v0 + delta * span, window.y_min))
+        };
+        prop_assert!(
+            cost(near) <= cost(far),
+            "cost({near}) > cost({far}) from {v0} over {span} V"
+        );
+    }
+
+    /// `describe()` is canonical: parsing a profile's own canonical
+    /// string reproduces it exactly, for arbitrary overrides.
+    #[test]
+    fn canonical_profiles_round_trip(profile in profiles()) {
+        let args = profile.canonical_args();
+        let again = HwSimProfile::parse(&args);
+        prop_assert!(again.is_ok(), "{args:?} must re-parse");
+        prop_assert_eq!(again.unwrap(), profile, "{}", args);
+    }
+}

@@ -31,8 +31,10 @@ pub const REQUEST_MAX_DWELL: Duration = Duration::from_millis(50);
 
 /// The backend schemes a request's `"backend"` member may use. Tape
 /// schemes (`record`, `replay`) touch the server's filesystem and stay
-/// operator-only.
-pub const REQUEST_BACKEND_SCHEMES: [&str; 2] = ["sim", "throttled"];
+/// operator-only; `hwsim` is wire-safe because its dwell is virtual
+/// accounting (no wall-clock sleep) and every profile knob is
+/// range-checked at parse time.
+pub const REQUEST_BACKEND_SCHEMES: [&str; 3] = ["sim", "throttled", "hwsim"];
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -168,12 +170,16 @@ impl ExtractService {
     /// at [`REQUEST_MAX_DWELL`] so a hostile request cannot park the
     /// extraction workers.
     fn request_backend(&self, spec: &str) -> Result<Arc<dyn SourceBackend>, Rejection> {
-        let scheme = spec.split(':').next().unwrap_or("");
+        // One scheme parser everywhere: the registry's, not an ad-hoc
+        // prefix match (which would let "sim extra" or " throttled"
+        // disagree with what resolve() later sees).
+        let (scheme, _) = BackendRegistry::split_spec(spec);
         if !REQUEST_BACKEND_SCHEMES.contains(&scheme) || spec.contains('+') {
             return Err(reject(
                 400,
                 format!(
-                    "backend {spec:?} is not allowed over the wire (allowed: sim, throttled:<dwell>)"
+                    "backend {spec:?} is not allowed over the wire \
+                     (allowed: sim, throttled:<dwell>, hwsim:<profile>)"
                 ),
             ));
         }

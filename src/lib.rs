@@ -141,7 +141,8 @@ pub mod prelude {
     // The measurement stack: sessions, sources, and the runtime
     // backend/tape seam.
     pub use qd_instrument::{
-        BackendError, BackendRegistry, BoxedSource, CsdSource, CurrentSource, DwellClock, FnSource,
+        BackendError, BackendRegistry, BoxedSource, BusStats, CsdSource, CurrentSource, DacChannel,
+        DacModel, DwellClock, FnSource, HwSimBackend, HwSimPreset, HwSimProfile, HwSimSource,
         MeasurementSession, PhysicsSource, ProbeSession, RecordBackend, RecordingSource,
         ReplayBackend, ReplayMode, ReplaySource, ScanPattern, SimBackend, SourceBackend,
         SourceScenario, Tape, ThrottledBackend, ThrottledSource, VoltageWindow,
@@ -151,7 +152,8 @@ pub mod prelude {
     pub use qd_physics::DeviceBuilder;
     // The synthetic benchmark suite.
     pub use qd_dataset::{
-        generate, load_suite, paper_benchmark, paper_suite, random_specs, save_suite,
-        BenchmarkSpec, GeneratedBenchmark, NoiseRecipe,
+        default_zoo, generate, load_suite, paper_benchmark, paper_suite, random_specs, save_suite,
+        zoo_specs, BenchmarkSpec, GeneratedBenchmark, NoiseRecipe, Severity, ZooFamily,
+        ZooScenario, DEFAULT_ZOO_SEED,
     };
 }

@@ -28,7 +28,7 @@ fn registry_resolves_every_shipped_scheme_and_rejects_hostile_specs() {
     let registry = BackendRegistry::standard();
     assert_eq!(
         registry.schemes(),
-        vec!["sim", "throttled", "replay", "record"]
+        vec!["sim", "throttled", "replay", "record", "hwsim"]
     );
 
     for good in [
@@ -39,19 +39,29 @@ fn registry_resolves_every_shipped_scheme_and_rejects_hostile_specs() {
         "replay:some/tape.tape",
         "record:tapes/{label}.tape",
         "record:tapes/{label}.tape+throttled:1ms",
+        "hwsim:nominal",
+        "hwsim:hostile",
+        "hwsim:aged,dead=0.05,bits=12",
+        "throttled:1ms+hwsim:worn",
+        "record:tapes/{label}.tape+hwsim:hostile",
     ] {
         assert!(registry.resolve(good).is_ok(), "{good} must resolve");
     }
     for bad in [
-        "",                // no scheme
-        "hardware:qpu0",   // unknown scheme
-        "sim:extra",       // sim takes no args
-        "throttled:50",    // dwell without unit
-        "throttled:-5ms",  // negative dwell
-        "throttled:11s",   // dwell over the cap
-        "throttled:1.5ms", // fractional dwell
-        "replay:",         // no tape path
-        "record:",         // no tape path
+        "",                       // no scheme
+        "hardware:qpu0",          // unknown scheme
+        "sim:extra",              // sim takes no args
+        "throttled:50",           // dwell without unit
+        "throttled:-5ms",         // negative dwell
+        "throttled:11s",          // dwell over the cap
+        "throttled:1.5ms",        // fractional dwell
+        "replay:",                // no tape path
+        "record:",                // no tape path
+        "hwsim:",                 // no preset
+        "hwsim:warp",             // unknown preset
+        "hwsim:nominal,bits=4",   // DAC too coarse
+        "hwsim:nominal,dead=2.0", // fraction out of range
+        "hwsim:nominal,xt=nan",   // non-finite knob
     ] {
         assert!(registry.resolve(bad).is_err(), "{bad:?} must be rejected");
     }

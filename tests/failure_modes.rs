@@ -4,10 +4,14 @@
 
 use fastvg::core::baseline::HoughBaseline;
 use fastvg::core::extraction::FastExtractor;
+use fastvg::core::report::SuccessCriteria;
 use fastvg::core::tuning::TuningLoop;
-use fastvg::core::{ExtractError, ProbeError};
+use fastvg::core::{ErrorCategory, ExtractError, ProbeError};
 use fastvg::csd::{Csd, VoltageGrid};
-use fastvg::instrument::{CsdSource, FnSource, MeasurementSession, VoltageWindow};
+use fastvg::dataset::{generate, zoo_specs, Severity, ZooFamily, DEFAULT_ZOO_SEED};
+use fastvg::instrument::{
+    BackendRegistry, CsdSource, FnSource, MeasurementSession, SourceScenario, VoltageWindow,
+};
 
 fn window(n: usize) -> VoltageWindow {
     VoltageWindow {
@@ -109,11 +113,88 @@ fn errors_format_without_panicking() {
         ExtractError::degenerate_anchors((3, 3), (3, 3)),
         ExtractError::too_few_transition_points(0, 4),
         ExtractError::unphysical_slopes(f64::NAN, f64::INFINITY),
+        ExtractError::scattered_fit(0.21, 0.5),
+        ExtractError::stuck_at_zero(0.18, 0.02),
     ];
     for e in errs {
         assert!(!format!("{e}").is_empty());
         assert!(!format!("{e:?}").is_empty());
     }
+}
+
+#[test]
+fn hostile_zoo_instruments_fail_classified_never_silently_wrong() {
+    // A dead-pixel-dominated instrument (the zoo's DeadChannels family
+    // at moderate/severe: 5–20% dead pixels, coarse clipped DACs) must
+    // surface *classified* extraction errors — a probe/geometry/fit/
+    // verify category with a non-empty message — or a result that is
+    // actually right. Panics and silently wrong slopes are the two
+    // forbidden outcomes.
+    let registry = BackendRegistry::standard();
+    let criteria = SuccessCriteria::default();
+    let zoo = zoo_specs(2, DEFAULT_ZOO_SEED);
+    let slice: Vec<_> = zoo
+        .iter()
+        .filter(|s| {
+            s.family == ZooFamily::DeadChannels
+                && matches!(s.severity, Severity::Moderate | Severity::Severe)
+        })
+        .collect();
+    assert!(slice.len() >= 4, "zoo slice too small: {}", slice.len());
+
+    let mut classified = 0usize;
+    for scenario in slice {
+        let bench = generate(&scenario.spec).expect("zoo spec generates");
+        let backend = registry
+            .resolve(&scenario.backend)
+            .expect("zoo backend resolves");
+        let mut session = backend
+            .session(
+                SourceScenario::new(bench.csd.clone())
+                    .with_label(scenario.label())
+                    .with_seed(scenario.spec.seed),
+            )
+            .expect("hwsim opens");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            FastExtractor::new().extract(&mut session)
+        }));
+        let label = scenario.label();
+        match outcome {
+            Err(_) => panic!("{label}: extraction panicked on a hostile instrument"),
+            Ok(Err(e)) => {
+                assert!(
+                    matches!(
+                        e.category(),
+                        ErrorCategory::Probe
+                            | ErrorCategory::Geometry
+                            | ErrorCategory::Fit
+                            | ErrorCategory::Verify
+                    ),
+                    "{label}: unexpected category {:?}",
+                    e.category()
+                );
+                assert!(!e.to_string().is_empty(), "{label}: empty error message");
+                classified += 1;
+            }
+            Ok(Ok(r)) => {
+                // If extraction claims success against a broken
+                // instrument, the slopes must genuinely match truth —
+                // that is exactly the "silent wrong slope" trap.
+                assert!(
+                    criteria.judge(r.alpha12(), r.alpha21(), &bench.truth),
+                    "{label}: silently wrong slopes {:.3}/{:.3} vs truth {:.3}/{:.3}",
+                    r.alpha12(),
+                    r.alpha21(),
+                    bench.truth.alpha12,
+                    bench.truth.alpha21,
+                );
+            }
+        }
+    }
+    // The moderate/severe dead band is built to break extraction most
+    // of the time — if nothing errored, the family no longer tests the
+    // error taxonomy and needs re-tuning.
+    assert!(classified >= 2, "only {classified} classified failures");
 }
 
 #[test]

@@ -1,0 +1,188 @@
+//! Tier-1 hardware-sim coverage: the `hwsim` DAC backend keeps every
+//! determinism guarantee the runtime-backend seam promises — zoo
+//! scenarios record → replay bit-identically across severity bands,
+//! batch fan-out is oblivious to `jobs`, the nominal profile is
+//! indistinguishable from the plain simulator, and hostile profile
+//! strings die at the registry door.
+
+use fastvg::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fastvg-tier1-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The one zoo scenario in `family` × `severity` for a `per_cell=1`
+/// cohort at the pinned seed.
+fn zoo_cell(family: ZooFamily, severity: Severity) -> ZooScenario {
+    zoo_specs(1, DEFAULT_ZOO_SEED)
+        .into_iter()
+        .find(|s| s.family == family && s.severity == severity)
+        .expect("zoo populates every cell")
+}
+
+/// Bitwise comparison of two extraction attempts: successes must match
+/// field for field, failures must be the *same* classified failure.
+fn assert_bit_identical(
+    a: &Result<ExtractionReport, ExtractError>,
+    b: &Result<ExtractionReport, ExtractError>,
+    context: &str,
+) {
+    match (a, b) {
+        (Ok(x), Ok(y)) => {
+            assert_eq!(
+                x.slope_h.to_bits(),
+                y.slope_h.to_bits(),
+                "{context}: slope_h"
+            );
+            assert_eq!(
+                x.slope_v.to_bits(),
+                y.slope_v.to_bits(),
+                "{context}: slope_v"
+            );
+            assert_eq!(x.matrix, y.matrix, "{context}: matrix");
+            assert_eq!(x.probes, y.probes, "{context}: probes");
+            assert_eq!(x.unique_pixels, y.unique_pixels, "{context}: pixels");
+            assert_eq!(x.coverage.to_bits(), y.coverage.to_bits(), "{context}");
+            assert_eq!(x.simulated_dwell, y.simulated_dwell, "{context}");
+        }
+        (Err(x), Err(y)) => {
+            assert_eq!(x.category(), y.category(), "{context}: error category");
+            assert_eq!(x.to_string(), y.to_string(), "{context}: error text");
+        }
+        (x, y) => panic!("{context}: outcome mismatch: {x:?} vs {y:?}"),
+    }
+}
+
+#[test]
+fn hwsim_zoo_tapes_replay_bit_identically_across_severity_bands() {
+    // Satellite acceptance: record → replay over three zoo scenarios,
+    // one per severity band. DeadChannels sweeps the hwsim profile
+    // ladder hardest (aged → worn → hostile), so severe bands exercise
+    // dead pixels, coarse DACs, and clipped channels on tape.
+    let dir = tmp_dir("hwsim-tapes");
+    let registry = BackendRegistry::standard();
+    for severity in Severity::ALL {
+        let scenario = zoo_cell(ZooFamily::DeadChannels, severity);
+        let bench = generate(&scenario.spec).expect("zoo spec generates");
+        let label = scenario.label();
+
+        let recorder = registry
+            .resolve(&format!(
+                "record:{}/{{label}}.tape+{}",
+                dir.display(),
+                scenario.backend
+            ))
+            .expect("record+hwsim composes");
+        let replayer = registry
+            .resolve(&format!("replay:{}/{{label}}.tape", dir.display()))
+            .expect("replay resolves");
+
+        let open = |backend: &dyn SourceBackend| {
+            backend
+                .session(
+                    SourceScenario::new(bench.csd.clone())
+                        .with_label(label.clone())
+                        .with_seed(scenario.spec.seed),
+                )
+                .expect("backend opens")
+        };
+        // The tape sink is buffered and flushes when the recording
+        // session drops — scope it so the file is complete before the
+        // replayer opens it.
+        let (recorded, rec_scatter) = {
+            let mut session = open(recorder.as_ref());
+            let outcome = extract_with(&FastExtractor::new(), &mut session);
+            let scatter = session.scatter();
+            (outcome, scatter)
+        };
+        let mut rep_session = open(replayer.as_ref());
+        let replayed = extract_with(&FastExtractor::new(), &mut rep_session);
+
+        assert_bit_identical(&recorded, &replayed, &label);
+        // The probe scatter — the full pixel sequence — is pinned too.
+        assert_eq!(rep_session.scatter(), rec_scatter, "{label}: scatter");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hwsim_zoo_batch_runs_are_oblivious_to_job_count() {
+    // Acceptance: the hwsim zoo run is bit-identical across --jobs 1
+    // and --jobs 4. One scenario per family × severity keeps the debug
+    // runtime in budget while still crossing every hwsim profile the
+    // zoo ships.
+    let zoo = zoo_specs(1, DEFAULT_ZOO_SEED);
+    let specs: Vec<_> = zoo.iter().map(|s| s.spec.clone()).collect();
+    let benches = fastvg::dataset::generate_suite(&specs, 4).expect("zoo generates");
+    let registry = BackendRegistry::standard();
+    let backends: Vec<_> = zoo
+        .iter()
+        .map(|s| registry.resolve(&s.backend).expect("zoo backend resolves"))
+        .collect();
+
+    let run = |jobs: usize| {
+        BatchExtractor::new()
+            .with_jobs(jobs)
+            .run(&FastExtractor::new(), benches.len(), |i| {
+                backends[i]
+                    .session(
+                        SourceScenario::new(benches[i].csd.clone())
+                            .with_label(zoo[i].label())
+                            .with_seed(benches[i].spec.seed),
+                    )
+                    .expect("hwsim opens")
+            })
+    };
+    let serial = run(1);
+    let fanned = run(4);
+    for ((s, f), scenario) in serial.iter().zip(&fanned).zip(&zoo) {
+        let label = scenario.label();
+        assert_eq!(s.probes, f.probes, "{label}: probes");
+        assert_eq!(s.scatter, f.scatter, "{label}: scatter");
+        assert_bit_identical(&s.outcome, &f.outcome, &label);
+    }
+}
+
+#[test]
+fn nominal_hwsim_is_bitwise_the_plain_simulator() {
+    // The headline determinism claim: a 16-bit DAC with every pathology
+    // knob at zero quantizes below the pixel pitch, so `hwsim:nominal`
+    // and `sim` produce the same extraction, bit for bit.
+    let bench = paper_benchmark(6).unwrap();
+    let registry = BackendRegistry::standard();
+    let on = |spec: &str| {
+        let mut session = registry
+            .resolve(spec)
+            .unwrap()
+            .session(SourceScenario::new(bench.csd.clone()).with_seed(bench.spec.seed))
+            .unwrap();
+        extract_with(&FastExtractor::new(), &mut session).expect("benchmark 6 extracts")
+    };
+    let plain = on("sim");
+    let hwsim = on("hwsim:nominal");
+    assert_eq!(hwsim.slope_h.to_bits(), plain.slope_h.to_bits());
+    assert_eq!(hwsim.slope_v.to_bits(), plain.slope_v.to_bits());
+    assert_eq!(hwsim.matrix, plain.matrix);
+    assert_eq!(hwsim.probes, plain.probes);
+}
+
+#[test]
+fn hostile_hwsim_profiles_are_rejected_with_invalid_spec() {
+    let registry = BackendRegistry::standard();
+    for bad in [
+        "hwsim:nominal,bits=12,bits=10", // duplicate key
+        "hwsim:nominal,slew=0",          // settling never finishes
+        "hwsim:nominal,twrite=11s",      // bus write over the dwell cap
+        "hwsim:nominal,xt=0.5",          // crosstalk out of range
+        "hwsim:nominal,gain=2",          // unknown key
+        "hwsim:NOMINAL",                 // presets are case-sensitive
+    ] {
+        match registry.resolve(bad) {
+            Err(BackendError::InvalidSpec { .. }) => {}
+            other => panic!("{bad:?} must be InvalidSpec, got {other:?}"),
+        }
+    }
+}

@@ -95,7 +95,10 @@ fn healthz_reports_build_and_backend_info() {
         .iter()
         .filter_map(Json::as_str)
         .collect();
-    assert_eq!(schemes, vec!["sim", "throttled", "replay", "record"]);
+    assert_eq!(
+        schemes,
+        vec!["sim", "throttled", "replay", "record", "hwsim"]
+    );
     let request_schemes: Vec<&str> = doc
         .get("request_backends")
         .and_then(Json::as_arr)
@@ -148,16 +151,37 @@ fn request_backends_are_validated_at_the_door() {
         .expect("normalized request");
     assert_eq!(again.header("x-fastvg-cache"), Some("hit"));
 
+    // A request-selected hwsim profile is wire-reachable: its dwell is
+    // virtual accounting, so the dwell cap passes, and `hwsim:nominal`
+    // reads bit-identically to sim while caching separately.
+    let hwsim = client
+        .post(
+            "/extract?wait",
+            br#"{"benchmark": 6, "backend": "hwsim:nominal"}"#,
+        )
+        .expect("hwsim request");
+    assert_eq!(hwsim.status, 200);
+    assert_eq!(hwsim.header("x-fastvg-cache"), Some("miss"));
+    let c = report(&hwsim);
+    assert_eq!(a.slope_h.to_bits(), c.slope_h.to_bits());
+    assert_eq!(a.probes, c.probes);
+
     // Hostile backends bounce with 400 at the door: tape schemes touch
     // the server's filesystem, compositions smuggle them in, huge
-    // dwells park workers, unknown schemes don't exist.
+    // dwells park workers, unknown schemes don't exist, and malformed
+    // hwsim profiles die in the registry's range checks.
     for hostile in [
         r#"{"benchmark": 6, "backend": "record:/tmp/evil.tape"}"#,
         r#"{"benchmark": 6, "backend": "replay:/etc/passwd"}"#,
         r#"{"benchmark": 6, "backend": "throttled:1ms+record:/tmp/evil.tape"}"#,
+        r#"{"benchmark": 6, "backend": "throttled:1ms+hwsim:nominal"}"#,
         r#"{"benchmark": 6, "backend": "throttled:10s"}"#,
         r#"{"benchmark": 6, "backend": "throttled:oops"}"#,
         r#"{"benchmark": 6, "backend": "hardware:qpu0"}"#,
+        r#"{"benchmark": 6, "backend": "hwsim:"}"#,
+        r#"{"benchmark": 6, "backend": "hwsim:warp"}"#,
+        r#"{"benchmark": 6, "backend": "hwsim:nominal,dead=2.0"}"#,
+        r#"{"benchmark": 6, "backend": "hwsim:nominal,bits=4"}"#,
         r#"{"benchmark": 6, "backend": 3}"#,
     ] {
         let response = client
