@@ -16,11 +16,21 @@
 //!
 //! * `--addr HOST:PORT` — daemon to drive (required unless `--spawn`).
 //! * `--spawn` — boot an in-process daemon instead (ephemeral port).
-//! * `--connections N` — concurrent keep-alive connections (default 4).
+//! * `--connections N` — concurrent keep-alive connections (default 4;
+//!   thousands are fine — connection threads are small-stack and the
+//!   daemon's reactor multiplexes them on one thread).
 //! * `--passes N` — sweeps over the suite (default 2: a cold pass that
 //!   populates the result cache, then a hot pass that must hit it).
+//! * `--rate R` — open-loop arrivals per second for the post-cold
+//!   passes: requests fire on a fixed schedule regardless of response
+//!   progress, and latency is measured from the *scheduled* arrival, so
+//!   overload shows up as queueing delay instead of being silently
+//!   absorbed (no coordinated omission). Without `--rate`, post-cold
+//!   passes stay closed-loop like the cold one.
+//! * `--requests N` — requests per open-loop pass (default
+//!   `max(2 × connections, suite size)`; only meaningful with `--rate`).
 //! * `--method fast|hough|tuned` — extraction method (default fast).
-//! * `--budget N` — cap requests per pass (CI smoke; default all 12).
+//! * `--budget N` — cap the benchmark suite (CI smoke; default all 12).
 //! * `--wait-healthz SECS` — poll `GET /healthz` up to a deadline before
 //!   driving load (lets scripts race the daemon boot).
 //! * `--expect-cache-hits` — exit non-zero unless every post-cold
@@ -36,6 +46,14 @@
 //!   is also replayed strictly and must reproduce the local report).
 //! * `--out DIR` — artifact directory (default `target/artifacts`).
 //!
+//! Artifacts: `BENCH_serve_throughput.json` (per-pass rps + p50/p95/p99)
+//! and `BENCH_serve_latency_histogram.json` — per-pass log-bucket
+//! latency histograms using the daemon's own bucket layout
+//! ([`fastvg_serve::Histogram`]), schema
+//! `{"passes": [{"pass", "mode", "count", "sum_s",
+//! "buckets": [{"le_us": bound-or-null, "count"}…]}]}` with `le_us:
+//! null` as the `+Inf` bucket.
+//!
 //! On startup the generator asserts the daemon's `/healthz` build info:
 //! the reported crate version must match its own, so CI never load-tests
 //! a stale binary.
@@ -46,7 +64,7 @@
 //! any response whose bytes differ from the first pass — the over-the-
 //! wire restatement of the cache byte-identity guarantee.
 
-use fastvg_serve::{start, Client, ServeConfig};
+use fastvg_serve::{start, Client, ClientConfig, Histogram, ServeConfig};
 use fastvg_wire::Json;
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -57,6 +75,8 @@ struct Args {
     spawn: bool,
     connections: usize,
     passes: usize,
+    rate: Option<f64>,
+    requests: Option<usize>,
     method: String,
     budget: Option<usize>,
     wait_healthz: Option<u64>,
@@ -73,6 +93,8 @@ impl Default for Args {
             spawn: false,
             connections: 4,
             passes: 2,
+            rate: None,
+            requests: None,
             method: "fast".to_string(),
             budget: None,
             wait_healthz: None,
@@ -105,6 +127,20 @@ fn parse_args() -> Args {
                     .parse()
                     .expect("--passes expects a number")
             }
+            "--rate" => {
+                parsed.rate = Some(
+                    value("--rate", &mut args)
+                        .parse()
+                        .expect("--rate expects requests per second"),
+                )
+            }
+            "--requests" => {
+                parsed.requests = Some(
+                    value("--requests", &mut args)
+                        .parse()
+                        .expect("--requests expects a number"),
+                )
+            }
             "--method" => parsed.method = value("--method", &mut args),
             "--budget" => {
                 parsed.budget = Some(
@@ -133,6 +169,12 @@ fn parse_args() -> Args {
     );
     parsed.connections = parsed.connections.max(1);
     parsed.passes = parsed.passes.max(1);
+    if let Some(rate) = parsed.rate {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "--rate expects a positive requests-per-second value"
+        );
+    }
     parsed
 }
 
@@ -155,6 +197,29 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank - 1]
 }
 
+/// The shared connect policy: generous retries so thousands of
+/// simultaneous connects survive accept-backlog overflow.
+fn connect_client(addr: &str) -> Client {
+    ClientConfig::new()
+        .connect_timeout(Duration::from_secs(10))
+        .retries(10, Duration::from_millis(20))
+        .connect(addr)
+        .expect("connect to daemon")
+}
+
+fn post_extract(
+    client: &mut Client,
+    benchmark: usize,
+    method: &str,
+) -> fastvg_serve::ClientResponse {
+    let body = format!("{{\"benchmark\": {benchmark}, \"method\": \"{method}\"}}");
+    client
+        .post("/extract?wait", body.as_bytes())
+        .expect("request completes")
+}
+
+/// Closed-loop pass: each connection fires its share of the suite
+/// back-to-back; latency is service time (send → response).
 fn drive_pass(
     addr: &str,
     benchmarks: &[usize],
@@ -165,28 +230,27 @@ fn drive_pass(
     let samples: Vec<Sample> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect to daemon");
-                    let mut collected = Vec::new();
-                    // Static round-robin: connection c takes benchmarks
-                    // c, c+connections, ...
-                    for &benchmark in benchmarks.iter().skip(c).step_by(connections) {
-                        let body =
-                            format!("{{\"benchmark\": {benchmark}, \"method\": \"{method}\"}}");
-                        let sent = Instant::now();
-                        let response = client
-                            .post("/extract?wait", body.as_bytes())
-                            .expect("request completes");
-                        collected.push(Sample {
-                            benchmark,
-                            status: response.status,
-                            cache_hit: response.header("x-fastvg-cache") == Some("hit"),
-                            latency: sent.elapsed(),
-                            body: response.body,
-                        });
-                    }
-                    collected
-                })
+                std::thread::Builder::new()
+                    .stack_size(192 * 1024)
+                    .spawn_scoped(scope, move || {
+                        let mut client = connect_client(addr);
+                        let mut collected = Vec::new();
+                        // Static round-robin: connection c takes
+                        // benchmarks c, c+connections, ...
+                        for &benchmark in benchmarks.iter().skip(c).step_by(connections) {
+                            let sent = Instant::now();
+                            let response = post_extract(&mut client, benchmark, method);
+                            collected.push(Sample {
+                                benchmark,
+                                status: response.status,
+                                cache_hit: response.header("x-fastvg-cache") == Some("hit"),
+                                latency: sent.elapsed(),
+                                body: response.body,
+                            });
+                        }
+                        collected
+                    })
+                    .expect("spawn connection thread")
             })
             .collect();
         handles
@@ -195,6 +259,75 @@ fn drive_pass(
             .collect()
     });
     (samples, started.elapsed())
+}
+
+/// Open-loop pass: `total` arrivals at `rate` req/s on a fixed global
+/// schedule, round-robined over `connections` keep-alive connections.
+/// Latency runs from the *scheduled* arrival, so a server that falls
+/// behind accrues queueing delay in every subsequent sample instead of
+/// silently slowing the offered load (coordinated omission). Every
+/// connection stays open for the whole pass (start/finish barriers), so
+/// `--connections N` really means N concurrently open sockets.
+fn drive_open_loop(
+    addr: &str,
+    benchmarks: &[usize],
+    connections: usize,
+    method: &str,
+    rate: f64,
+    total: usize,
+) -> (Vec<Sample>, Duration) {
+    use std::sync::{Arc, Barrier, OnceLock};
+
+    let barrier = Arc::new(Barrier::new(connections + 1));
+    let base: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                let base = Arc::clone(&base);
+                std::thread::Builder::new()
+                    .stack_size(192 * 1024)
+                    .spawn_scoped(scope, move || {
+                        let mut client = connect_client(addr);
+                        barrier.wait(); // all connected
+                        barrier.wait(); // parent published the schedule base
+                        let base = *base.get().expect("parent sets the base");
+                        let mut collected = Vec::new();
+                        for i in (c..total).step_by(connections) {
+                            let scheduled = base + Duration::from_secs_f64(i as f64 / rate);
+                            if let Some(lead) = scheduled.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(lead);
+                            }
+                            let benchmark = benchmarks[i % benchmarks.len()];
+                            let response = post_extract(&mut client, benchmark, method);
+                            collected.push(Sample {
+                                benchmark,
+                                status: response.status,
+                                cache_hit: response.header("x-fastvg-cache") == Some("hit"),
+                                latency: Instant::now().saturating_duration_since(scheduled),
+                                body: response.body,
+                            });
+                        }
+                        barrier.wait(); // keep the socket open until everyone is done
+                        drop(client);
+                        collected
+                    })
+                    .expect("spawn connection thread")
+            })
+            .collect();
+        barrier.wait(); // all connected
+        base.set(Instant::now() + Duration::from_millis(20))
+            .expect("base set once");
+        barrier.wait(); // release the schedule
+        let started = *base.get().expect("just set");
+        barrier.wait(); // every connection finished its share
+        let wall = started.elapsed();
+        let samples = handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("connection thread"))
+            .collect();
+        (samples, wall)
+    })
 }
 
 /// Asserts the daemon's `/healthz` build info matches this binary: same
@@ -367,27 +500,65 @@ fn main() {
         benchmarks.truncate(budget.max(1));
     }
 
-    println!(
-        "fastvg-loadgen: {} requests/pass x {} passes over {} connections -> {addr}",
-        benchmarks.len(),
-        args.passes,
-        args.connections
-    );
+    // The cold pass only has one request per suite entry — more
+    // connections than entries would idle; the full connection count is
+    // the open-loop passes' business.
+    let cold_connections = args.connections.min(benchmarks.len());
+    let open_requests = args
+        .requests
+        .unwrap_or_else(|| (2 * args.connections).max(benchmarks.len()));
+
+    match args.rate {
+        Some(rate) => println!(
+            "fastvg-loadgen: cold pass ({} requests, {cold_connections} connections), then {} open-loop pass(es) of {open_requests} requests at {rate} req/s over {} connections -> {addr}",
+            benchmarks.len(),
+            args.passes.saturating_sub(1),
+            args.connections,
+        ),
+        None => println!(
+            "fastvg-loadgen: {} requests/pass x {} passes over {cold_connections} connections -> {addr}",
+            benchmarks.len(),
+            args.passes,
+        ),
+    }
 
     let mut pass_docs: Vec<Json> = Vec::new();
+    let mut histogram_docs: Vec<Json> = Vec::new();
     let mut first_pass_bodies: BTreeMap<usize, Vec<u8>> = BTreeMap::new();
     let mut failed_requests = 0usize;
     let mut identity_ok = true;
     let mut post_cold_misses = 0usize;
 
     for pass in 1..=args.passes {
-        let (samples, wall) = drive_pass(&addr, &benchmarks, args.connections, &args.method);
+        let open_loop = args.rate.filter(|_| pass > 1);
+        let (mode, samples, wall) = match open_loop {
+            Some(rate) => {
+                let (samples, wall) = drive_open_loop(
+                    &addr,
+                    &benchmarks,
+                    args.connections,
+                    &args.method,
+                    rate,
+                    open_requests,
+                );
+                ("open", samples, wall)
+            }
+            None => {
+                let (samples, wall) =
+                    drive_pass(&addr, &benchmarks, cold_connections, &args.method);
+                ("closed", samples, wall)
+            }
+        };
 
         let mut latencies_ms: Vec<f64> = samples
             .iter()
             .map(|s| s.latency.as_secs_f64() * 1e3)
             .collect();
         latencies_ms.sort_by(f64::total_cmp);
+        let histogram = Histogram::default();
+        for sample in &samples {
+            histogram.observe(sample.latency);
+        }
         let hits = samples.iter().filter(|s| s.cache_hit).count();
         let failures = samples.iter().filter(|s| s.status != 200).count();
         failed_requests += failures;
@@ -414,13 +585,21 @@ fn main() {
             percentile(&latencies_ms, 0.99),
         );
         println!(
-            "pass {pass}: {} requests in {:.3}s = {rps:.1} req/s | p50 {p50:.1}ms p95 {p95:.1}ms p99 {p99:.1}ms | {hits} cache hits, {failures} failed",
+            "pass {pass} ({mode}): {} requests in {:.3}s = {rps:.1} req/s | p50 {p50:.1}ms p95 {p95:.1}ms p99 {p99:.1}ms | {hits} cache hits, {failures} failed",
             samples.len(),
             wall.as_secs_f64(),
         );
         pass_docs.push(
             Json::object()
                 .field("pass", pass)
+                .field("mode", mode)
+                .field(
+                    "offered_rps",
+                    match open_loop {
+                        Some(rate) => Json::num(rate),
+                        None => Json::Null,
+                    },
+                )
                 .field("requests", samples.len())
                 .field("wall_s", Json::num(wall.as_secs_f64()))
                 .field("rps", Json::num(rps))
@@ -433,6 +612,33 @@ fn main() {
                     Json::num(hits as f64 / samples.len().max(1) as f64),
                 )
                 .field("failed_requests", failures)
+                .build(),
+        );
+        histogram_docs.push(
+            Json::object()
+                .field("pass", pass)
+                .field("mode", mode)
+                .field("count", histogram.count())
+                .field("sum_s", Json::num(histogram.sum().as_secs_f64()))
+                .field(
+                    "buckets",
+                    histogram
+                        .buckets()
+                        .into_iter()
+                        .map(|(bound, count)| {
+                            Json::object()
+                                .field(
+                                    "le_us",
+                                    match bound {
+                                        Some(us) => Json::from(us),
+                                        None => Json::Null,
+                                    },
+                                )
+                                .field("count", count)
+                                .build()
+                        })
+                        .collect::<Vec<_>>(),
+                )
                 .build(),
         );
     }
@@ -451,6 +657,22 @@ fn main() {
     let path = args.out.join("BENCH_serve_throughput.json");
     std::fs::write(&path, doc.pretty()).expect("write artifact");
     println!("artifact: {}", path.display());
+
+    let histogram_doc = Json::object()
+        .field("bench", "serve_latency_histogram")
+        .field("connections", args.connections)
+        .field(
+            "rate_rps",
+            match args.rate {
+                Some(rate) => Json::num(rate),
+                None => Json::Null,
+            },
+        )
+        .field("passes", histogram_docs)
+        .build();
+    let histogram_path = args.out.join("BENCH_serve_latency_histogram.json");
+    std::fs::write(&histogram_path, histogram_doc.pretty()).expect("write artifact");
+    println!("artifact: {}", histogram_path.display());
 
     if args.remote_check {
         remote_check(&addr, args.record_tape.as_deref());

@@ -12,7 +12,14 @@
 //! * `--addr HOST:PORT` — bind address (default `127.0.0.1:8737`; port
 //!   `0` picks an ephemeral port, printed on stdout).
 //! * `--jobs N` — concurrent extraction workers (default: one per core).
-//! * `--http-workers N` — connection worker threads (default 8).
+//! * `--max-connections N` — concurrently open connections before the
+//!   reactor answers `503` at accept (default 4096).
+//! * `--read-deadline-s SECS` — per-request read deadline, the
+//!   anti-slowloris bound (default 30).
+//! * `--idle-timeout-s SECS` — keep-alive idle timeout between requests
+//!   (default 10).
+//! * `--drain-deadline-s SECS` — graceful-shutdown drain bound
+//!   (default 30).
 //! * `--queue-capacity N` — pending jobs before 503 (default 256).
 //! * `--cache-capacity N` — cached results, `0` disables (default 1024).
 //! * `--cache-shards N` — cache lock shards (default 8).
@@ -47,7 +54,20 @@ fn main() {
         match arg.as_str() {
             "--addr" => config.addr = parse_flag(&mut args, "--addr"),
             "--jobs" => config.extract_jobs = parse_flag(&mut args, "--jobs"),
-            "--http-workers" => config.http_workers = parse_flag(&mut args, "--http-workers"),
+            "--max-connections" => {
+                config.max_connections = parse_flag(&mut args, "--max-connections")
+            }
+            "--read-deadline-s" => {
+                config.request_read_deadline =
+                    Duration::from_secs(parse_flag(&mut args, "--read-deadline-s"))
+            }
+            "--idle-timeout-s" => {
+                config.idle_timeout = Duration::from_secs(parse_flag(&mut args, "--idle-timeout-s"))
+            }
+            "--drain-deadline-s" => {
+                config.drain_deadline =
+                    Duration::from_secs(parse_flag(&mut args, "--drain-deadline-s"))
+            }
             "--queue-capacity" => config.queue_capacity = parse_flag(&mut args, "--queue-capacity"),
             "--batch-max" => config.batch_max = parse_flag(&mut args, "--batch-max"),
             "--cache-capacity" => cache.capacity = parse_flag(&mut args, "--cache-capacity"),

@@ -1,13 +1,132 @@
 //! A minimal keep-alive HTTP/1.1 client for the daemon's protocol.
 //!
-//! Shared by `fastvg-loadgen`, the integration tests and the `serve`
-//! example so none of them re-implement response framing. One [`Client`]
-//! is one persistent connection; drop it to close.
+//! Shared by `fastvg-loadgen`, the integration tests, the `serve`
+//! example and [`crate::remote::RemoteExtractor`] so none of them
+//! re-implement response framing or transport policy. [`ClientConfig`]
+//! is the one place connect/read timeouts, keep-alive socket options and
+//! connect retries are decided; one [`Client`] is one persistent
+//! connection; drop it to close.
 
 use fastvg_wire::{Json, JsonError};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Transport policy for daemon connections: builder-style, one config
+/// shared by every client in the workspace (loadgen, tests,
+/// [`crate::remote::RemoteExtractor`]).
+///
+/// ```no_run
+/// use fastvg_serve::ClientConfig;
+/// use std::time::Duration;
+///
+/// let mut client = ClientConfig::new()
+///     .connect_timeout(Duration::from_secs(2))
+///     .read_timeout(Duration::from_secs(30))
+///     .retries(3, Duration::from_millis(50))
+///     .connect("127.0.0.1:8737")?;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "the config does nothing until connect() is called"]
+pub struct ClientConfig {
+    connect_timeout: Duration,
+    read_timeout: Option<Duration>,
+    nodelay: bool,
+    retries: u32,
+    retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(10),
+            read_timeout: Some(Duration::from_secs(120)),
+            nodelay: true,
+            retries: 0,
+            retry_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// The default policy: 10 s connect timeout, 120 s read timeout
+    /// (sized for `?wait` extraction requests), `TCP_NODELAY`, no
+    /// retries.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Maximum time to establish the TCP connection (per attempt).
+    pub fn connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Maximum time a response read may block; `None` blocks forever.
+    pub fn read_timeout(mut self, timeout: impl Into<Option<Duration>>) -> Self {
+        self.read_timeout = timeout.into();
+        self
+    }
+
+    /// Whether to set `TCP_NODELAY` (on by default — requests are small
+    /// and latency-sensitive).
+    pub fn nodelay(mut self, nodelay: bool) -> Self {
+        self.nodelay = nodelay;
+        self
+    }
+
+    /// Retry refused/timed-out connects up to `retries` extra times,
+    /// sleeping `backoff × attempt` between tries. Useful when racing a
+    /// daemon that is still binding its socket.
+    pub fn retries(mut self, retries: u32, backoff: Duration) -> Self {
+        self.retries = retries;
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// The configured read timeout.
+    pub fn read_timeout_value(&self) -> Option<Duration> {
+        self.read_timeout
+    }
+
+    /// Opens one persistent connection to `addr`
+    /// (e.g. `"127.0.0.1:8737"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last attempt's error after the retry budget is spent.
+    pub fn connect(&self, addr: &str) -> std::io::Result<Client> {
+        let mut last_err = None;
+        for attempt in 0..=self.retries {
+            if attempt > 0 {
+                std::thread::sleep(self.retry_backoff * attempt);
+            }
+            match self.connect_once(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.expect("at least one connect attempt"))
+    }
+
+    fn connect_once(&self, addr: &str) -> std::io::Result<Client> {
+        let sockaddr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr:?} resolved to no address"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.connect_timeout)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        stream.set_nodelay(self.nodelay)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            writer,
+            reader: BufReader::new(stream),
+        })
+    }
+}
 
 /// One parsed response.
 #[derive(Debug, Clone)]
@@ -52,14 +171,14 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to `addr` (e.g. `"127.0.0.1:8737"`) with a generous
-    /// read timeout sized for `?wait` extraction requests.
+    /// Connects to `addr` (e.g. `"127.0.0.1:8737"`) with the default
+    /// [`ClientConfig`] policy.
     ///
     /// # Errors
     ///
     /// Propagates connection errors.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
-        Self::connect_with_timeout(addr, Duration::from_secs(120))
+        ClientConfig::new().connect(addr)
     }
 
     /// [`Client::connect`] with an explicit read timeout.
@@ -68,14 +187,7 @@ impl Client {
     ///
     /// Propagates connection errors.
     pub fn connect_with_timeout(addr: &str, timeout: Duration) -> std::io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_read_timeout(Some(timeout))?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
-        Ok(Client {
-            writer,
-            reader: BufReader::new(stream),
-        })
+        ClientConfig::new().read_timeout(timeout).connect(addr)
     }
 
     /// Sends a `GET`.

@@ -13,7 +13,7 @@
 //!
 //! | module | role |
 //! |---|---|
-//! | [`http`] | hand-rolled HTTP/1.1: threaded acceptor, keep-alive, request limits, graceful shutdown |
+//! | [`http`] | hand-rolled HTTP/1.1 on an epoll reactor: nonblocking accept, keep-alive, request limits, graceful drain |
 //! | [`queue`] | bounded job queue + batch scheduler over the mini-rayon pool |
 //! | [`cache`] | sharded LRU result cache keyed by canonical-request fingerprints |
 //! | [`metrics`] | counters + latency histograms behind `GET /metrics` |
@@ -71,14 +71,18 @@ pub mod metrics;
 pub mod queue;
 pub mod remote;
 pub mod service;
+mod wheel;
 
 pub use cache::{CacheConfig, ResultCache};
-pub use client::{Client, ClientResponse};
-pub use http::{HttpConfig, HttpServer, Request, Response, ShutdownHandle};
-pub use metrics::Metrics;
+pub use client::{Client, ClientConfig, ClientResponse};
+pub use http::{
+    deferred, Completer, Deferred, Handler, HttpConfig, HttpServer, Outcome, Request, Response,
+    ServerStats, ShutdownHandle,
+};
+pub use metrics::{Histogram, Metrics};
 pub use queue::{JobQueue, JobRequest, JobState, Scenario};
 pub use remote::RemoteExtractor;
 pub use service::{
-    start, ExtractService, ServeConfig, ServeError, ServiceHandle, REQUEST_BACKEND_SCHEMES,
-    REQUEST_MAX_DWELL,
+    start, ConfigError, ExtractService, ServeConfig, ServeConfigBuilder, ServeError, ServiceHandle,
+    REQUEST_BACKEND_SCHEMES, REQUEST_MAX_DWELL,
 };

@@ -89,6 +89,32 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Total observed time.
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    /// The shared bucket layout: upper bounds in µs, log-spaced; an
+    /// implicit `+Inf` bucket follows the last bound.
+    pub fn bucket_bounds_us() -> &'static [u64] {
+        &BUCKET_BOUNDS_US
+    }
+
+    /// Snapshot of `(upper_bound_us, count)` per bucket, `None` for the
+    /// final `+Inf` bucket. Counts are per-bucket, not cumulative.
+    pub fn buckets(&self) -> Vec<(Option<u64>, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| {
+                (
+                    BUCKET_BOUNDS_US.get(i).copied(),
+                    bucket.load(Ordering::Relaxed),
+                )
+            })
+            .collect()
+    }
+
     /// Approximate quantile `q` in `[0, 1]`, read off the bucket bounds
     /// (`None` when empty). Upper-bound biased: the true value is at or
     /// below the returned bound.

@@ -138,10 +138,16 @@ struct JobEntry {
     submitted: Instant,
 }
 
+/// A one-shot completion subscription (see [`JobQueue::on_finished`]):
+/// invoked with `Some(outcome)` when the job finishes, `None` if the
+/// queue stops first.
+pub type FinishedCallback = Box<dyn FnOnce(Option<FinishedJob>) + Send>;
+
 struct QueueInner {
     pending: VecDeque<u64>,
     jobs: HashMap<u64, JobEntry>,
     finished_order: VecDeque<u64>,
+    watchers: HashMap<u64, Vec<FinishedCallback>>,
     stopping: bool,
 }
 
@@ -185,6 +191,7 @@ impl JobQueue {
                 pending: VecDeque::new(),
                 jobs: HashMap::new(),
                 finished_order: VecDeque::new(),
+                watchers: HashMap::new(),
                 stopping: false,
             }),
             cv: Condvar::new(),
@@ -202,10 +209,12 @@ impl JobQueue {
     ///
     /// # Errors
     ///
-    /// Returns [`QueueFull`] when `capacity` jobs are already pending.
+    /// Returns [`QueueFull`] when `capacity` jobs are already pending or
+    /// the queue is stopping (a stopping scheduler would never run the
+    /// job, so admitting it would strand the client).
     pub fn submit(&self, request: JobRequest) -> Result<u64, QueueFull> {
         let mut inner = self.inner.lock().expect("queue poisoned");
-        if inner.pending.len() >= self.capacity {
+        if inner.pending.len() >= self.capacity || inner.stopping {
             return Err(QueueFull);
         }
         let id = self.allocate_id();
@@ -309,15 +318,56 @@ impl JobQueue {
         }
     }
 
-    /// Records a job's outcome and wakes any waiters.
+    /// Records a job's outcome and wakes any waiters — blocking
+    /// (`wait_finished`) and subscribed (`on_finished`) alike.
     pub fn finish(&self, id: u64, finished: FinishedJob) {
         let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut fire: Vec<FinishedCallback> = Vec::new();
         if let Some(entry) = inner.jobs.get_mut(&id) {
-            entry.state = JobState::Finished(finished);
+            entry.state = JobState::Finished(finished.clone());
             Self::remember_finished(&mut inner, id, self.retain_finished);
+            if let Some(watchers) = inner.watchers.remove(&id) {
+                fire = watchers;
+            }
         }
         drop(inner);
         self.cv.notify_all();
+        // Callbacks run outside the queue lock: they may grab other locks
+        // (the reactor's completion list) or be arbitrarily slow.
+        for callback in fire {
+            callback(Some(finished.clone()));
+        }
+    }
+
+    /// Subscribes a one-shot callback for job `id`, the non-blocking
+    /// sibling of [`JobQueue::wait_finished`] (this is how the reactor's
+    /// deferred `?wait` responses get completed). The callback fires
+    /// on whichever thread resolves the job:
+    ///
+    /// * immediately on this thread if the job already finished (or is
+    ///   unknown / the queue is stopping — then with `None`);
+    /// * on the scheduler thread from [`JobQueue::finish`];
+    /// * on the stopping thread from [`JobQueue::stop`], with `None`.
+    pub fn on_finished(&self, id: u64, callback: FinishedCallback) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let immediate: Option<Option<FinishedJob>> = match inner.jobs.get(&id) {
+            Some(JobEntry {
+                state: JobState::Finished(finished),
+                ..
+            }) => Some(Some(finished.clone())),
+            None => Some(None),
+            Some(_) if inner.stopping => Some(None),
+            Some(_) => None,
+        };
+        match immediate {
+            Some(outcome) => {
+                drop(inner);
+                callback(outcome);
+            }
+            None => {
+                inner.watchers.entry(id).or_default().push(callback);
+            }
+        }
     }
 
     /// Pending jobs waiting for the scheduler.
@@ -325,10 +375,20 @@ impl JobQueue {
         self.inner.lock().expect("queue poisoned").pending.len()
     }
 
-    /// Starts the shutdown: wakes the scheduler and every waiter.
+    /// Starts the shutdown: wakes the scheduler and every waiter, and
+    /// fires outstanding [`JobQueue::on_finished`] subscriptions with
+    /// `None` so parked connections fall back instead of hanging out the
+    /// full wait timeout.
     pub fn stop(&self) {
-        self.inner.lock().expect("queue poisoned").stopping = true;
+        let fire: Vec<FinishedCallback> = {
+            let mut inner = self.inner.lock().expect("queue poisoned");
+            inner.stopping = true;
+            inner.watchers.drain().flat_map(|(_, v)| v).collect()
+        };
         self.cv.notify_all();
+        for callback in fire {
+            callback(None);
+        }
     }
 }
 
@@ -695,6 +755,52 @@ mod tests {
         // …then stop() makes the next take return None.
         q.stop();
         assert!(q.take_batch(4).is_none());
+    }
+
+    #[test]
+    fn on_finished_fires_at_finish_immediately_and_on_stop() {
+        let q = Arc::new(JobQueue::new(8, 16));
+        let outcomes: Arc<Mutex<Vec<(&'static str, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let record = |label: &'static str| {
+            let outcomes = Arc::clone(&outcomes);
+            Box::new(move |finished: Option<FinishedJob>| {
+                outcomes.lock().unwrap().push((label, finished.is_some()));
+            })
+        };
+
+        // Subscribed before the job resolves: fires from finish().
+        let id = q.submit(request(11)).unwrap();
+        q.on_finished(id, record("pending"));
+        assert!(outcomes.lock().unwrap().is_empty(), "not fired yet");
+        let batch = q.take_batch(1).unwrap();
+        q.finish(
+            batch[0].0,
+            FinishedJob {
+                ok: true,
+                cache_hit: false,
+                body: b"{}\n".to_vec(),
+            },
+        );
+        // Already finished: fires inline. Unknown id: fires inline with None.
+        q.on_finished(id, record("done"));
+        q.on_finished(424242, record("unknown"));
+        // Still-queued watcher at stop(): fired with None.
+        let parked = q.submit(request(12)).unwrap();
+        q.on_finished(parked, record("stopped"));
+        q.stop();
+
+        let seen = outcomes.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            vec![
+                ("pending", true),
+                ("done", true),
+                ("unknown", false),
+                ("stopped", false),
+            ]
+        );
+        // Stopping queues refuse new work instead of stranding it.
+        assert_eq!(q.submit(request(13)).unwrap_err(), QueueFull);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! while a failure the *server's extraction* reported keeps the
 //! category the server assigned (see [`fastvg_core::RemoteError`]).
 
-use crate::client::{Client, ClientResponse};
+use crate::client::{Client, ClientConfig, ClientResponse};
 use fastvg_core::api::{ExtractionReport, Extractor, SessionView, Stage};
 use fastvg_core::baseline::acquire_full_csd;
 use fastvg_core::report::Method;
@@ -52,6 +52,7 @@ pub struct RemoteExtractor {
     addr: String,
     method: Method,
     timeout: Duration,
+    client: ClientConfig,
 }
 
 impl RemoteExtractor {
@@ -62,6 +63,7 @@ impl RemoteExtractor {
             addr: addr.into(),
             method: Method::FastExtraction,
             timeout: Duration::from_secs(120),
+            client: ClientConfig::new(),
         }
     }
 
@@ -77,6 +79,16 @@ impl RemoteExtractor {
     #[must_use]
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
+        self
+    }
+
+    /// Adopts a full transport policy — retries, connect timeout,
+    /// `TCP_NODELAY` (builder style). The read timeout is still governed
+    /// by [`RemoteExtractor::with_timeout`], which caps the whole
+    /// request.
+    #[must_use]
+    pub fn with_client_config(mut self, config: ClientConfig) -> Self {
+        self.client = config;
         self
     }
 
@@ -209,8 +221,12 @@ impl Extractor for RemoteExtractor {
         let csd = acquired?;
 
         let body = self.grid_request(&csd);
-        let mut client =
-            Client::connect_with_timeout(&self.addr, self.timeout).map_err(Self::transport)?;
+        let mut client = self
+            .client
+            .clone()
+            .read_timeout(self.timeout)
+            .connect(&self.addr)
+            .map_err(Self::transport)?;
         let response = client
             .post("/extract?wait", body.as_bytes())
             .map_err(Self::transport)?;

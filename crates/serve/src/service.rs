@@ -8,9 +8,18 @@
 //! scheduler thread, result cache and metrics, returned as a
 //! [`ServiceHandle`] whose [`ServiceHandle::shutdown`] /
 //! [`ServiceHandle::join`] implement the graceful stop.
+//!
+//! `?wait` requests never block a thread: the handler returns
+//! [`Outcome::Pending`] and completes the connection from the job
+//! queue's finish notification, with the reactor's timer wheel firing
+//! the `202 queued` fallback if the job outlives
+//! [`ServeConfig::wait_timeout`].
 
 use crate::cache::{CacheConfig, ResultCache};
-use crate::http::{Handler, HttpConfig, HttpServer, Request, Response, ShutdownHandle};
+use crate::http::{
+    deferred, Handler, HttpConfig, HttpServer, Outcome, Request, Response, ServerStats,
+    ShutdownHandle,
+};
 use crate::metrics::Metrics;
 use crate::queue::{FinishedJob, JobQueue, JobRequest, JobState, Scenario, Scheduler};
 use fastvg_core::report::Method;
@@ -37,12 +46,13 @@ pub const REQUEST_MAX_DWELL: Duration = Duration::from_millis(50);
 pub const REQUEST_BACKEND_SCHEMES: [&str; 3] = ["sim", "throttled", "hwsim"];
 
 /// Daemon configuration.
+///
+/// Construct via [`ServeConfig::builder`] to get hostile values rejected
+/// up front, or fill the fields directly and let [`start`] validate.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`"127.0.0.1:0"` for an ephemeral port).
     pub addr: String,
-    /// HTTP connection worker threads.
-    pub http_workers: usize,
     /// Concurrent extraction workers (`0` = one per core).
     pub extract_jobs: usize,
     /// Maximum pending jobs before `POST /extract` answers 503.
@@ -53,8 +63,20 @@ pub struct ServeConfig {
     pub cache: CacheConfig,
     /// Maximum request body bytes (inline grids are the big ones).
     pub max_body_bytes: usize,
-    /// How long `?wait` requests block before falling back to `202`.
+    /// How long `?wait` requests may stay pending before the reactor
+    /// answers `202` with the job id for polling.
     pub wait_timeout: Duration,
+    /// Maximum concurrently open connections; excess accepts get an
+    /// immediate `503` and a close.
+    pub max_connections: usize,
+    /// How long one request (head + body) may take to arrive once its
+    /// first byte is in — the anti-slowloris bound.
+    pub request_read_deadline: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it silently.
+    pub idle_timeout: Duration,
+    /// How long graceful shutdown waits for in-flight connections.
+    pub drain_deadline: Duration,
     /// The probe backend scenarios are measured through when a request
     /// does not pick its own (a [`BackendRegistry::standard`] spec
     /// string; operator-supplied, so tape schemes are allowed here).
@@ -65,17 +87,207 @@ impl Default for ServeConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:8737".to_string(),
-            http_workers: 8,
             extract_jobs: 0,
             queue_capacity: 256,
             batch_max: 32,
             cache: CacheConfig::default(),
             max_body_bytes: 8 * 1024 * 1024,
             wait_timeout: Duration::from_secs(60),
+            max_connections: 4096,
+            request_read_deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(30),
             backend: "sim".to_string(),
         }
     }
 }
+
+impl ServeConfig {
+    /// A fluent builder over the defaults, mirroring
+    /// `fastvg_core::Pipeline`.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            config: ServeConfig::default(),
+        }
+    }
+
+    /// Checks every field against its sane range; [`start`] runs this,
+    /// and [`ServeConfigBuilder::build`] runs it early.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-range field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        const HOUR: Duration = Duration::from_secs(3600);
+        fn bounded(
+            field: &'static str,
+            value: usize,
+            range: std::ops::RangeInclusive<usize>,
+        ) -> Result<(), ConfigError> {
+            if range.contains(&value) {
+                Ok(())
+            } else {
+                Err(ConfigError::new(
+                    field,
+                    format!("{value} is outside {}..={}", range.start(), range.end()),
+                ))
+            }
+        }
+        fn duration(field: &'static str, value: Duration) -> Result<(), ConfigError> {
+            if value.is_zero() || value > HOUR {
+                Err(ConfigError::new(
+                    field,
+                    format!("{value:?} is outside (0, 1h]"),
+                ))
+            } else {
+                Ok(())
+            }
+        }
+        if self.addr.is_empty() || !self.addr.contains(':') {
+            return Err(ConfigError::new(
+                "addr",
+                format!("{:?} is not a host:port address", self.addr),
+            ));
+        }
+        bounded("queue_capacity", self.queue_capacity, 1..=1_000_000)?;
+        bounded("batch_max", self.batch_max, 1..=4096)?;
+        bounded("extract_jobs", self.extract_jobs, 0..=1024)?;
+        bounded("max_body_bytes", self.max_body_bytes, 1..=(1 << 30))?;
+        bounded("max_connections", self.max_connections, 1..=1_000_000)?;
+        bounded("cache.shards", self.cache.shards, 1..=4096)?;
+        duration("wait_timeout", self.wait_timeout)?;
+        duration("request_read_deadline", self.request_read_deadline)?;
+        duration("idle_timeout", self.idle_timeout)?;
+        duration("drain_deadline", self.drain_deadline)?;
+        BackendRegistry::standard()
+            .resolve(&self.backend)
+            .map_err(|e| ConfigError::new("backend", e.to_string()))?;
+        Ok(())
+    }
+}
+
+/// Builder for [`ServeConfig`] — every setter is fluent, and
+/// [`ServeConfigBuilder::build`] rejects hostile values at construction
+/// instead of at [`start`].
+#[derive(Debug, Clone)]
+#[must_use = "the builder does nothing until build() is called"]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Bind address (`"127.0.0.1:0"` for an ephemeral port).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.addr = addr.into();
+        self
+    }
+
+    /// Concurrent extraction workers (`0` = one per core).
+    pub fn extract_jobs(mut self, jobs: usize) -> Self {
+        self.config.extract_jobs = jobs;
+        self
+    }
+
+    /// Maximum pending jobs before `POST /extract` answers 503.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Maximum jobs the scheduler drains per wakeup.
+    pub fn batch_max(mut self, batch: usize) -> Self {
+        self.config.batch_max = batch;
+        self
+    }
+
+    /// Result-cache sizing.
+    pub fn cache(mut self, cache: CacheConfig) -> Self {
+        self.config.cache = cache;
+        self
+    }
+
+    /// Maximum request body bytes.
+    pub fn max_body_bytes(mut self, bytes: usize) -> Self {
+        self.config.max_body_bytes = bytes;
+        self
+    }
+
+    /// How long `?wait` requests may stay pending before the `202`
+    /// fallback.
+    pub fn wait_timeout(mut self, timeout: Duration) -> Self {
+        self.config.wait_timeout = timeout;
+        self
+    }
+
+    /// Maximum concurrently open connections.
+    pub fn max_connections(mut self, connections: usize) -> Self {
+        self.config.max_connections = connections;
+        self
+    }
+
+    /// Per-request read deadline (anti-slowloris).
+    pub fn request_read_deadline(mut self, deadline: Duration) -> Self {
+        self.config.request_read_deadline = deadline;
+        self
+    }
+
+    /// Keep-alive idle timeout between requests.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.config.idle_timeout = timeout;
+        self
+    }
+
+    /// Graceful-shutdown drain deadline.
+    pub fn drain_deadline(mut self, deadline: Duration) -> Self {
+        self.config.drain_deadline = deadline;
+        self
+    }
+
+    /// Default probe backend spec (operator-side, tape schemes allowed).
+    pub fn backend(mut self, spec: impl Into<String>) -> Self {
+        self.config.backend = spec.into();
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first out-of-range field as a [`ConfigError`].
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        self.config.validate()?;
+        Ok(self.config)
+    }
+}
+
+/// A rejected [`ServeConfig`] field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    field: &'static str,
+    message: String,
+}
+
+impl ConfigError {
+    fn new(field: &'static str, message: impl Into<String>) -> Self {
+        Self {
+            field,
+            message: message.into(),
+        }
+    }
+
+    /// The offending `ServeConfig` field name.
+    pub fn field(&self) -> &'static str {
+        self.field
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid ServeConfig.{}: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Errors starting the daemon.
 #[derive(Debug)]
@@ -85,6 +297,8 @@ pub enum ServeError {
     Io(std::io::Error),
     /// The configured default backend spec did not resolve.
     Backend(BackendError),
+    /// A configuration field was out of range.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for ServeError {
@@ -92,6 +306,7 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::Io(e) => write!(f, "service socket error: {e}"),
             ServeError::Backend(e) => write!(f, "service backend error: {e}"),
+            ServeError::Config(e) => write!(f, "service config error: {e}"),
         }
     }
 }
@@ -101,6 +316,7 @@ impl std::error::Error for ServeError {
         match self {
             ServeError::Io(e) => Some(e),
             ServeError::Backend(e) => Some(e),
+            ServeError::Config(e) => Some(e),
         }
     }
 }
@@ -117,13 +333,21 @@ impl From<std::io::Error> for ServeError {
     }
 }
 
-/// The request handler — shared by every HTTP worker.
+impl From<ConfigError> for ServeError {
+    fn from(e: ConfigError) -> Self {
+        ServeError::Config(e)
+    }
+}
+
+/// The request handler, shared with the reactor thread.
 pub struct ExtractService {
     queue: Arc<JobQueue>,
     cache: Arc<ResultCache>,
     metrics: Arc<Metrics>,
     wait_timeout: Duration,
+    max_connections: usize,
     shutdown: OnceLock<ShutdownHandle>,
+    server_stats: OnceLock<Arc<ServerStats>>,
     started: Instant,
     registry: BackendRegistry,
     default_backend: Arc<dyn SourceBackend>,
@@ -157,7 +381,9 @@ impl ExtractService {
             cache: Arc::new(ResultCache::new(config.cache)),
             metrics: Arc::new(Metrics::default()),
             wait_timeout: config.wait_timeout,
+            max_connections: config.max_connections,
             shutdown: OnceLock::new(),
+            server_stats: OnceLock::new(),
             started: Instant::now(),
             registry,
             default_backend,
@@ -327,18 +553,22 @@ impl ExtractService {
         ))
     }
 
-    fn handle_extract(&self, request: &Request) -> Response {
+    fn handle_extract(&self, request: &Request) -> Outcome {
         self.metrics.requests_extract.inc();
         let started = Instant::now();
-        let response = match self.parse_extract(request) {
-            Err(rejection) => self.error_response(&rejection),
-            Ok((job, wait)) => self.dispatch(job, wait),
+        let outcome = match self.parse_extract(request) {
+            Err(rejection) => Outcome::Ready(self.error_response(&rejection)),
+            Ok((job, wait)) => self.dispatch(job, wait, started),
         };
-        self.metrics.request_latency.observe(started.elapsed());
-        response
+        // Pending outcomes observe their latency when the completion
+        // fires; everything answered inline observes here.
+        if matches!(outcome, Outcome::Ready(_)) {
+            self.metrics.request_latency.observe(started.elapsed());
+        }
+        outcome
     }
 
-    fn dispatch(&self, job: JobRequest, wait: bool) -> Response {
+    fn dispatch(&self, job: JobRequest, wait: bool, started: Instant) -> Outcome {
         // Cache front: a hit never touches the queue or the pool, and it
         // replays the stored bytes verbatim (outcome flag travels with
         // the entry — it is never re-derived from the bytes).
@@ -351,14 +581,11 @@ impl ExtractService {
             };
             let status = finished.status_name();
             let id = self.queue.insert_finished(finished.clone());
-            return if wait {
-                Response::json(200, finished.body)
-                    .with_header("x-fastvg-job", id.to_string())
-                    .with_header("x-fastvg-cache", "hit")
-                    .with_header("x-fastvg-status", status)
+            return Outcome::Ready(if wait {
+                finished_response(id, &finished, "hit")
             } else {
-                self.job_status_response(202, id, status, true)
-            };
+                job_status_response(202, id, status, true)
+            });
         }
         self.metrics.cache_misses.inc();
 
@@ -366,35 +593,39 @@ impl ExtractService {
             Ok(id) => id,
             Err(_) => {
                 self.metrics.queue_rejected.inc();
-                return self.error_response(&reject(503, "job queue at capacity"));
+                return Outcome::Ready(self.error_response(&reject(503, "job queue at capacity")));
             }
         };
         self.metrics.jobs_submitted.inc();
         self.metrics.queue_depth.set(self.queue.depth() as u64);
 
-        if wait {
-            if let Some(finished) = self.queue.wait_finished(id, self.wait_timeout) {
-                let status = finished.status_name();
-                return Response::json(200, finished.body)
-                    .with_header("x-fastvg-job", id.to_string())
-                    .with_header("x-fastvg-cache", "miss")
-                    .with_header("x-fastvg-status", status);
-            }
-            // Timed out (or shutting down): fall through to the async
-            // answer so the client can poll.
+        if !wait {
+            return Outcome::Ready(job_status_response(202, id, "queued", false));
         }
-        self.job_status_response(202, id, "queued", false)
-    }
 
-    fn job_status_response(&self, status: u16, id: u64, state: &str, cache: bool) -> Response {
-        let mut body = Json::object()
-            .field("job", id)
-            .field("status", state)
-            .field("cache", cache)
-            .build()
-            .dump();
-        body.push('\n');
-        Response::json(status, body).with_header("x-fastvg-job", id.to_string())
+        // `?wait`: park the connection, not a thread. The queue's finish
+        // notification completes it through the reactor; if the job is
+        // slower than `wait_timeout`, the reactor's timer wheel answers
+        // `202 queued` instead and the (eventual) completion is dropped.
+        let (deferred, completer) = deferred();
+        let metrics = Arc::clone(&self.metrics);
+        self.queue.on_finished(
+            id,
+            Box::new(move |finished| {
+                metrics.request_latency.observe(started.elapsed());
+                let response = match finished {
+                    Some(finished) => finished_response(id, &finished, "miss"),
+                    // Queue stopped before the job ran: hand back the id
+                    // so the client can still poll a draining daemon.
+                    None => job_status_response(202, id, "queued", false),
+                };
+                completer.complete(response);
+            }),
+        );
+        Outcome::Pending(deferred.with_fallback(
+            Instant::now() + self.wait_timeout,
+            job_status_response(202, id, "queued", false),
+        ))
     }
 
     fn handle_job(&self, id_text: &str) -> Response {
@@ -404,23 +635,23 @@ impl ExtractService {
         };
         match self.queue.status(id) {
             None => self.error_response(&reject(404, "unknown job id")),
-            Some(JobState::Queued) => self.job_status_response(200, id, "queued", false),
-            Some(JobState::Running) => self.job_status_response(200, id, "running", false),
-            Some(JobState::Finished(finished)) => {
-                let status = finished.status_name();
-                Response::json(200, finished.body)
-                    .with_header("x-fastvg-job", id.to_string())
-                    .with_header(
-                        "x-fastvg-cache",
-                        if finished.cache_hit { "hit" } else { "miss" },
-                    )
-                    .with_header("x-fastvg-status", status)
-            }
+            Some(JobState::Queued) => job_status_response(200, id, "queued", false),
+            Some(JobState::Running) => job_status_response(200, id, "running", false),
+            Some(JobState::Finished(finished)) => finished_response(
+                id,
+                &finished,
+                if finished.cache_hit { "hit" } else { "miss" },
+            ),
         }
     }
 
     fn handle_healthz(&self) -> Response {
         self.metrics.requests_healthz.inc();
+        let connections = self
+            .server_stats
+            .get()
+            .map(|stats| stats.open())
+            .unwrap_or(0);
         let mut body = Json::object()
             .field("ok", true)
             .field("version", env!("CARGO_PKG_VERSION"))
@@ -443,10 +674,31 @@ impl ExtractService {
             .field("uptime_s", Json::num(self.started.elapsed().as_secs_f64()))
             .field("queue_depth", self.queue.depth())
             .field("cache_entries", self.cache.len())
+            .field("connections_open", connections)
+            .field("max_connections", self.max_connections)
             .build()
             .dump();
         body.push('\n');
         Response::json(200, body)
+    }
+
+    fn handle_metrics(&self) -> Response {
+        self.metrics.requests_metrics.inc();
+        let mut text = self.metrics.render();
+        if let Some(stats) = self.server_stats.get() {
+            text.push_str(&format!("fastvg_connections_open {}\n", stats.open()));
+            for (event, value) in [
+                ("accepted", stats.accepted()),
+                ("rejected", stats.rejected()),
+                ("idle_closed", stats.idle_closed()),
+                ("read_timeout", stats.request_timeouts()),
+            ] {
+                text.push_str(&format!(
+                    "fastvg_connections_total{{event=\"{event}\"}} {value}\n"
+                ));
+            }
+        }
+        Response::text(200, text)
     }
 
     fn handle_shutdown(&self) -> Response {
@@ -458,31 +710,48 @@ impl ExtractService {
     }
 }
 
+/// The `200` body + headers of a finished job.
+fn finished_response(id: u64, finished: &FinishedJob, cache: &str) -> Response {
+    Response::json(200, finished.body.clone())
+        .with_header("x-fastvg-job", id.to_string())
+        .with_header("x-fastvg-cache", cache)
+        .with_header("x-fastvg-status", finished.status_name())
+}
+
+/// The `{"job":…,"status":…,"cache":…}` body for queued/running answers.
+fn job_status_response(status: u16, id: u64, state: &str, cache: bool) -> Response {
+    let mut body = Json::object()
+        .field("job", id)
+        .field("status", state)
+        .field("cache", cache)
+        .build()
+        .dump();
+    body.push('\n');
+    Response::json(status, body).with_header("x-fastvg-job", id.to_string())
+}
+
 impl Handler for ExtractService {
-    fn handle(&self, request: &Request) -> Response {
+    fn handle(&self, request: &Request) -> Outcome {
         match (request.method.as_str(), request.path.as_str()) {
             ("POST", "/extract") => self.handle_extract(request),
-            ("GET", "/healthz") => self.handle_healthz(),
-            ("GET", "/metrics") => {
-                self.metrics.requests_metrics.inc();
-                Response::text(200, self.metrics.render())
-            }
-            ("POST", "/shutdown") => self.handle_shutdown(),
+            ("GET", "/healthz") => Outcome::Ready(self.handle_healthz()),
+            ("GET", "/metrics") => Outcome::Ready(self.handle_metrics()),
+            ("POST", "/shutdown") => Outcome::Ready(self.handle_shutdown()),
             (method, path) => {
                 if let Some(id) = path.strip_prefix("/jobs/") {
                     if method == "GET" {
-                        return self.handle_job(id);
+                        return Outcome::Ready(self.handle_job(id));
                     }
                 }
                 let known = matches!(
                     request.path.as_str(),
                     "/extract" | "/healthz" | "/metrics" | "/shutdown"
                 ) || request.path.starts_with("/jobs/");
-                if known {
+                Outcome::Ready(if known {
                     self.error_response(&reject(405, format!("{method} not allowed here")))
                 } else {
                     self.error_response(&reject(404, "no such route"))
-                }
+                })
             }
         }
     }
@@ -583,6 +852,11 @@ impl ServiceHandle {
         &self.service
     }
 
+    /// The reactor's connection counters.
+    pub fn server_stats(&self) -> Arc<ServerStats> {
+        self.server.stats()
+    }
+
     /// A clonable handle that stops the daemon from anywhere.
     pub fn shutdown_handle(&self) -> ShutdownHandle {
         self.server.shutdown_handle()
@@ -595,7 +869,7 @@ impl ServiceHandle {
         self.server.shutdown_handle().shutdown();
     }
 
-    /// Waits for the scheduler and every HTTP worker to exit. Call
+    /// Waits for the scheduler and the reactor to exit. Call
     /// [`ServiceHandle::shutdown`] first (or let `POST /shutdown` do it).
     pub fn join(mut self) {
         if let Some(scheduler) = self.scheduler.take() {
@@ -609,20 +883,26 @@ impl ServiceHandle {
 ///
 /// # Errors
 ///
-/// Returns [`ServeError::Io`] when the listen socket cannot be bound,
-/// or [`ServeError::Backend`] when the configured default backend spec
+/// Returns [`ServeError::Config`] when a field is out of range,
+/// [`ServeError::Io`] when the listen socket cannot be bound, or
+/// [`ServeError::Backend`] when the configured default backend spec
 /// does not resolve.
 pub fn start(config: ServeConfig) -> Result<ServiceHandle, ServeError> {
+    config.validate()?;
     let service = Arc::new(ExtractService::new(&config)?);
 
     // Bind before spawning the scheduler so a bind failure leaks nothing.
     let http = HttpConfig {
-        workers: config.http_workers,
+        max_connections: config.max_connections,
         max_body_bytes: config.max_body_bytes,
+        request_read_deadline: config.request_read_deadline,
+        idle_timeout: config.idle_timeout,
+        drain_deadline: config.drain_deadline,
         ..HttpConfig::default()
     };
     let server = HttpServer::bind(&config.addr, Arc::clone(&service) as Arc<dyn Handler>, http)?;
     let _ = service.shutdown.set(server.shutdown_handle());
+    let _ = service.server_stats.set(server.stats());
 
     let scheduler = Scheduler::new(
         Arc::clone(&service.queue),
@@ -638,4 +918,57 @@ pub fn start(config: ServeConfig) -> Result<ServiceHandle, ServeError> {
         server,
         scheduler: Some(scheduler),
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accepts_sane_and_rejects_hostile() {
+        let config = ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .extract_jobs(2)
+            .queue_capacity(64)
+            .batch_max(8)
+            .max_connections(512)
+            .wait_timeout(Duration::from_secs(5))
+            .request_read_deadline(Duration::from_secs(10))
+            .idle_timeout(Duration::from_secs(3))
+            .drain_deadline(Duration::from_secs(10))
+            .backend("throttled:1ms")
+            .build()
+            .expect("sane config builds");
+        assert_eq!(config.max_connections, 512);
+        assert_eq!(config.backend, "throttled:1ms");
+
+        let hostile: [(&str, ServeConfigBuilder); 6] = [
+            ("addr", ServeConfig::builder().addr("")),
+            ("queue_capacity", ServeConfig::builder().queue_capacity(0)),
+            ("batch_max", ServeConfig::builder().batch_max(1 << 20)),
+            ("max_connections", ServeConfig::builder().max_connections(0)),
+            (
+                "wait_timeout",
+                ServeConfig::builder().wait_timeout(Duration::ZERO),
+            ),
+            ("backend", ServeConfig::builder().backend("nope:xyz")),
+        ];
+        for (field, builder) in hostile {
+            let err = builder.build().expect_err("hostile value must be rejected");
+            assert_eq!(err.field(), field, "{err}");
+        }
+    }
+
+    #[test]
+    fn start_validates_config() {
+        let mut config = ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServeConfig::default()
+        };
+        config.idle_timeout = Duration::ZERO;
+        match start(config) {
+            Err(ServeError::Config(e)) => assert_eq!(e.field(), "idle_timeout"),
+            other => panic!("expected config error, got {other:?}"),
+        }
+    }
 }

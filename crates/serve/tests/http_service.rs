@@ -14,7 +14,6 @@ fn boot_with(tweak: impl FnOnce(&mut ServeConfig)) -> ServiceHandle {
     let mut config = ServeConfig {
         addr: "127.0.0.1:0".into(),
         extract_jobs: 2,
-        http_workers: 6,
         ..ServeConfig::default()
     };
     tweak(&mut config);

@@ -14,14 +14,23 @@ use fastvg::serve::{start, ServeConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An ephemeral port keeps the example parallel-safe (CI runs every
-    // example); a real deployment would pin addr and capacities.
-    let daemon = start(ServeConfig {
-        addr: "127.0.0.1:0".into(),
-        ..ServeConfig::default()
-    })?;
+    // example); a real deployment would pin addr and capacities. The
+    // builder validates every field up front — hostile values fail here,
+    // not at bind time.
+    let daemon = start(
+        ServeConfig::builder()
+            .addr("127.0.0.1:0")
+            .max_connections(1024)
+            .idle_timeout(std::time::Duration::from_secs(10))
+            .build()?,
+    )?;
     println!("daemon listening on http://{}", daemon.addr());
 
-    let mut client = Client::connect(&daemon.addr().to_string())?;
+    // ClientConfig is the unified transport policy (loadgen and
+    // RemoteExtractor use the same one).
+    let mut client = ClientConfig::new()
+        .connect_timeout(std::time::Duration::from_secs(5))
+        .connect(&daemon.addr().to_string())?;
 
     // Synchronous extraction: POST a scenario with ?wait and get the
     // newline-framed result document back.
@@ -95,7 +104,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let metrics = client.get("/metrics")?;
     let text = String::from_utf8(metrics.body)?;
     for line in text.lines().filter(|l| {
-        l.starts_with("fastvg_jobs_total") || l.starts_with("fastvg_cache_requests_total")
+        l.starts_with("fastvg_jobs_total")
+            || l.starts_with("fastvg_cache_requests_total")
+            || l.starts_with("fastvg_connections")
     }) {
         println!("metrics  : {line}");
     }

@@ -136,7 +136,9 @@ pub mod prelude {
         WireError, WireFailure,
     };
     // The service layer and its wire format.
-    pub use fastvg_serve::{Client, RemoteExtractor, ServeConfig, ServiceHandle};
+    pub use fastvg_serve::{
+        Client, ClientConfig, RemoteExtractor, ServeConfig, ServeConfigBuilder, ServiceHandle,
+    };
     pub use fastvg_wire::Json;
     // The measurement stack: sessions, sources, and the runtime
     // backend/tape seam.
