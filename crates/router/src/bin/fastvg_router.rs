@@ -1,0 +1,108 @@
+//! The `fastvg-router` fleet front-end binary.
+//!
+//! ```sh
+//! fastvg-serve --addr 127.0.0.1:8001 &
+//! fastvg-serve --addr 127.0.0.1:8002 &
+//! fastvg-router --addr 127.0.0.1:8740 \
+//!     --shard 127.0.0.1:8001 --shard 127.0.0.1:8002
+//! curl -s localhost:8740/healthz
+//! curl -s -X POST localhost:8740/extract?wait -d '{"benchmark": 6}'
+//! ```
+//!
+//! Flags:
+//!
+//! * `--shard HOST:PORT[@WEIGHT]` — one daemon behind the router;
+//!   repeatable, at least one required. Weight scales the shard's share
+//!   of the consistent-hash ring (default 1).
+//! * `--addr HOST:PORT` — bind address (default `127.0.0.1:8740`; port
+//!   `0` picks an ephemeral port, printed on stdout).
+//! * `--backend SPEC` — backend spec used for request validation
+//!   (default `sim`; must accept the same requests the daemons do).
+//! * `--replicas N` — ring vnodes per unit of weight (default 64).
+//! * `--workers N` — proxy worker threads (default 8).
+//! * `--queue-capacity N` — parked requests before 503 (default 256).
+//! * `--retries N` — extra shards tried after a transport failure
+//!   (default 1; `0` disables failover).
+//! * `--health-interval-ms MS` — `/healthz` poll interval and ejection
+//!   backoff unit (default 1000).
+//! * `--no-peering` — disable sibling cache reads/seeds.
+//! * `--shutdown-after SECS` — stop gracefully after a deadline (CI).
+
+use fastvg_router::{start, RouterConfig, ShardSpec};
+use std::time::Duration;
+
+fn parse_flag<T: std::str::FromStr>(args: &mut std::env::Args, flag: &str) -> T {
+    let value = args
+        .next()
+        .unwrap_or_else(|| panic!("{flag} expects a value"));
+    value
+        .parse()
+        .unwrap_or_else(|_| panic!("{flag} got malformed value {value:?}"))
+}
+
+fn main() {
+    let mut config = RouterConfig::default();
+    let mut shutdown_after: Option<u64> = None;
+
+    let mut args = std::env::args();
+    let _ = args.next();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = parse_flag(&mut args, "--addr"),
+            "--shard" => {
+                let spec: String = parse_flag(&mut args, "--shard");
+                match ShardSpec::parse(&spec) {
+                    Ok(shard) => config.shards.push(shard),
+                    Err(message) => {
+                        eprintln!("bad --shard: {message}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--backend" => config.backend = parse_flag(&mut args, "--backend"),
+            "--replicas" => config.replicas = parse_flag(&mut args, "--replicas"),
+            "--workers" => config.workers = parse_flag(&mut args, "--workers"),
+            "--queue-capacity" => config.queue_capacity = parse_flag(&mut args, "--queue-capacity"),
+            "--retries" => config.retries = parse_flag(&mut args, "--retries"),
+            "--health-interval-ms" => {
+                config.health_interval =
+                    Duration::from_millis(parse_flag(&mut args, "--health-interval-ms"))
+            }
+            "--no-peering" => config.peering = false,
+            "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
+            other => {
+                eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let router = match start(config) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("fastvg-router failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The line scripts grep for; flush so pipes see it immediately.
+    println!("fastvg-router listening on http://{}", router.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    if let Some(secs) = shutdown_after {
+        let handle = router.shutdown_handle();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_secs(secs));
+            handle.shutdown();
+        });
+    }
+
+    // Runs until POST /shutdown, a ShutdownHandle, or --shutdown-after.
+    let handle = router.shutdown_handle();
+    while !handle.is_shutdown() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    router.shutdown();
+    router.join();
+    println!("fastvg-router stopped");
+}

@@ -1,0 +1,219 @@
+//! Weighted consistent-hash ring over shard labels.
+//!
+//! The router places every shard at `weight × replicas` pseudo-random
+//! points on a `u64` circle and owns a request by walking clockwise
+//! from the request fingerprint's point to the first shard point. The
+//! payoff over `fingerprint % n` is *stability*: when a shard joins or
+//! leaves, only the keys in the arcs it gains or loses move — about
+//! `weight/total_weight` of the key space — while every other key keeps
+//! its owner. That is what keeps sibling caches warm across fleet
+//! resizes (`docs/FLEET.md`).
+//!
+//! Points are `mix64(fnv1a64("label#vnode"))` and lookups hash the
+//! fingerprint through [`mix64`] too: FNV's low bits correlate with the
+//! final bytes hashed, and an unmixed ring would develop systematic arc
+//! clumping for label families like `host:8001`, `host:8002`, …
+
+use fastvg_wire::{fnv1a64, mix64};
+
+/// One shard as the ring sees it: an opaque label (the proxy layer
+/// stores addresses elsewhere) plus a relative capacity weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingMember {
+    /// Stable shard identity, e.g. `"127.0.0.1:8001"`.
+    pub label: String,
+    /// Relative capacity; a weight-2 shard owns ~2× the key space of a
+    /// weight-1 shard. Zero-weight members own nothing.
+    pub weight: u32,
+}
+
+impl RingMember {
+    /// A member with the default weight of 1.
+    pub fn new(label: impl Into<String>) -> Self {
+        Self {
+            label: label.into(),
+            weight: 1,
+        }
+    }
+
+    /// A member with an explicit weight.
+    pub fn weighted(label: impl Into<String>, weight: u32) -> Self {
+        Self {
+            label: label.into(),
+            weight,
+        }
+    }
+}
+
+/// A point on the circle: the vnode hash plus the index (into the
+/// member list) of the shard that owns it.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    at: u64,
+    member: usize,
+}
+
+/// The consistent-hash ring. Construction is O(members × weight ×
+/// replicas × log); lookups are a binary search.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    members: Vec<RingMember>,
+    points: Vec<Point>,
+}
+
+/// Virtual nodes per unit of weight. More points → smoother ownership
+/// split (the std-dev of arc share shrinks like 1/√points) at linear
+/// memory cost; 64 keeps a 4-shard fleet within a few percent of even.
+pub const DEFAULT_REPLICAS: usize = 64;
+
+impl HashRing {
+    /// Builds a ring with [`DEFAULT_REPLICAS`] vnodes per weight unit.
+    pub fn new(members: Vec<RingMember>) -> Self {
+        Self::with_replicas(members, DEFAULT_REPLICAS)
+    }
+
+    /// Builds a ring with an explicit vnode multiplier.
+    pub fn with_replicas(members: Vec<RingMember>, replicas: usize) -> Self {
+        let mut points = Vec::new();
+        for (index, member) in members.iter().enumerate() {
+            let vnodes = member.weight as usize * replicas.max(1);
+            for vnode in 0..vnodes {
+                // The vnode hash must depend only on (label, vnode) so a
+                // member keeps its exact points across ring rebuilds —
+                // the whole stability argument rests on this.
+                let tag = format!("{}#{vnode}", member.label);
+                points.push(Point {
+                    at: mix64(fnv1a64(tag.as_bytes())),
+                    member: index,
+                });
+            }
+        }
+        points.sort_by_key(|p| p.at);
+        // A duplicate point between two members would make ownership
+        // depend on sort tie-breaking (i.e. member order); keep the
+        // first in label order so it is deterministic regardless.
+        points.dedup_by_key(|p| p.at);
+        Self { members, points }
+    }
+
+    /// The members this ring was built from, in construction order.
+    pub fn members(&self) -> &[RingMember] {
+        &self.members
+    }
+
+    /// Whether the ring has no points (no members, or all weight 0).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Index (into [`HashRing::members`]) of the first point clockwise
+    /// from `key`'s position.
+    fn first_at_or_after(&self, at: u64) -> usize {
+        let i = self.points.partition_point(|p| p.at < at);
+        if i == self.points.len() {
+            0 // wrap: the circle has no end
+        } else {
+            i
+        }
+    }
+
+    /// The shard that owns `fingerprint`, or `None` on an empty ring.
+    pub fn owner(&self, fingerprint: u64) -> Option<&RingMember> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let start = self.first_at_or_after(mix64(fingerprint));
+        Some(&self.members[self.points[start].member])
+    }
+
+    /// The owner followed by fallback shards in ring order — each member
+    /// at most once — for retry routing. `limit` caps the walk
+    /// (`limit == members` yields every non-zero-weight shard).
+    pub fn candidates(&self, fingerprint: u64, limit: usize) -> Vec<&RingMember> {
+        let mut found: Vec<&RingMember> = Vec::new();
+        if self.points.is_empty() || limit == 0 {
+            return found;
+        }
+        let start = self.first_at_or_after(mix64(fingerprint));
+        let mut seen = vec![false; self.members.len()];
+        for offset in 0..self.points.len() {
+            let point = self.points[(start + offset) % self.points.len()];
+            if !seen[point.member] {
+                seen[point.member] = true;
+                found.push(&self.members[point.member]);
+                if found.len() == limit {
+                    break;
+                }
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(labels: &[&str]) -> HashRing {
+        HashRing::new(labels.iter().map(|l| RingMember::new(*l)).collect())
+    }
+
+    #[test]
+    fn empty_and_zero_weight_rings_own_nothing() {
+        assert!(ring(&[]).owner(7).is_none());
+        let zero = HashRing::new(vec![RingMember::weighted("a", 0)]);
+        assert!(zero.is_empty());
+        assert!(zero.owner(7).is_none());
+        assert!(zero.candidates(7, 3).is_empty());
+    }
+
+    #[test]
+    fn single_member_owns_everything() {
+        let r = ring(&["only"]);
+        for fp in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(r.owner(fp).unwrap().label, "only");
+        }
+    }
+
+    #[test]
+    fn ownership_is_deterministic_and_member_order_free() {
+        let a = ring(&["s1", "s2", "s3"]);
+        let b = ring(&["s3", "s1", "s2"]);
+        for fp in 0..512u64 {
+            assert_eq!(a.owner(fp).unwrap().label, b.owner(fp).unwrap().label);
+        }
+    }
+
+    #[test]
+    fn candidates_walk_distinct_members_from_the_owner() {
+        let r = ring(&["s1", "s2", "s3"]);
+        for fp in 0..64u64 {
+            let c = r.candidates(fp, 3);
+            assert_eq!(c.len(), 3);
+            assert_eq!(c[0].label, r.owner(fp).unwrap().label);
+            let mut labels: Vec<&str> = c.iter().map(|m| m.label.as_str()).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), 3, "candidates must be distinct");
+        }
+        assert_eq!(r.candidates(9, 1).len(), 1);
+        assert_eq!(r.candidates(9, 10).len(), 3, "capped by member count");
+    }
+
+    #[test]
+    fn weight_scales_owned_share() {
+        let r = HashRing::new(vec![
+            RingMember::weighted("heavy", 3),
+            RingMember::weighted("light", 1),
+        ]);
+        let n = 4096u64;
+        let heavy = (0..n)
+            .filter(|&fp| r.owner(fp.wrapping_mul(0x9e37_79b9)).unwrap().label == "heavy")
+            .count() as f64;
+        let share = heavy / n as f64;
+        assert!(
+            (share - 0.75).abs() < 0.08,
+            "weight-3 of 4 should own ~75%, owned {share:.3}"
+        );
+    }
+}

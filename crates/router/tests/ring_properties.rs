@@ -1,0 +1,135 @@
+//! Property-based coverage of the consistent-hash ring, on the vendored
+//! proptest shim. The properties are the *exact* stability guarantees
+//! the fleet's cache-warmth story rests on (see `docs/FLEET.md`):
+//!
+//! * removing a shard moves **only the keys it owned** — every key a
+//!   survivor owned keeps exactly its owner;
+//! * adding a shard moves keys **only onto the new shard** — nothing
+//!   shuffles between pre-existing shards;
+//! * the moved fraction tracks the joining/leaving shard's weight share
+//!   (≈ `weight/total_weight`), not the `(n-1)/n` of modulo hashing.
+
+use fastvg_router::{HashRing, RingMember};
+use proptest::prelude::*;
+
+fn labels(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:8737")).collect()
+}
+
+fn ring_of(labels: &[String]) -> HashRing {
+    HashRing::new(labels.iter().map(RingMember::new).collect())
+}
+
+/// A pseudo-random but deterministic key stream: structured fingerprints
+/// are exactly what production feeds the ring.
+fn keys(count: u64, seed: u64) -> impl Iterator<Item = u64> {
+    (0..count).map(move |i| (i ^ seed).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+proptest! {
+    /// Leave: drop one shard from an n-shard ring. Keys owned by
+    /// survivors must keep their exact owner; only the departed shard's
+    /// keys may move (and they must all land on survivors).
+    #[test]
+    fn removing_a_shard_moves_only_its_own_keys(
+        n in 2usize..6,
+        victim in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let all = labels(n);
+        let victim = victim % n;
+        let before = ring_of(&all);
+        let mut rest = all.clone();
+        let departed = rest.remove(victim);
+        let after = ring_of(&rest);
+
+        for key in keys(2000, seed) {
+            let owner_before = &before.owner(key).unwrap().label;
+            let owner_after = &after.owner(key).unwrap().label;
+            if *owner_before == departed {
+                prop_assert!(
+                    *owner_after != departed,
+                    "departed shard still owns key {key}"
+                );
+            } else {
+                prop_assert_eq!(
+                    owner_before, owner_after,
+                    "survivor-owned key {} changed owner", key
+                );
+            }
+        }
+    }
+
+    /// Join: add one shard to an n-shard ring. Every moved key must move
+    /// *to* the new shard; keys staying on old shards keep their owner.
+    #[test]
+    fn adding_a_shard_moves_keys_only_onto_it(
+        n in 1usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let old = labels(n);
+        let before = ring_of(&old);
+        let mut grown = old.clone();
+        let newcomer = "10.0.1.99:8737".to_string();
+        grown.push(newcomer.clone());
+        let after = ring_of(&grown);
+
+        for key in keys(2000, seed) {
+            let owner_before = &before.owner(key).unwrap().label;
+            let owner_after = &after.owner(key).unwrap().label;
+            if owner_before != owner_after {
+                prop_assert_eq!(
+                    owner_after, &newcomer,
+                    "key {} moved between pre-existing shards", key
+                );
+            }
+        }
+    }
+
+    /// The moved fraction on a join approximates the newcomer's weight
+    /// share — the ~1/N contract that keeps N-1 caches warm.
+    #[test]
+    fn moved_fraction_tracks_weight_share(
+        n in 1usize..6,
+        weight in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let old = labels(n);
+        let before = ring_of(&old);
+        let mut members: Vec<RingMember> = old.iter().map(RingMember::new).collect();
+        members.push(RingMember::weighted("10.0.1.99:8737", weight));
+        let after = HashRing::new(members);
+
+        let total = 4000u64;
+        let moved = keys(total, seed)
+            .filter(|&key| {
+                before.owner(key).unwrap().label != after.owner(key).unwrap().label
+            })
+            .count() as f64;
+        let share = f64::from(weight) / (n as f64 + f64::from(weight));
+        let fraction = moved / total as f64;
+        // Vnode placement is random-ish, so allow a generous band; the
+        // property ruled out is modulo hashing's (n-1)/n reshuffle.
+        prop_assert!(
+            fraction > share * 0.4 && fraction < (share * 1.8).min(0.95),
+            "moved {fraction:.3}, expected ≈{share:.3} (n={n}, weight={weight})"
+        );
+    }
+
+    /// Candidate walks always start at the owner and cover distinct
+    /// shards — the retry path never tries the same daemon twice.
+    #[test]
+    fn candidates_are_distinct_and_owner_first(
+        n in 1usize..6,
+        key in 0u64..u64::MAX,
+    ) {
+        let ring = ring_of(&labels(n));
+        let candidates = ring.candidates(key, n);
+        prop_assert_eq!(candidates.len(), n);
+        prop_assert_eq!(&candidates[0].label, &ring.owner(key).unwrap().label);
+        let mut seen: Vec<&str> = candidates.iter().map(|m| m.label.as_str()).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), n);
+    }
+}

@@ -27,6 +27,9 @@
 //!   (`sim`, `throttled:<dwell>`, `record:<tape>[+inner]`,
 //!   `replay:<tape>`; default `sim`). Requests may override with their
 //!   own (restricted) `"backend"` member.
+//! * `--no-cache-peering` — disable the `GET`/`PUT /cache/<fingerprint>`
+//!   peering surface (`fastvg-router` uses it to share warm results
+//!   across a fleet; see `docs/FLEET.md`).
 //! * `--shutdown-after SECS` — stop gracefully after a deadline (CI
 //!   smoke harnesses; `std` cannot catch SIGTERM, so the deadline and
 //!   `POST /shutdown` are the daemon's stop channels).
@@ -77,6 +80,7 @@ fn main() {
                 config.wait_timeout = Duration::from_secs(parse_flag(&mut args, "--wait-timeout-s"))
             }
             "--backend" => config.backend = parse_flag(&mut args, "--backend"),
+            "--no-cache-peering" => config.cache_peering = false,
             "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
             other => {
                 eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");

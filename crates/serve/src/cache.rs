@@ -15,6 +15,7 @@
 //! its full canonical key and a hit requires an exact key match — a
 //! collision costs a miss, never a wrong answer.
 
+use fastvg_wire::mix64;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -83,7 +84,11 @@ impl ResultCache {
     }
 
     fn shard(&self, fingerprint: u64) -> &Mutex<Shard> {
-        &self.shards[(fingerprint as usize) % self.shards.len()]
+        // The fingerprint is raw FNV-1a, whose low bits correlate with
+        // the last bytes hashed; `fnv % n` would pile structured key
+        // families (same suffix, e.g. a shared backend tail) onto one
+        // shard. Mix first so the reduction sees avalanche-quality bits.
+        &self.shards[(mix64(fingerprint) as usize) % self.shards.len()]
     }
 
     fn tick(&self) -> u64 {
@@ -104,6 +109,23 @@ impl ResultCache {
         }
         entry.touched = tick;
         Some(entry.result.clone())
+    }
+
+    /// Looks up whatever is stored under `fingerprint` alone, returning
+    /// the entry's full canonical key alongside its result so the caller
+    /// can do (or skip) its own collision check. This is the cache-peer
+    /// lookup: a sibling probing `GET /cache/<fingerprint>` without the
+    /// canonical key gets the entry plus the key that owns it.
+    /// Refreshes the LRU position like [`ResultCache::get`].
+    pub fn peek(&self, fingerprint: u64) -> Option<(String, CachedResult)> {
+        if self.per_shard_capacity == 0 {
+            return None;
+        }
+        let tick = self.tick();
+        let mut shard = self.shard(fingerprint).lock().expect("cache poisoned");
+        let entry = shard.entries.get_mut(&fingerprint)?;
+        entry.touched = tick;
+        Some((entry.key.clone(), entry.result.clone()))
     }
 
     /// Stores a result under `(fingerprint, key)`, evicting the shard's
@@ -211,13 +233,51 @@ mod tests {
 
     #[test]
     fn shards_partition_the_key_space() {
-        let c = cache(64, 8);
+        // Headroom over 64 entries: the mixed shard assignment is not a
+        // perfectly even split, so a tight capacity would evict.
+        let c = cache(256, 8);
         for fp in 0..64u64 {
             c.insert(fp, &format!("k{fp}"), ok(&[fp as u8]));
         }
         assert_eq!(c.len(), 64);
         for fp in 0..64u64 {
             assert_eq!(c.get(fp, &format!("k{fp}")), Some(ok(&[fp as u8])));
+        }
+    }
+
+    #[test]
+    fn peek_returns_key_and_result_without_verification() {
+        let c = cache(8, 2);
+        assert!(c.peek(7).is_none());
+        c.insert(7, "canonical-7", ok(b"body-7"));
+        let (key, result) = c.peek(7).expect("entry present");
+        assert_eq!(key, "canonical-7");
+        assert_eq!(result, ok(b"body-7"));
+    }
+
+    #[test]
+    fn structured_fingerprints_spread_across_shards() {
+        // Fingerprints sharing their low 32 bits (zero) — the family a
+        // raw `fnv % shards` reduction would pile onto shard 0. With the
+        // mixed reduction every shard must see a fair share.
+        let shards = 8;
+        let c = cache(4096, shards);
+        let n = 1024u64;
+        for i in 0..n {
+            c.insert(i << 32, &format!("k{i}"), ok(&[1]));
+        }
+        assert_eq!(c.len(), n as usize, "no collisions among test keys");
+        let per_shard: Vec<usize> = c
+            .shards
+            .iter()
+            .map(|s| s.lock().unwrap().entries.len())
+            .collect();
+        let expected = n as usize / shards;
+        for (i, &count) in per_shard.iter().enumerate() {
+            assert!(
+                count > expected / 2 && count < expected * 2,
+                "shard {i} holds {count} of {n} entries (expected ~{expected}): {per_shard:?}"
+            );
         }
     }
 

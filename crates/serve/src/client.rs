@@ -7,7 +7,7 @@
 //! connect retries are decided; one [`Client`] is one persistent
 //! connection; drop it to close.
 
-use fastvg_wire::{Json, JsonError};
+use fastvg_wire::{mix64, Json, JsonError};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -35,6 +35,9 @@ pub struct ClientConfig {
     nodelay: bool,
     retries: u32,
     retry_backoff: Duration,
+    /// Jitter depth in per-mille of the linear backoff (0 = none,
+    /// 1000 = full jitter). Stored fixed-point so the config stays `Eq`.
+    retry_jitter_pm: u32,
 }
 
 impl Default for ClientConfig {
@@ -45,6 +48,7 @@ impl Default for ClientConfig {
             nodelay: true,
             retries: 0,
             retry_backoff: Duration::from_millis(50),
+            retry_jitter_pm: 0,
         }
     }
 }
@@ -77,17 +81,47 @@ impl ClientConfig {
     }
 
     /// Retry refused/timed-out connects up to `retries` extra times,
-    /// sleeping `backoff × attempt` between tries. Useful when racing a
-    /// daemon that is still binding its socket.
+    /// sleeping [`ClientConfig::backoff_delay`] between tries. Useful
+    /// when racing a daemon that is still binding its socket.
     pub fn retries(mut self, retries: u32, backoff: Duration) -> Self {
         self.retries = retries;
         self.retry_backoff = backoff;
         self
     }
 
+    /// Jitter fraction `0.0..=1.0` applied to the retry backoff (default
+    /// `0.0`). With jitter `j`, attempt `n` sleeps somewhere in
+    /// `((1-j)·backoff·n, backoff·n]` — pulled *earlier*, never later,
+    /// so a fleet of clients hammering a recovering daemon de-phases
+    /// instead of arriving in lockstep waves. The jitter is
+    /// deterministic: it is seeded from the attempt counter alone (a
+    /// [`mix64`] of `n`), no clocks or ambient entropy, so a given
+    /// config produces the same schedule on every run.
+    pub fn jitter(mut self, fraction: f64) -> Self {
+        self.retry_jitter_pm = (fraction.clamp(0.0, 1.0) * 1000.0).round() as u32;
+        self
+    }
+
     /// The configured read timeout.
     pub fn read_timeout_value(&self) -> Option<Duration> {
         self.read_timeout
+    }
+
+    /// The exact sleep before retry `attempt` (1-based): linear backoff
+    /// `backoff × attempt`, scaled down by the deterministic per-attempt
+    /// jitter (see [`ClientConfig::jitter`]). Public so the schedule is
+    /// unit-testable and reusable by callers running their own retry
+    /// loops.
+    pub fn backoff_delay(&self, attempt: u32) -> Duration {
+        let base = self.retry_backoff * attempt;
+        if self.retry_jitter_pm == 0 {
+            return base;
+        }
+        // A uniform fraction in [0, 1) from the attempt counter's mixed
+        // bits — the top 53 so the f64 conversion is exact.
+        let frac = (mix64(u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        let jitter = f64::from(self.retry_jitter_pm) / 1000.0;
+        base.mul_f64(1.0 - jitter * frac)
     }
 
     /// Opens one persistent connection to `addr`
@@ -100,7 +134,7 @@ impl ClientConfig {
         let mut last_err = None;
         for attempt in 0..=self.retries {
             if attempt > 0 {
-                std::thread::sleep(self.retry_backoff * attempt);
+                std::thread::sleep(self.backoff_delay(attempt));
             }
             match self.connect_once(addr) {
                 Ok(client) => return Ok(client),
@@ -208,6 +242,32 @@ impl Client {
         self.request("POST", path, body)
     }
 
+    /// Sends a `PUT` with a body (the cache-seeding verb of the fleet
+    /// protocol).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn put(&mut self, path: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("PUT", path, body)
+    }
+
+    /// Sends an arbitrary method with a body — e.g. the fleet protocol's
+    /// `GET /cache/<fingerprint>` probe, whose optional body carries the
+    /// canonical key for collision verification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn send(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        self.request(method, path, body)
+    }
+
     fn request(
         &mut self,
         method: &str,
@@ -286,5 +346,65 @@ impl Client {
                 headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_without_jitter_is_the_linear_schedule() {
+        let config = ClientConfig::new().retries(5, Duration::from_millis(50));
+        for attempt in 1..=5 {
+            assert_eq!(
+                config.backoff_delay(attempt),
+                Duration::from_millis(50) * attempt
+            );
+        }
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let config = ClientConfig::new()
+            .retries(8, Duration::from_millis(100))
+            .jitter(0.5);
+        let again = config.clone();
+        for attempt in 1..=8u32 {
+            let delay = config.backoff_delay(attempt);
+            // Same config, same attempt — same delay, every time. No
+            // clocks or ambient entropy feed the schedule.
+            assert_eq!(delay, again.backoff_delay(attempt), "attempt {attempt}");
+            let base = Duration::from_millis(100) * attempt;
+            assert!(delay <= base, "jitter only pulls earlier ({attempt})");
+            assert!(
+                delay > base.mul_f64(0.5 - 1e-9),
+                "jitter depth capped at the configured fraction ({attempt})"
+            );
+        }
+        // Consecutive attempts must not share a phase: that is the whole
+        // point (de-phasing retry waves).
+        let frac = |n: u32| {
+            config.backoff_delay(n).as_secs_f64() / (Duration::from_millis(100) * n).as_secs_f64()
+        };
+        assert_ne!(frac(1).to_bits(), frac(2).to_bits());
+        assert_ne!(frac(2).to_bits(), frac(3).to_bits());
+    }
+
+    #[test]
+    fn full_jitter_spans_the_interval() {
+        let config = ClientConfig::new()
+            .retries(64, Duration::from_millis(100))
+            .jitter(1.0);
+        let fractions: Vec<f64> = (1..=64u32)
+            .map(|n| {
+                config.backoff_delay(n).as_secs_f64()
+                    / (Duration::from_millis(100) * n).as_secs_f64()
+            })
+            .collect();
+        let min = fractions.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = fractions.iter().copied().fold(0.0, f64::max);
+        assert!(min < 0.25, "full jitter must reach the low end, got {min}");
+        assert!(max > 0.75, "full jitter must reach the high end, got {max}");
     }
 }

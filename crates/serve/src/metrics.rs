@@ -136,7 +136,9 @@ impl Histogram {
     }
 
     /// Appends the exposition lines for a histogram named `name`.
-    fn render(&self, name: &str, labels: &str, out: &mut String) {
+    /// Public so `fastvg-router` renders its proxy-latency histogram in
+    /// the same format.
+    pub fn render(&self, name: &str, labels: &str, out: &mut String) {
         let mut cumulative = 0u64;
         for (i, bucket) in self.buckets.iter().enumerate() {
             cumulative += bucket.load(Ordering::Relaxed);
@@ -196,6 +198,12 @@ pub struct Metrics {
     pub cache_misses: Counter,
     /// Entries currently cached.
     pub cache_entries: Gauge,
+    /// `GET /cache/<fingerprint>` peer probes answered with an entry.
+    pub cache_peer_hits: Counter,
+    /// `GET /cache/<fingerprint>` peer probes that found nothing.
+    pub cache_peer_misses: Counter,
+    /// Entries seeded by a peer via `PUT /cache/<fingerprint>`.
+    pub cache_seeds: Counter,
     /// Wall-clock latency of `POST /extract` handling (including waits).
     pub request_latency: Histogram,
     /// End-to-end job latency, submit → finished.
@@ -273,6 +281,18 @@ impl Metrics {
             self.cache_misses.get()
         ));
         out.push_str(&format!(
+            "fastvg_cache_peer_requests_total{{outcome=\"peer_hit\"}} {}\n",
+            self.cache_peer_hits.get()
+        ));
+        out.push_str(&format!(
+            "fastvg_cache_peer_requests_total{{outcome=\"peer_miss\"}} {}\n",
+            self.cache_peer_misses.get()
+        ));
+        out.push_str(&format!(
+            "fastvg_cache_seeds_total {}\n",
+            self.cache_seeds.get()
+        ));
+        out.push_str(&format!(
             "fastvg_cache_entries {}\n",
             self.cache_entries.get()
         ));
@@ -342,6 +362,8 @@ mod tests {
         let m = Metrics::default();
         m.requests_extract.inc();
         m.cache_misses.inc();
+        m.cache_peer_hits.inc();
+        m.cache_seeds.inc();
         m.request_latency.observe(Duration::from_micros(300));
         m.observe_stages(&[StageTiming {
             stage: Stage::Anchors,
@@ -352,6 +374,9 @@ mod tests {
         for needle in [
             "fastvg_requests_total{route=\"extract\"} 1",
             "fastvg_cache_requests_total{outcome=\"miss\"} 1",
+            "fastvg_cache_peer_requests_total{outcome=\"peer_hit\"} 1",
+            "fastvg_cache_peer_requests_total{outcome=\"peer_miss\"} 0",
+            "fastvg_cache_seeds_total 1",
             "fastvg_queue_depth 0",
             "fastvg_request_latency_seconds_bucket",
             "fastvg_request_latency_seconds_count 1",

@@ -15,7 +15,7 @@
 //! the `202 queued` fallback if the job outlives
 //! [`ServeConfig::wait_timeout`].
 
-use crate::cache::{CacheConfig, ResultCache};
+use crate::cache::{CacheConfig, CachedResult, ResultCache};
 use crate::http::{
     deferred, Handler, HttpConfig, HttpServer, Outcome, Request, Response, ServerStats,
     ShutdownHandle,
@@ -23,7 +23,7 @@ use crate::http::{
 use crate::metrics::Metrics;
 use crate::queue::{FinishedJob, JobQueue, JobRequest, JobState, Scenario, Scheduler};
 use fastvg_core::report::Method;
-use fastvg_wire::{fnv1a64, Json};
+use fastvg_wire::{request_canonical, request_fingerprint, Json};
 use qd_csd::{Csd, VoltageGrid};
 use qd_dataset::wire::MAX_SPEC_SIZE;
 use qd_dataset::BenchmarkSpec;
@@ -81,6 +81,11 @@ pub struct ServeConfig {
     /// does not pick its own (a [`BackendRegistry::standard`] spec
     /// string; operator-supplied, so tape schemes are allowed here).
     pub backend: String,
+    /// Whether the fleet cache-peering endpoints
+    /// (`GET`/`PUT /cache/<fingerprint>`) are served. On by default;
+    /// standalone daemons exposed to untrusted clients may turn it off
+    /// (`PUT` lets a peer seed arbitrary cache entries).
+    pub cache_peering: bool,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +103,7 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(10),
             drain_deadline: Duration::from_secs(30),
             backend: "sim".to_string(),
+            cache_peering: true,
         }
     }
 }
@@ -249,6 +255,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Whether to serve the fleet cache-peering endpoints
+    /// (`GET`/`PUT /cache/<fingerprint>`).
+    pub fn cache_peering(mut self, enabled: bool) -> Self {
+        self.config.cache_peering = enabled;
+        self
+    }
+
     /// Validates and returns the configuration.
     ///
     /// # Errors
@@ -346,11 +359,11 @@ pub struct ExtractService {
     metrics: Arc<Metrics>,
     wait_timeout: Duration,
     max_connections: usize,
+    cache_peering: bool,
     shutdown: OnceLock<ShutdownHandle>,
     server_stats: OnceLock<Arc<ServerStats>>,
     started: Instant,
-    registry: BackendRegistry,
-    default_backend: Arc<dyn SourceBackend>,
+    parser: ExtractParser,
 }
 
 impl std::fmt::Debug for ExtractService {
@@ -359,35 +372,83 @@ impl std::fmt::Debug for ExtractService {
     }
 }
 
-/// A protocol-level rejection: status code + message for the error body.
-struct Rejection {
-    status: u16,
-    message: String,
+/// A protocol-level rejection: the HTTP status plus the message the
+/// error document carries. Public so `fastvg-router` can run the
+/// daemon's exact request validation up front and report the very same
+/// errors without a round trip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// The HTTP status to answer with (4xx/5xx).
+    pub status: u16,
+    /// Human-readable message for the error body.
+    pub message: String,
 }
 
-fn reject(status: u16, message: impl Into<String>) -> Rejection {
-    Rejection {
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.status, self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// Internal shorthand predating the public [`RequestError`] name.
+type Rejection = RequestError;
+
+fn reject(status: u16, message: impl Into<String>) -> RequestError {
+    RequestError {
         status,
         message: message.into(),
     }
 }
 
-impl ExtractService {
-    fn new(config: &ServeConfig) -> Result<Self, BackendError> {
+/// Parses and validates `POST /extract` requests into [`JobRequest`]s.
+///
+/// Split out of [`ExtractService`] so `fastvg-router` resolves the
+/// *same* canonical fingerprint from the *same* bytes without running a
+/// daemon: both sides build the envelope through
+/// [`fastvg_wire::request_canonical`], so a request's ring position at
+/// the router and its cache key at the daemon can never disagree —
+/// provided both are configured with the same default backend spec.
+pub struct ExtractParser {
+    registry: BackendRegistry,
+    default_backend: Arc<dyn SourceBackend>,
+}
+
+impl std::fmt::Debug for ExtractParser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtractParser")
+            .field("default_backend", &self.default_backend.describe())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExtractParser {
+    /// A parser resolving requests against the standard backend registry,
+    /// with `default_backend` (a spec string like `"sim"`) used when a
+    /// request does not pick its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BackendError`] when the default spec does not
+    /// resolve.
+    pub fn new(default_backend: &str) -> Result<Self, BackendError> {
         let registry = BackendRegistry::standard();
-        let default_backend = registry.resolve(&config.backend)?;
+        let default_backend = registry.resolve(default_backend)?;
         Ok(Self {
-            queue: Arc::new(JobQueue::new(config.queue_capacity, 4096)),
-            cache: Arc::new(ResultCache::new(config.cache)),
-            metrics: Arc::new(Metrics::default()),
-            wait_timeout: config.wait_timeout,
-            max_connections: config.max_connections,
-            shutdown: OnceLock::new(),
-            server_stats: OnceLock::new(),
-            started: Instant::now(),
             registry,
             default_backend,
         })
+    }
+
+    /// The backend registry requests resolve against.
+    pub fn registry(&self) -> &BackendRegistry {
+        &self.registry
+    }
+
+    /// The backend used when a request names none.
+    pub fn default_backend(&self) -> &Arc<dyn SourceBackend> {
+        &self.default_backend
     }
 
     /// Validates a request-supplied backend spec at the door: only
@@ -395,7 +456,7 @@ impl ExtractService {
     /// compositions (`+`) are refused, and throttle dwells are capped
     /// at [`REQUEST_MAX_DWELL`] so a hostile request cannot park the
     /// extraction workers.
-    fn request_backend(&self, spec: &str) -> Result<Arc<dyn SourceBackend>, Rejection> {
+    fn request_backend(&self, spec: &str) -> Result<Arc<dyn SourceBackend>, RequestError> {
         // One scheme parser everywhere: the registry's, not an ad-hoc
         // prefix match (which would let "sim extra" or " throttled"
         // disagree with what resolve() later sees).
@@ -424,13 +485,30 @@ impl ExtractService {
         }
         Ok(backend)
     }
+}
+
+impl ExtractService {
+    fn new(config: &ServeConfig) -> Result<Self, BackendError> {
+        Ok(Self {
+            queue: Arc::new(JobQueue::new(config.queue_capacity, 4096)),
+            cache: Arc::new(ResultCache::new(config.cache)),
+            metrics: Arc::new(Metrics::default()),
+            wait_timeout: config.wait_timeout,
+            max_connections: config.max_connections,
+            cache_peering: config.cache_peering,
+            shutdown: OnceLock::new(),
+            server_stats: OnceLock::new(),
+            started: Instant::now(),
+            parser: ExtractParser::new(&config.backend)?,
+        })
+    }
 
     /// The service telemetry (shared with the scheduler).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
     }
 
-    fn error_response(&self, rejection: &Rejection) -> Response {
+    fn error_response(&self, rejection: &RequestError) -> Response {
         if rejection.status >= 500 {
             self.metrics.http_5xx.inc();
         } else {
@@ -451,10 +529,18 @@ impl ExtractService {
         body.push('\n');
         Response::json(rejection.status, body)
     }
+}
 
+impl ExtractParser {
     /// Parses and validates a `POST /extract` body into a [`JobRequest`]
-    /// plus its `wait` flag.
-    fn parse_extract(&self, request: &Request) -> Result<(JobRequest, bool), Rejection> {
+    /// plus its `wait` flag — the daemon's admission path, also run by
+    /// `fastvg-router` to place requests on its consistent-hash ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns the protocol [`RequestError`] for malformed or disallowed
+    /// requests.
+    pub fn parse(&self, request: &Request) -> Result<(JobRequest, bool), RequestError> {
         let text = std::str::from_utf8(&request.body)
             .map_err(|_| reject(400, "body must be UTF-8 JSON"))?;
         let doc = Json::parse(text.trim_end_matches(['\r', '\n']))
@@ -534,16 +620,12 @@ impl ExtractService {
         // Fingerprint the *resolved* scenario: `{"benchmark": 3}` and the
         // equivalent full spec share a cache entry, and the backend
         // travels in canonical form so `throttled:1ms` and
-        // `throttled:1000us` do too.
-        let canonical = Json::object()
-            .field("method", method.wire_name())
-            .field("backend", backend.describe())
-            .field("scenario", scenario_json)
-            .build()
-            .canonical();
+        // `throttled:1000us` do too. The envelope itself lives in
+        // `fastvg-wire` so the router's ring hashes the same bytes.
+        let canonical = request_canonical(method.wire_name(), &backend.describe(), scenario_json);
         Ok((
             JobRequest {
-                fingerprint: fnv1a64(canonical.as_bytes()),
+                fingerprint: request_fingerprint(&canonical),
                 canonical,
                 scenario,
                 method,
@@ -552,11 +634,13 @@ impl ExtractService {
             wait,
         ))
     }
+}
 
+impl ExtractService {
     fn handle_extract(&self, request: &Request) -> Outcome {
         self.metrics.requests_extract.inc();
         let started = Instant::now();
-        let outcome = match self.parse_extract(request) {
+        let outcome = match self.parser.parse(request) {
             Err(rejection) => Outcome::Ready(self.error_response(&rejection)),
             Ok((job, wait)) => self.dispatch(job, wait, started),
         };
@@ -655,10 +739,11 @@ impl ExtractService {
         let mut body = Json::object()
             .field("ok", true)
             .field("version", env!("CARGO_PKG_VERSION"))
-            .field("backend", self.default_backend.describe())
+            .field("backend", self.parser.default_backend().describe())
             .field(
                 "backends",
-                self.registry
+                self.parser
+                    .registry()
                     .schemes()
                     .iter()
                     .map(|s| Json::from(*s))
@@ -674,6 +759,7 @@ impl ExtractService {
             .field("uptime_s", Json::num(self.started.elapsed().as_secs_f64()))
             .field("queue_depth", self.queue.depth())
             .field("cache_entries", self.cache.len())
+            .field("cache_peering", self.cache_peering)
             .field("connections_open", connections)
             .field("max_connections", self.max_connections)
             .build()
@@ -707,6 +793,99 @@ impl ExtractService {
             handle.shutdown();
         }
         Response::json(202, "{\"ok\":true,\"status\":\"stopping\"}\n")
+    }
+
+    /// `GET /cache/<fingerprint>` — the cache-peering probe: answers the
+    /// stored result document (as a regular finished-job response, so a
+    /// router can relay it verbatim) or `404` without touching the
+    /// queue or the extraction pool. The optional request body carries
+    /// the canonical key; when present the entry must match it exactly
+    /// (fingerprints may collide), when absent the fingerprint is
+    /// trusted as-is (debugging convenience).
+    fn handle_cache_get(&self, fp_text: &str, request: &Request) -> Response {
+        let Ok(fingerprint) = fp_text.parse::<u64>() else {
+            return self.error_response(&reject(400, "cache fingerprint must be a u64"));
+        };
+        let cached = if request.body.is_empty() {
+            self.cache.peek(fingerprint).map(|(_, result)| result)
+        } else {
+            match std::str::from_utf8(&request.body) {
+                Err(_) => {
+                    return self.error_response(&reject(400, "canonical key must be UTF-8"));
+                }
+                Ok(key) => self
+                    .cache
+                    .get(fingerprint, key.trim_end_matches(['\r', '\n'])),
+            }
+        };
+        match cached {
+            None => {
+                self.metrics.cache_peer_misses.inc();
+                self.error_response(&reject(404, "no cache entry for this fingerprint"))
+            }
+            Some(cached) => {
+                self.metrics.cache_peer_hits.inc();
+                let finished = FinishedJob {
+                    ok: cached.ok,
+                    cache_hit: true,
+                    body: cached.body,
+                };
+                let id = self.queue.insert_finished(finished.clone());
+                finished_response(id, &finished, "hit")
+            }
+        }
+    }
+
+    /// `PUT /cache/<fingerprint>` — cache seeding, the warm half of
+    /// peering: a router that found the entry on a sibling shard plants
+    /// it here so the owner answers directly from then on. The body is
+    /// `{"key": <canonical>, "ok": <bool>, "body": <result document>}`;
+    /// the fingerprint must be [`request_fingerprint`] of `key`, and the
+    /// stored bytes are exactly the `body` string (byte-identity is the
+    /// whole point of peering).
+    fn handle_cache_put(&self, fp_text: &str, request: &Request) -> Response {
+        let Ok(fingerprint) = fp_text.parse::<u64>() else {
+            return self.error_response(&reject(400, "cache fingerprint must be a u64"));
+        };
+        let doc = match std::str::from_utf8(&request.body)
+            .map_err(|_| ())
+            .and_then(|text| Json::parse(text.trim_end_matches(['\r', '\n'])).map_err(|_| ()))
+        {
+            Err(()) => {
+                return self.error_response(&reject(400, "seed body must be UTF-8 JSON"));
+            }
+            Ok(doc) => doc,
+        };
+        let Some(key) = doc.get("key").and_then(Json::as_str) else {
+            return self.error_response(&reject(400, "seed \"key\" must be a string"));
+        };
+        let Some(ok) = doc.get("ok").and_then(Json::as_bool) else {
+            return self.error_response(&reject(400, "seed \"ok\" must be a bool"));
+        };
+        let Some(body) = doc.get("body").and_then(Json::as_str) else {
+            return self.error_response(&reject(400, "seed \"body\" must be a string"));
+        };
+        if request_fingerprint(key) != fingerprint {
+            return self
+                .error_response(&reject(400, "fingerprint does not match the canonical key"));
+        }
+        if !body.ends_with('\n') {
+            return self.error_response(&reject(
+                400,
+                "seed \"body\" must be a newline-framed document",
+            ));
+        }
+        self.cache.insert(
+            fingerprint,
+            key,
+            CachedResult {
+                body: body.as_bytes().to_vec(),
+                ok,
+            },
+        );
+        self.metrics.cache_seeds.inc();
+        self.metrics.cache_entries.set(self.cache.len() as u64);
+        Response::json(200, "{\"ok\":true,\"seeded\":true}\n")
     }
 }
 
@@ -743,10 +922,22 @@ impl Handler for ExtractService {
                         return Outcome::Ready(self.handle_job(id));
                     }
                 }
+                if let Some(fp) = path.strip_prefix("/cache/") {
+                    // The peering surface is opt-out: with peering
+                    // disabled the routes simply do not exist.
+                    if self.cache_peering {
+                        match method {
+                            "GET" => return Outcome::Ready(self.handle_cache_get(fp, request)),
+                            "PUT" => return Outcome::Ready(self.handle_cache_put(fp, request)),
+                            _ => {}
+                        }
+                    }
+                }
                 let known = matches!(
                     request.path.as_str(),
                     "/extract" | "/healthz" | "/metrics" | "/shutdown"
-                ) || request.path.starts_with("/jobs/");
+                ) || request.path.starts_with("/jobs/")
+                    || (self.cache_peering && request.path.starts_with("/cache/"));
                 Outcome::Ready(if known {
                     self.error_response(&reject(405, format!("{method} not allowed here")))
                 } else {

@@ -391,3 +391,105 @@ fn shutdown_route_stops_the_daemon() {
     // join() returning proves the acceptor and workers drained.
     daemon.join();
 }
+
+/// The daemon-side fingerprint for an `/extract` body, computed through
+/// the same [`fastvg_serve::ExtractParser`] the daemon (and the router)
+/// use — tests never re-implement canonicalization.
+fn fingerprint_of(body: &[u8]) -> (u64, String) {
+    let parser = fastvg_serve::ExtractParser::new("sim").unwrap();
+    let request = fastvg_serve::Request {
+        method: "POST".into(),
+        path: "/extract".into(),
+        query: "wait".into(),
+        headers: Vec::new(),
+        body: body.to_vec(),
+    };
+    let (job, _wait) = parser.parse(&request).expect("valid extract body");
+    (job.fingerprint, job.canonical)
+}
+
+#[test]
+fn cache_peering_serves_and_seeds_entries() {
+    let warm = boot();
+    let mut client = connect(&warm);
+    let body = br#"{"benchmark": 6, "method": "fast"}"#;
+    let (fp, canonical) = fingerprint_of(body);
+
+    // Peer GET before any work: a miss, counted as such.
+    let cold_probe = client.get(&format!("/cache/{fp}")).unwrap();
+    assert_eq!(cold_probe.status, 404);
+
+    let cold = client.post("/extract?wait", body).unwrap();
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-fastvg-cache"), Some("miss"));
+
+    // Peer GET after: the stored bytes, framed exactly like a cache-hit
+    // extract response so a router can relay it verbatim.
+    let peek = client.get(&format!("/cache/{fp}")).unwrap();
+    assert_eq!(peek.status, 200);
+    assert_eq!(peek.header("x-fastvg-cache"), Some("hit"));
+    assert_eq!(peek.header("x-fastvg-status"), Some("done"));
+    assert_eq!(peek.body, cold.body, "peer reads replay stored bytes");
+
+    // The verified form: canonical key in the body must match the entry.
+    let verified = client
+        .send("GET", &format!("/cache/{fp}"), canonical.as_bytes())
+        .unwrap();
+    assert_eq!(verified.status, 200);
+    assert_eq!(verified.body, cold.body);
+    let mismatched = client
+        .send("GET", &format!("/cache/{fp}"), b"some other canonical key")
+        .unwrap();
+    assert_eq!(mismatched.status, 404, "collision-guard: wrong key misses");
+
+    let metrics = warm.service().metrics();
+    assert_eq!(metrics.cache_peer_hits.get(), 2);
+    assert_eq!(metrics.cache_peer_misses.get(), 2);
+
+    // Seed a second, empty daemon with the warm daemon's entry — the
+    // router's PUT half of peering — and verify the seeded daemon now
+    // answers the original request as a byte-identical cache hit.
+    let empty = boot();
+    let mut peer = connect(&empty);
+    assert_eq!(peer.get(&format!("/cache/{fp}")).unwrap().status, 404);
+    let seed = Json::object()
+        .field("key", canonical.as_str())
+        .field("ok", true)
+        .field("body", String::from_utf8(cold.body.clone()).unwrap())
+        .build()
+        .dump();
+    let put = peer.put(&format!("/cache/{fp}"), seed.as_bytes()).unwrap();
+    assert_eq!(put.status, 200, "{}", String::from_utf8_lossy(&put.body));
+    let hit = peer.post("/extract?wait", body).unwrap();
+    assert_eq!(hit.status, 200);
+    assert_eq!(hit.header("x-fastvg-cache"), Some("hit"));
+    assert_eq!(hit.body, cold.body, "seeded entry is byte-identical");
+    assert_eq!(empty.service().metrics().cache_seeds.get(), 1);
+
+    // A fingerprint that does not hash the key is rejected, not stored.
+    let bad = peer
+        .put(&format!("/cache/{}", fp ^ 1), seed.as_bytes())
+        .unwrap();
+    assert_eq!(bad.status, 400);
+
+    warm.shutdown();
+    empty.shutdown();
+    warm.join();
+    empty.join();
+}
+
+#[test]
+fn cache_peering_can_be_disabled() {
+    let daemon = boot_with(|cfg| cfg.cache_peering = false);
+    let mut client = connect(&daemon);
+    assert_eq!(client.get("/cache/1").unwrap().status, 404);
+    let put = client.put("/cache/1", b"{}").unwrap();
+    assert_eq!(put.status, 404, "disabled peering hides the routes");
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(
+        health.get("cache_peering").and_then(Json::as_bool),
+        Some(false)
+    );
+    daemon.shutdown();
+    daemon.join();
+}

@@ -20,7 +20,11 @@
 //! * [`Json::canonical`] — compact emission with recursively sorted
 //!   object keys, the stable form behind cache fingerprints.
 //! * [`fnv1a64`] — the tiny content hash `fastvg-serve` keys its result
-//!   cache with.
+//!   cache with, plus [`mix64`] (the finalizer anything reducing a
+//!   fingerprint to an index must apply first) and
+//!   [`request_canonical`] / [`request_fingerprint`] — the canonical
+//!   request envelope shared by the daemon's cache and the router's
+//!   consistent-hash ring.
 //!
 //! # Round-trip guarantees
 //!
@@ -695,6 +699,47 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// SplitMix64's finalizer: a cheap invertible bit mixer. FNV-1a's
+/// avalanche is weak in the low bits, so anything *reducing* a
+/// fingerprint (cache shard index, consistent-hash ring position) must
+/// mix before taking `% n` — raw `fnv % n` correlates with the last
+/// bytes hashed.
+pub fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The canonical request envelope behind every cache fingerprint:
+/// `{"backend", "method", "scenario"}` in [`Json::canonical`] form
+/// (sorted keys, resolved values). One implementation shared by the
+/// `fastvg-serve` daemon (LRU cache key) and `fastvg-router`
+/// (consistent-hash ring key), so the two can never disagree on which
+/// requests are "the same".
+///
+/// `method` is the wire method token (`fast`/`hough`/`tuned`), `backend`
+/// the backend's canonical `describe()` string, and `scenario` the fully
+/// resolved scenario document (a benchmark index and its spelled-out
+/// spec must fingerprint identically, so resolve first).
+pub fn request_canonical(method: &str, backend: &str, scenario: Json) -> String {
+    Json::object()
+        .field("method", method)
+        .field("backend", backend)
+        .field("scenario", scenario)
+        .build()
+        .canonical()
+}
+
+/// The fingerprint of a [`request_canonical`] envelope: [`fnv1a64`] of
+/// its UTF-8 bytes. Collisions are possible (64-bit hash) — consumers
+/// verify the full canonical key before trusting a match.
+pub fn request_fingerprint(canonical: &str) -> u64 {
+    fnv1a64(canonical.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -867,6 +912,42 @@ mod tests {
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
         assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    #[test]
+    fn mix64_scrambles_low_bits() {
+        // Inputs differing only above bit 32 must land in different
+        // low-bit classes — the property `% shards` depends on.
+        let residues: std::collections::HashSet<u64> =
+            (0..64u64).map(|i| mix64(i << 32) % 8).collect();
+        assert!(residues.len() > 1, "mix64 must spread high-bit entropy");
+        assert_eq!(mix64(0x1234_5678_9abc_def0), mix64(0x1234_5678_9abc_def0));
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn request_envelope_is_canonical_and_fingerprintable() {
+        let a = request_canonical(
+            "fast",
+            "sim",
+            Json::object().field("z", 1u32).field("a", 2u32).build(),
+        );
+        // Keys are sorted recursively, whatever the insertion order.
+        let b = request_canonical(
+            "fast",
+            "sim",
+            Json::object().field("a", 2u32).field("z", 1u32).build(),
+        );
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            r#"{"backend":"sim","method":"fast","scenario":{"a":2,"z":1}}"#
+        );
+        assert_eq!(request_fingerprint(&a), fnv1a64(a.as_bytes()));
+        assert_ne!(
+            request_fingerprint(&a),
+            request_fingerprint(&request_canonical("hough", "sim", Json::Null))
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`prelude`] | — | **the stable public surface**: `Extractor`, `Pipeline`, `ExtractionReport`, sessions, configs |
 //! | [`core`] | `fastvg-core` | the paper's algorithm, Hough baseline, unified `api`, batch layer |
 //! | [`serve`] | `fastvg-serve` | the extraction service daemon: HTTP job queue, scheduler, result cache, metrics |
+//! | [`router`] | `fastvg-router` | the fleet front-end: consistent-hash sharding, health-checked proxying, cache peering |
 //! | [`wire`] | `fastvg-wire` | the shared JSON value/parser/serializer behind artifacts and the wire protocol |
 //! | [`physics`] | `qd-physics` | constant-interaction device models |
 //! | [`csd`] | `qd-csd` | charge stability diagrams & virtualization |
@@ -75,7 +76,10 @@
 //! a sharded result cache keyed by content fingerprints, and live
 //! `/metrics`. See `docs/PROTOCOL.md` for the wire schema and the
 //! README's *Serving* section for the curl-level quickstart;
-//! `examples/serve.rs` boots one in-process.
+//! `examples/serve.rs` boots one in-process. [`router`] scales the same
+//! protocol to a fleet: N daemons behind one consistent-hash front-end
+//! with health-checked failover and cross-daemon cache peering
+//! (`docs/FLEET.md`).
 //!
 //! # Migration note (0.2 → 0.3)
 //!
@@ -95,6 +99,7 @@
 #![forbid(unsafe_code)]
 
 pub use fastvg_core as core;
+pub use fastvg_router as router;
 pub use fastvg_serve as serve;
 pub use fastvg_wire as wire;
 pub use mini_rayon as par;
@@ -136,6 +141,7 @@ pub mod prelude {
         WireError, WireFailure,
     };
     // The service layer and its wire format.
+    pub use fastvg_router::{RouterConfig, RouterHandle, ShardSpec};
     pub use fastvg_serve::{
         Client, ClientConfig, RemoteExtractor, ServeConfig, ServeConfigBuilder, ServiceHandle,
     };
