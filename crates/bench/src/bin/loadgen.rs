@@ -49,6 +49,12 @@
 //! * `--record-tape PATH` — tape the local comparison run's probes to
 //!   `PATH` (implies nothing by itself; with `--remote-check` the tape
 //!   is also replayed strictly and must reproduce the local report).
+//! * `--trace-sample F` — mint a client root span and an
+//!   `x-fastvg-trace` header on fraction `F` of requests (stride
+//!   sampling; `1.0` traces everything, default `0` traces nothing).
+//!   See `docs/OBSERVABILITY.md` for the header contract.
+//! * `--trace-out PATH` — write the client spans as newline-JSON to
+//!   `PATH` (merge with the daemons'/router's files via `fastvg-trace`).
 //! * `--out DIR` — artifact directory (default `target/artifacts`).
 //!
 //! Artifacts: `BENCH_serve_throughput.json` (per-pass rps + p50/p95/p99)
@@ -60,8 +66,9 @@
 //! null` as the `+Inf` bucket.
 //!
 //! On startup the generator asserts the daemon's `/healthz` build info:
-//! the reported crate version must match its own, so CI never load-tests
-//! a stale binary.
+//! the reported crate version must match its own — and that `/metrics`
+//! advertises the same version and git revision via
+//! `fastvg_build_info` — so CI never load-tests a stale binary.
 //!
 //! Every request uses `?wait`, so a request's latency is the service's
 //! end-to-end job latency (queue + schedule + extract + serialize).
@@ -69,9 +76,12 @@
 //! any response whose bytes differ from the first pass — the over-the-
 //! wire restatement of the cache byte-identity guarantee.
 
+use fastvg_obs::{IdGen, Tracer};
 use fastvg_serve::{start, Client, ClientConfig, Histogram, ServeConfig};
-use fastvg_wire::Json;
+use fastvg_wire::{Json, TraceContext, TRACE_HEADER};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[derive(Debug, Clone)]
@@ -89,6 +99,8 @@ struct Args {
     expect_cache_hits: bool,
     remote_check: bool,
     record_tape: Option<std::path::PathBuf>,
+    trace_sample: f64,
+    trace_out: Option<std::path::PathBuf>,
     out: std::path::PathBuf,
 }
 
@@ -108,6 +120,8 @@ impl Default for Args {
             expect_cache_hits: false,
             remote_check: false,
             record_tape: None,
+            trace_sample: 0.0,
+            trace_out: None,
             out: std::path::PathBuf::from("target/artifacts"),
         }
     }
@@ -173,6 +187,12 @@ fn parse_args() -> Args {
             "--expect-cache-hits" => parsed.expect_cache_hits = true,
             "--remote-check" => parsed.remote_check = true,
             "--record-tape" => parsed.record_tape = Some(value("--record-tape", &mut args).into()),
+            "--trace-sample" => {
+                parsed.trace_sample = value("--trace-sample", &mut args)
+                    .parse()
+                    .expect("--trace-sample expects a fraction")
+            }
+            "--trace-out" => parsed.trace_out = Some(value("--trace-out", &mut args).into()),
             "--out" => parsed.out = value("--out", &mut args).into(),
             other => panic!("unknown flag {other:?}"),
         }
@@ -189,7 +209,48 @@ fn parse_args() -> Args {
             "--rate expects a positive requests-per-second value"
         );
     }
+    assert!(
+        (0.0..=1.0).contains(&parsed.trace_sample),
+        "--trace-sample expects a fraction in [0, 1]"
+    );
     parsed
+}
+
+/// Client-side tracing: a `client`-layer tracer plus the stride sampler
+/// deciding which requests carry an `x-fastvg-trace` header. Shared by
+/// every connection thread (the counter is the cross-thread stride).
+struct ClientTrace {
+    tracer: Arc<Tracer>,
+    sample: f64,
+    counter: AtomicU64,
+}
+
+impl ClientTrace {
+    fn new(args: &Args) -> Option<Self> {
+        if args.trace_sample <= 0.0 {
+            return None;
+        }
+        let tracer = Tracer::new("client", IdGen::from_entropy().next_id());
+        if let Some(path) = &args.trace_out {
+            tracer.set_file(path).expect("open --trace-out file");
+        }
+        Some(Self {
+            tracer,
+            sample: args.trace_sample,
+            counter: AtomicU64::new(0),
+        })
+    }
+
+    /// Stride sampling: request `n` is traced iff the running total
+    /// `n × sample` crosses an integer — exact long-run rate, no RNG.
+    fn should_sample(&self) -> bool {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        ((n + 1) as f64 * self.sample).floor() > (n as f64 * self.sample).floor()
+    }
+
+    fn flush(&self) {
+        self.tracer.flush();
+    }
 }
 
 /// One request's record.
@@ -236,11 +297,33 @@ fn post_extract(
     client: &mut Client,
     benchmark: usize,
     method: &str,
+    trace: Option<&ClientTrace>,
 ) -> fastvg_serve::ClientResponse {
     let body = format!("{{\"benchmark\": {benchmark}, \"method\": \"{method}\"}}");
-    client
-        .post("/extract?wait", body.as_bytes())
-        .expect("request completes")
+    let span = trace.filter(|t| t.should_sample()).map(|t| {
+        let mut span = t.tracer.root("request");
+        span.attr("benchmark", benchmark.to_string());
+        span
+    });
+    let response = match &span {
+        Some(span) => {
+            let ctx = span.context();
+            let header = TraceContext {
+                trace: ctx.trace.0,
+                span: ctx.span.0,
+            }
+            .encode();
+            client.send_with_headers(
+                "POST",
+                "/extract?wait",
+                body.as_bytes(),
+                &[(TRACE_HEADER, &header)],
+            )
+        }
+        None => client.post("/extract?wait", body.as_bytes()),
+    };
+    // The span drops here, recording the request's full wall time.
+    response.expect("request completes")
 }
 
 /// Closed-loop pass: each connection fires its share of the suite
@@ -250,6 +333,7 @@ fn drive_pass(
     benchmarks: &[usize],
     connections: usize,
     method: &str,
+    trace: Option<&ClientTrace>,
 ) -> (Vec<Sample>, Duration) {
     let started = Instant::now();
     let samples: Vec<Sample> = std::thread::scope(|scope| {
@@ -264,7 +348,7 @@ fn drive_pass(
                         // benchmarks c, c+connections, ...
                         for &benchmark in benchmarks.iter().skip(c).step_by(connections) {
                             let sent = Instant::now();
-                            let response = post_extract(&mut client, benchmark, method);
+                            let response = post_extract(&mut client, benchmark, method, trace);
                             let cache = response
                                 .header("x-fastvg-cache")
                                 .unwrap_or("miss")
@@ -304,8 +388,9 @@ fn drive_open_loop(
     method: &str,
     rate: f64,
     total: usize,
+    trace: Option<&ClientTrace>,
 ) -> (Vec<Sample>, Duration) {
-    use std::sync::{Arc, Barrier, OnceLock};
+    use std::sync::{Barrier, OnceLock};
 
     let barrier = Arc::new(Barrier::new(connections + 1));
     let base: Arc<OnceLock<Instant>> = Arc::new(OnceLock::new());
@@ -328,7 +413,7 @@ fn drive_open_loop(
                                 std::thread::sleep(lead);
                             }
                             let benchmark = benchmarks[i % benchmarks.len()];
-                            let response = post_extract(&mut client, benchmark, method);
+                            let response = post_extract(&mut client, benchmark, method, trace);
                             let cache = response
                                 .header("x-fastvg-cache")
                                 .unwrap_or("miss")
@@ -382,6 +467,26 @@ fn assert_build_info(addr: &str) {
         env!("CARGO_PKG_VERSION"),
         "daemon version must match this load generator's build"
     );
+    // `/metrics` must advertise the same build via `fastvg_build_info`
+    // (the Prometheus join key for deploy metadata).
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200, "metrics must answer");
+    let metrics_text = String::from_utf8_lossy(&metrics.body).into_owned();
+    let build_line = metrics_text
+        .lines()
+        .find(|line| line.starts_with("fastvg_build_info{"))
+        .unwrap_or_else(|| panic!("{addr} /metrics lacks fastvg_build_info"))
+        .to_string();
+    assert!(
+        build_line.contains(&format!("version=\"{version}\"")),
+        "fastvg_build_info version must match healthz: {build_line}"
+    );
+    if let Some(git) = doc.get("git").and_then(Json::as_str) {
+        assert!(
+            build_line.contains(&format!("git=\"{git}\"")),
+            "fastvg_build_info git must match healthz ({git}): {build_line}"
+        );
+    }
     let backends: Vec<&str> = doc
         .get("backends")
         .and_then(Json::as_arr)
@@ -570,8 +675,8 @@ fn fleet_scaling(args: &Args, max_shards: usize) {
         // The router's aggregate healthz speaks the daemon dialect.
         assert_build_info(&addr);
 
-        let (cold, cold_wall) = drive_pass(&addr, &benchmarks, connections, method);
-        let (hot, hot_wall) = drive_pass(&addr, &hot_suite, connections, method);
+        let (cold, cold_wall) = drive_pass(&addr, &benchmarks, connections, method, None);
+        let (hot, hot_wall) = drive_pass(&addr, &hot_suite, connections, method, None);
         stop_fleet(fleet, daemons);
 
         let failures = cold.iter().chain(&hot).filter(|s| s.status != 200).count();
@@ -634,6 +739,7 @@ fn fleet_scaling(args: &Args, max_shards: usize) {
         &benchmarks,
         connections,
         method,
+        None,
     );
     assert!(
         warm.iter().all(|s| s.status == 200),
@@ -645,7 +751,7 @@ fn fleet_scaling(args: &Args, max_shards: usize) {
     let daemons = vec![seed_daemon, boot_daemon()];
     let refleet = boot_router(&daemons);
     let refleet_addr = refleet.addr().to_string();
-    let (peered, _) = drive_pass(&refleet_addr, &benchmarks, connections, method);
+    let (peered, _) = drive_pass(&refleet_addr, &benchmarks, connections, method, None);
     let warm_bodies: BTreeMap<usize, &Vec<u8>> =
         warm.iter().map(|s| (s.benchmark, &s.body)).collect();
     let peer_hits = peered.iter().filter(|s| s.cache == "peer").count();
@@ -668,7 +774,7 @@ fn fleet_scaling(args: &Args, max_shards: usize) {
         "resharding {} warm keys onto an empty shard produced no peer hits",
         benchmarks.len()
     );
-    let (sealed, _) = drive_pass(&refleet_addr, &benchmarks, connections, method);
+    let (sealed, _) = drive_pass(&refleet_addr, &benchmarks, connections, method, None);
     let sealed_local = sealed.iter().filter(|s| s.cache == "hit").count();
     assert_eq!(
         sealed_local,
@@ -772,6 +878,8 @@ fn main() {
 
     assert_build_info(&addr);
 
+    let trace = ClientTrace::new(&args);
+
     let mut benchmarks: Vec<usize> = (1..=12).collect();
     if let Some(budget) = args.budget {
         benchmarks.truncate(budget.max(1));
@@ -817,15 +925,25 @@ fn main() {
                     &args.method,
                     rate,
                     open_requests,
+                    trace.as_ref(),
                 );
                 ("open", samples, wall)
             }
             None => {
-                let (samples, wall) =
-                    drive_pass(&addr, &benchmarks, cold_connections, &args.method);
+                let (samples, wall) = drive_pass(
+                    &addr,
+                    &benchmarks,
+                    cold_connections,
+                    &args.method,
+                    trace.as_ref(),
+                );
                 ("closed", samples, wall)
             }
         };
+        if let Some(trace) = &trace {
+            // Drain per pass so the span ring never overflows.
+            trace.flush();
+        }
 
         let mut latencies_ms: Vec<f64> = samples
             .iter()

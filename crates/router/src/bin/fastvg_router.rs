@@ -26,6 +26,11 @@
 //! * `--health-interval-ms MS` — `/healthz` poll interval and ejection
 //!   backoff unit (default 1000).
 //! * `--no-peering` — disable sibling cache reads/seeds.
+//! * `--trace-out PATH` — export finished spans as newline-JSON to
+//!   `PATH` and trace every proxied request (see
+//!   `docs/OBSERVABILITY.md`).
+//! * `--trace-seed N` — fixed trace/span id seed for replay tests
+//!   (default: entropy).
 //! * `--shutdown-after SECS` — stop gracefully after a deadline (CI).
 
 use fastvg_router::{start, RouterConfig, ShardSpec};
@@ -69,6 +74,10 @@ fn main() {
                     Duration::from_millis(parse_flag(&mut args, "--health-interval-ms"))
             }
             "--no-peering" => config.peering = false,
+            "--trace-out" => {
+                config.trace_out = Some(parse_flag::<String>(&mut args, "--trace-out").into())
+            }
+            "--trace-seed" => config.trace_seed = Some(parse_flag(&mut args, "--trace-seed")),
             "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
             other => {
                 eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");

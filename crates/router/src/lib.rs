@@ -74,9 +74,11 @@ pub use health::{FleetHealth, ShardReport, EJECT_AFTER};
 pub use proxy::{wait_healthy, RouterMetrics, RouterService, MAX_SHARDS};
 pub use ring::{HashRing, RingMember, DEFAULT_REPLICAS};
 
+use fastvg_obs::FlusherHandle;
 use fastvg_serve::http::{Handler, HttpConfig, HttpServer, ShutdownHandle};
 use fastvg_serve::ServeError;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -158,6 +160,11 @@ pub struct RouterConfig {
     pub max_connections: usize,
     /// Maximum request body bytes (mirrors the daemon bound).
     pub max_body_bytes: usize,
+    /// Span export path (newline-JSON). `Some` also traces every
+    /// proxied request, not just those carrying `x-fastvg-trace`.
+    pub trace_out: Option<PathBuf>,
+    /// Fixed trace/span id seed for replay tests (default: entropy).
+    pub trace_seed: Option<u64>,
 }
 
 impl Default for RouterConfig {
@@ -176,6 +183,8 @@ impl Default for RouterConfig {
             connect_timeout: Duration::from_secs(5),
             max_connections: 4096,
             max_body_bytes: 1 << 20,
+            trace_out: None,
+            trace_seed: None,
         }
     }
 }
@@ -261,6 +270,7 @@ pub struct RouterHandle {
     server: HttpServer,
     workers: Vec<std::thread::JoinHandle<()>>,
     prober: Option<std::thread::JoinHandle<()>>,
+    flusher: Option<FlusherHandle>,
 }
 
 impl RouterHandle {
@@ -297,6 +307,9 @@ impl RouterHandle {
             let _ = prober.join();
         }
         self.server.join();
+        // Dropped last so spans minted during the drain still land in
+        // the export file.
+        drop(self.flusher.take());
     }
 }
 
@@ -351,6 +364,10 @@ pub fn start(config: RouterConfig) -> Result<RouterHandle, RouterError> {
         })
         .collect();
     let prober = health::spawn_prober(Arc::clone(&health));
+    let flusher = config
+        .trace_out
+        .is_some()
+        .then(|| service.tracer().spawn_flusher(Duration::from_millis(50)));
 
     Ok(RouterHandle {
         service,
@@ -358,6 +375,7 @@ pub fn start(config: RouterConfig) -> Result<RouterHandle, RouterError> {
         server,
         workers,
         prober: Some(prober),
+        flusher,
     })
 }
 

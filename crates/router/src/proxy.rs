@@ -27,10 +27,11 @@
 use crate::health::FleetHealth;
 use crate::ring::HashRing;
 use crate::RouterConfig;
+use fastvg_obs::{ActiveSpan, SpanId, TraceId, Tracer};
 use fastvg_serve::http::{deferred, Completer, Handler, Outcome, Request, Response, ServerStats};
-use fastvg_serve::metrics::{Counter, Gauge, Histogram};
+use fastvg_serve::metrics::{family, render_build_info, Counter, Gauge, Histogram};
 use fastvg_serve::{Client, ClientConfig, ClientResponse, ExtractParser, RequestError};
-use fastvg_wire::Json;
+use fastvg_wire::{Json, TraceContext, TRACE_HEADER};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -78,9 +79,15 @@ pub struct RouterMetrics {
 impl RouterMetrics {
     /// Prometheus-style rendering, same conventions as the daemon's
     /// `Metrics::render` (counters suffixed `_total`, labels for
-    /// enumerable outcomes).
+    /// enumerable outcomes, one `# HELP`/`# TYPE` preamble per family).
     pub fn render(&self) -> String {
         let mut out = String::new();
+        family(
+            &mut out,
+            "fastvg_router_requests_total",
+            "counter",
+            "Requests accepted by the router, by route.",
+        );
         for (route, count) in [
             ("extract", self.requests_extract.get()),
             ("jobs", self.requests_jobs.get()),
@@ -91,6 +98,12 @@ impl RouterMetrics {
                 "fastvg_router_requests_total{{route=\"{route}\"}} {count}\n"
             ));
         }
+        family(
+            &mut out,
+            "fastvg_router_routed_total",
+            "counter",
+            "Responses relayed to clients, by cache disposition.",
+        );
         for (outcome, count) in [
             ("hit", self.routed_hits.get()),
             ("miss", self.routed_misses.get()),
@@ -100,6 +113,12 @@ impl RouterMetrics {
                 "fastvg_router_routed_total{{cache=\"{outcome}\"}} {count}\n"
             ));
         }
+        family(
+            &mut out,
+            "fastvg_router_peer_requests_total",
+            "counter",
+            "Cache-peering sweeps, by outcome.",
+        );
         out.push_str(&format!(
             "fastvg_router_peer_requests_total{{outcome=\"peer_hit\"}} {}\n",
             self.peer_hits.get()
@@ -108,18 +127,42 @@ impl RouterMetrics {
             "fastvg_router_peer_requests_total{{outcome=\"peer_miss\"}} {}\n",
             self.peer_misses.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_peer_seeds_total",
+            "counter",
+            "Successful PUT /cache seeds planted on owner shards.",
+        );
         out.push_str(&format!(
             "fastvg_router_peer_seeds_total {}\n",
             self.peer_seeds.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_upstream_retries_total",
+            "counter",
+            "Requests retried on another shard after a transport failure.",
+        );
         out.push_str(&format!(
             "fastvg_router_upstream_retries_total {}\n",
             self.upstream_retries.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_fleet_unavailable_total",
+            "counter",
+            "Requests answered 503 because every shard was out.",
+        );
         out.push_str(&format!(
             "fastvg_router_fleet_unavailable_total {}\n",
             self.fleet_unavailable.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_http_responses_total",
+            "counter",
+            "Router-origin error responses, by status class.",
+        );
         out.push_str(&format!(
             "fastvg_router_http_responses_total{{class=\"4xx\"}} {}\n",
             self.http_4xx.get()
@@ -128,14 +171,38 @@ impl RouterMetrics {
             "fastvg_router_http_responses_total{{class=\"5xx\"}} {}\n",
             self.http_5xx.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_queue_depth",
+            "gauge",
+            "Depth of the proxy work queue.",
+        );
         out.push_str(&format!(
             "fastvg_router_queue_depth {}\n",
             self.queue_depth.get()
         ));
+        family(
+            &mut out,
+            "fastvg_router_proxy_latency_seconds",
+            "histogram",
+            "End-to-end proxy latency, enqueue to relay.",
+        );
         self.proxy_latency
             .render("fastvg_router_proxy_latency_seconds", "", &mut out);
         out
     }
+}
+
+/// Per-shard cache-peering counters, indexed like
+/// `RouterService::shards` and rendered with a `shard="<addr>"` label.
+#[derive(Debug, Default)]
+struct PeerShardCounters {
+    /// Peer hits relayed *from* this shard's cache.
+    hits: Counter,
+    /// Seeds planted *on* this shard as the key's owner.
+    seeds: Counter,
+    /// Sweeps for keys this shard owns that found no sibling entry.
+    sweep_misses: Counter,
 }
 
 /// One parked request: what came in, where to answer, and when it
@@ -202,6 +269,9 @@ pub struct RouterService {
     proxy_deadline: Duration,
     client: ClientConfig,
     metrics: RouterMetrics,
+    peer_shards: Vec<PeerShardCounters>,
+    tracer: Arc<Tracer>,
+    trace_all: bool,
     queue: Arc<WorkQueue>,
     started: Instant,
     pub(crate) server_stats: OnceLock<Arc<ServerStats>>,
@@ -253,6 +323,15 @@ impl RouterService {
         ring: HashRing,
         health: Arc<FleetHealth>,
     ) -> Result<Self, fastvg_serve::ServeError> {
+        let tracer = Tracer::new(
+            "router",
+            config
+                .trace_seed
+                .unwrap_or_else(|| fastvg_obs::IdGen::from_entropy().next_id()),
+        );
+        if let Some(path) = &config.trace_out {
+            tracer.set_file(path)?;
+        }
         Ok(Self {
             parser: ExtractParser::new(&config.backend)?,
             ring,
@@ -266,6 +345,13 @@ impl RouterService {
                 .connect_timeout(config.connect_timeout)
                 .read_timeout(config.proxy_deadline),
             metrics: RouterMetrics::default(),
+            peer_shards: config
+                .shards
+                .iter()
+                .map(|_| PeerShardCounters::default())
+                .collect(),
+            tracer,
+            trace_all: config.trace_out.is_some(),
             queue: Arc::new(WorkQueue::default()),
             started: Instant::now(),
             server_stats: OnceLock::new(),
@@ -276,6 +362,11 @@ impl RouterService {
     /// The fleet telemetry.
     pub fn metrics(&self) -> &RouterMetrics {
         &self.metrics
+    }
+
+    /// The router's span tracer (layer `router`).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     /// The per-shard health view.
@@ -307,7 +398,7 @@ impl RouterService {
     /// worker threads can drive it; loops until the queue stops.
     pub(crate) fn work(&self) {
         while let Some(job) = self.queue.pop() {
-            let response = self.process(&job.request);
+            let response = self.process(&job.request, job.enqueued);
             self.metrics.proxy_latency.observe(job.enqueued.elapsed());
             self.metrics.queue_depth.set(
                 self.queue
@@ -325,9 +416,9 @@ impl RouterService {
     }
 
     /// Routes one dequeued request on a worker thread.
-    fn process(&self, request: &Request) -> Response {
+    fn process(&self, request: &Request, enqueued: Instant) -> Response {
         match (request.method.as_str(), request.path.as_str()) {
-            ("POST", "/extract") => self.proxy_extract(request),
+            ("POST", "/extract") => self.proxy_extract(request, enqueued),
             (_, path) => match path.strip_prefix("/jobs/") {
                 Some(id) => self.proxy_job(id),
                 None => self.error_response(404, "no such route"),
@@ -335,13 +426,74 @@ impl RouterService {
         }
     }
 
-    /// The `/extract` path: validate exactly like a daemon, place on the
-    /// ring, peer-read caches for `?wait` requests, proxy with bounded
-    /// retries across healthy shards.
-    fn proxy_extract(&self, request: &Request) -> Response {
+    /// Starts the router-hop `request` span: a child of the incoming
+    /// `x-fastvg-trace` context, a fresh root under `--trace-out`, or
+    /// none at all (no header and no export file). The span is backdated
+    /// past the worker-queue wait (and the socket read, which the
+    /// reactor measured into [`Request::read_us`]), and the queue wait
+    /// gets its own child so waterfalls show reactor → worker hand-off.
+    fn request_span(&self, request: &Request, enqueued: Instant) -> Option<ActiveSpan> {
+        let incoming = request.header(TRACE_HEADER).and_then(TraceContext::parse);
+        if incoming.is_none() && !self.trace_all {
+            return None;
+        }
+        let mut span = match incoming {
+            Some(ctx) => self
+                .tracer
+                .start(TraceId(ctx.trace), Some(SpanId(ctx.span)), "request"),
+            None => self.tracer.root("request"),
+        };
+        span.backdate(enqueued - Duration::from_micros(request.read_us));
+        self.emit_child(Some(&span), "queue_wait", enqueued, Vec::new());
+        Some(span)
+    }
+
+    /// Emits a child of `span` that started at `started` and ends now.
+    fn emit_child(
+        &self,
+        span: Option<&ActiveSpan>,
+        name: &'static str,
+        started: Instant,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let Some(span) = span else { return };
+        let ctx = span.context();
+        let dur_us = started.elapsed().as_micros() as u64;
+        self.tracer.emit(
+            ctx.trace,
+            Some(ctx.span),
+            name,
+            fastvg_obs::unix_us().saturating_sub(dur_us),
+            dur_us,
+            attrs,
+        );
+    }
+
+    /// The `/extract` path: the span wrapper around
+    /// [`RouterService::route_extract`], which does the actual routing.
+    fn proxy_extract(&self, request: &Request, enqueued: Instant) -> Response {
+        let mut span = self.request_span(request, enqueued);
+        let (response, outcome) = self.route_extract(request, span.as_ref());
+        if let Some(span) = &mut span {
+            span.attr("outcome", outcome);
+        }
+        response
+    }
+
+    /// Validate exactly like a daemon, place on the ring, peer-read
+    /// caches for `?wait` requests, proxy with bounded retries across
+    /// healthy shards. Returns the response plus the outcome tag the
+    /// request span records.
+    fn route_extract(
+        &self,
+        request: &Request,
+        span: Option<&ActiveSpan>,
+    ) -> (Response, &'static str) {
         let (job, wait) = match self.parser.parse(request) {
             Ok(parsed) => parsed,
-            Err(RequestError { status, message }) => return self.error_response(status, &message),
+            Err(RequestError { status, message }) => {
+                return (self.error_response(status, &message), "rejected")
+            }
         };
         // Every distinct shard in ring order from the owner; the retry
         // budget caps how far the walk may fall back.
@@ -356,14 +508,25 @@ impl RouterService {
             .filter(|(_, addr)| self.health.is_healthy(addr))
             .collect();
         let Some(&(owner_index, owner)) = candidates.first() else {
-            return self.unavailable();
+            return (self.unavailable(), "unavailable");
         };
 
         if wait && self.peering {
             // Owner first: its own cache answers without extraction.
-            if let Some(response) = self.cache_probe(owner, &job.canonical, job.fingerprint) {
+            let probe_started = Instant::now();
+            let probed = self.cache_probe(owner, &job.canonical, job.fingerprint);
+            self.emit_child(
+                span,
+                "peer_probe",
+                probe_started,
+                vec![
+                    ("shard", owner.to_string()),
+                    ("hit", probed.is_some().to_string()),
+                ],
+            );
+            if let Some(response) = probed {
                 self.metrics.routed_hits.inc();
-                return self.relay(response, owner_index, None);
+                return (self.relay(response, owner_index, None), "cache_hit");
             }
             // Sibling sweep, warmest-first is unknowable so ring order:
             // every healthy shard, not just the retry candidates —
@@ -373,19 +536,47 @@ impl RouterService {
                 if addr == owner {
                     continue;
                 }
-                if let Some(response) = self.cache_probe(&addr, &job.canonical, job.fingerprint) {
+                let probe_started = Instant::now();
+                let probed = self.cache_probe(&addr, &job.canonical, job.fingerprint);
+                self.emit_child(
+                    span,
+                    "peer_probe",
+                    probe_started,
+                    vec![
+                        ("shard", addr.clone()),
+                        ("hit", probed.is_some().to_string()),
+                    ],
+                );
+                if let Some(response) = probed {
                     found = Some((index, addr, response));
                     break;
                 }
             }
             match found {
                 Some((index, addr, response)) => {
-                    let _ = addr;
                     self.metrics.peer_hits.inc();
-                    self.seed_owner(owner, job.fingerprint, &job.canonical, &response);
-                    return self.relay(response, index, Some("peer"));
+                    self.peer_shards[index].hits.inc();
+                    let seed_started = Instant::now();
+                    let seeded = self.seed_owner(owner, job.fingerprint, &job.canonical, &response);
+                    if seeded {
+                        self.peer_shards[owner_index].seeds.inc();
+                    }
+                    self.emit_child(
+                        span,
+                        "peer_seed",
+                        seed_started,
+                        vec![
+                            ("shard", owner.to_string()),
+                            ("from", addr),
+                            ("ok", seeded.to_string()),
+                        ],
+                    );
+                    return (self.relay(response, index, Some("peer")), "peer_hit");
                 }
-                None => self.metrics.peer_misses.inc(),
+                None => {
+                    self.metrics.peer_misses.inc();
+                    self.peer_shards[owner_index].sweep_misses.inc();
+                }
             }
         }
 
@@ -401,23 +592,59 @@ impl RouterService {
             if attempt > 0 {
                 self.metrics.upstream_retries.inc();
             }
+            // One span per attempt (retries included); the daemon
+            // parents its own spans under *this* id, so the hop nests
+            // inside the attempt that actually reached it.
+            let mut attempt_span = span.map(|parent| {
+                let ctx = parent.context();
+                let mut s = self
+                    .tracer
+                    .start(ctx.trace, Some(ctx.span), "proxy_attempt");
+                s.attr("shard", addr);
+                s.attr("attempt", attempt.to_string());
+                s
+            });
+            let forwarded = attempt_span.as_ref().map(|s| {
+                let ctx = s.context();
+                TraceContext {
+                    trace: ctx.trace.0,
+                    span: ctx.span.0,
+                }
+                .encode()
+            });
             let sent = self
                 .client
                 .connect(addr)
-                .and_then(|mut client| client.post(&target, &request.body));
+                .and_then(|mut client| match &forwarded {
+                    Some(value) => client.send_with_headers(
+                        "POST",
+                        &target,
+                        &request.body,
+                        &[(TRACE_HEADER, value)],
+                    ),
+                    None => client.post(&target, &request.body),
+                });
             match sent {
                 Ok(response) => {
+                    if let Some(s) = &mut attempt_span {
+                        s.attr("ok", "true");
+                    }
                     self.health.report_success(addr);
                     match response.header("x-fastvg-cache") {
                         Some("hit") => self.metrics.routed_hits.inc(),
                         _ => self.metrics.routed_misses.inc(),
                     }
-                    return self.relay(response, index, None);
+                    return (self.relay(response, index, None), "relayed");
                 }
-                Err(_) => self.health.report_failure(addr),
+                Err(_) => {
+                    if let Some(s) = &mut attempt_span {
+                        s.attr("ok", "false");
+                    }
+                    self.health.report_failure(addr);
+                }
             }
         }
-        self.unavailable()
+        (self.unavailable(), "unavailable")
     }
 
     /// `GET /jobs/<gid>`: decode the shard from the global id and poll
@@ -475,10 +702,11 @@ impl RouterService {
 
     /// Best-effort `PUT /cache/<fp>` planting a sibling's entry on the
     /// owner so the next request for this key hits locally. Failures are
-    /// ignored: the client still gets its answer either way.
-    fn seed_owner(&self, owner: &str, fp: u64, canonical: &str, from: &ClientResponse) {
+    /// ignored: the client still gets its answer either way. Returns
+    /// whether the seed landed (per-shard counters key off it).
+    fn seed_owner(&self, owner: &str, fp: u64, canonical: &str, from: &ClientResponse) -> bool {
         let Ok(body) = std::str::from_utf8(&from.body) else {
-            return;
+            return false;
         };
         let seed = Json::object()
             .field("key", canonical)
@@ -490,9 +718,11 @@ impl RouterService {
             .client
             .connect(owner)
             .and_then(|mut client| client.put(&format!("/cache/{fp}"), seed.as_bytes()));
-        if matches!(seeded, Ok(response) if response.status == 200) {
+        let landed = matches!(seeded, Ok(response) if response.status == 200);
+        if landed {
             self.metrics.peer_seeds.inc();
         }
+        landed
     }
 
     /// Turns an upstream response into the client-facing one: global job
@@ -580,6 +810,7 @@ impl RouterService {
             .field("ok", healthy > 0)
             .field("role", "router")
             .field("version", env!("CARGO_PKG_VERSION"))
+            .field("git", env!("FASTVG_GIT"))
             .field("backend", self.parser.default_backend().describe())
             .field(
                 "backends",
@@ -605,22 +836,83 @@ impl RouterService {
     fn handle_metrics(&self) -> Response {
         self.metrics.requests_metrics.inc();
         let mut text = self.metrics.render();
-        for report in self.health.reports() {
+        let reports = self.health.reports();
+        family(
+            &mut text,
+            "fastvg_router_shard_healthy",
+            "gauge",
+            "Whether the shard currently takes traffic.",
+        );
+        for report in &reports {
             text.push_str(&format!(
                 "fastvg_router_shard_healthy{{shard=\"{}\"}} {}\n",
                 report.addr,
                 u8::from(report.healthy)
             ));
+        }
+        family(
+            &mut text,
+            "fastvg_router_shard_ejections_total",
+            "counter",
+            "Times the shard was ejected from rotation.",
+        );
+        for report in &reports {
             text.push_str(&format!(
                 "fastvg_router_shard_ejections_total{{shard=\"{}\"}} {}\n",
                 report.addr, report.ejections
             ));
         }
+        family(
+            &mut text,
+            "fastvg_router_peer_shard_total",
+            "counter",
+            "Cache-peering events by shard: hits relayed from its cache, \
+             seeds planted on it as owner, sweeps for its keys that \
+             missed on every sibling.",
+        );
+        for (addr, counters) in self.shards.iter().zip(&self.peer_shards) {
+            for (event, count) in [
+                ("hit", counters.hits.get()),
+                ("seed", counters.seeds.get()),
+                ("sweep_miss", counters.sweep_misses.get()),
+            ] {
+                text.push_str(&format!(
+                    "fastvg_router_peer_shard_total{{shard=\"{addr}\",event=\"{event}\"}} {count}\n"
+                ));
+            }
+        }
+        family(
+            &mut text,
+            "fastvg_router_trace_spans_dropped_total",
+            "counter",
+            "Spans dropped on span-collector overflow.",
+        );
+        text.push_str(&format!(
+            "fastvg_router_trace_spans_dropped_total {}\n",
+            self.tracer.dropped()
+        ));
         if let Some(stats) = self.server_stats.get() {
+            family(
+                &mut text,
+                "fastvg_router_connections_open",
+                "gauge",
+                "Currently open client connections.",
+            );
             text.push_str(&format!(
                 "fastvg_router_connections_open {}\n",
                 stats.open()
             ));
+        }
+        render_build_info(&mut text, env!("CARGO_PKG_VERSION"), env!("FASTVG_GIT"));
+        Response::text(200, text)
+    }
+
+    /// `GET /trace/recent`: the last few hundred finished spans as
+    /// newline-JSON, drained inline (no flusher required).
+    fn handle_trace_recent(&self) -> Response {
+        let mut text = self.tracer.recent().join("\n");
+        if !text.is_empty() {
+            text.push('\n');
         }
         Response::text(200, text)
     }
@@ -658,6 +950,7 @@ impl Handler for RouterService {
         match (request.method.as_str(), request.path.as_str()) {
             ("GET", "/healthz") => Outcome::Ready(self.handle_healthz()),
             ("GET", "/metrics") => Outcome::Ready(self.handle_metrics()),
+            ("GET", "/trace/recent") => Outcome::Ready(self.handle_trace_recent()),
             ("POST", "/shutdown") => Outcome::Ready(self.handle_shutdown()),
             ("POST", "/extract") => self.defer(request, &self.metrics.requests_extract),
             (method, path) => {
@@ -669,7 +962,10 @@ impl Handler for RouterService {
                         self.error_response(405, &format!("{method} not allowed here")),
                     );
                 }
-                let known = matches!(path, "/extract" | "/healthz" | "/metrics" | "/shutdown");
+                let known = matches!(
+                    path,
+                    "/extract" | "/healthz" | "/metrics" | "/trace/recent" | "/shutdown"
+                );
                 Outcome::Ready(if known {
                     self.error_response(405, &format!("{method} not allowed here"))
                 } else {

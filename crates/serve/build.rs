@@ -1,0 +1,21 @@
+//! Stamps the git revision into the binary (`FASTVG_GIT`) so
+//! `/metrics` can expose `fastvg_build_info{version,git}` and fleet
+//! operators can tell which build answered. Falls back to "unknown"
+//! outside a git checkout — the build must never fail over metadata.
+
+use std::process::Command;
+
+fn main() {
+    let git = Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_string())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=FASTVG_GIT={git}");
+    // Re-stamp when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

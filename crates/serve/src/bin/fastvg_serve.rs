@@ -30,6 +30,13 @@
 //! * `--no-cache-peering` — disable the `GET`/`PUT /cache/<fingerprint>`
 //!   peering surface (`fastvg-router` uses it to share warm results
 //!   across a fleet; see `docs/FLEET.md`).
+//! * `--trace-out PATH` — export finished spans as newline-JSON to
+//!   `PATH` and trace every request (see `docs/OBSERVABILITY.md`).
+//! * `--trace-seed N` — fixed trace/span id seed for replay tests
+//!   (default: entropy).
+//! * `--slow-ms MS` — log a rate-limited structured line (JSON on
+//!   stderr, with the trace id) for requests slower than `MS`
+//!   milliseconds (default: off).
 //! * `--shutdown-after SECS` — stop gracefully after a deadline (CI
 //!   smoke harnesses; `std` cannot catch SIGTERM, so the deadline and
 //!   `POST /shutdown` are the daemon's stop channels).
@@ -81,6 +88,14 @@ fn main() {
             }
             "--backend" => config.backend = parse_flag(&mut args, "--backend"),
             "--no-cache-peering" => config.cache_peering = false,
+            "--trace-out" => {
+                config.trace_out = Some(parse_flag::<String>(&mut args, "--trace-out").into())
+            }
+            "--trace-seed" => config.trace_seed = Some(parse_flag(&mut args, "--trace-seed")),
+            "--slow-ms" => {
+                config.slow_threshold =
+                    Some(Duration::from_millis(parse_flag(&mut args, "--slow-ms")))
+            }
             "--shutdown-after" => shutdown_after = Some(parse_flag(&mut args, "--shutdown-after")),
             other => {
                 eprintln!("unknown flag {other:?} (see the crate docs for the flag list)");

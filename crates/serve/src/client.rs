@@ -268,20 +268,42 @@ impl Client {
         self.request(method, path, body)
     }
 
+    /// [`Client::send`] with extra request headers — how trace context
+    /// (`x-fastvg-trace`) rides along without every caller paying for a
+    /// header parameter. Header names and values must be line-free; the
+    /// client does not validate them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses.
+    pub fn send_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &[u8],
+        headers: &[(&str, &str)],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: fastvg\r\n");
+        for (name, value) in headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        self.writer.write_all(head.as_bytes())?;
+        self.writer.write_all(body)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
     fn request(
         &mut self,
         method: &str,
         path: &str,
         body: &[u8],
     ) -> std::io::Result<ClientResponse> {
-        let head = format!(
-            "{method} {path} HTTP/1.1\r\nhost: fastvg\r\ncontent-length: {}\r\n\r\n",
-            body.len()
-        );
-        self.writer.write_all(head.as_bytes())?;
-        self.writer.write_all(body)?;
-        self.writer.flush()?;
-        self.read_response()
+        self.send_with_headers(method, path, body, &[])
     }
 
     fn read_response(&mut self) -> std::io::Result<ClientResponse> {

@@ -91,6 +91,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+    /// Microseconds the reactor spent reading this request off the
+    /// socket (first byte to dispatch). Zero when the request arrived in
+    /// one read, or for requests not built by the reactor (tests).
+    pub read_us: u64,
 }
 
 impl Request {
@@ -986,12 +990,18 @@ impl Conn {
                     };
                     self.bump_cycle();
                     ServerStats::bump(&ctx.stats.requests);
+                    // The read clock started when the first byte armed the
+                    // whole-request deadline; recover it from the deadline.
+                    let read_us = (Instant::now() + ctx.config.request_read_deadline)
+                        .saturating_duration_since(deadline)
+                        .as_micros() as u64;
                     let request = Request {
                         method: head.method,
                         path: head.path,
                         query: head.query,
                         headers: head.headers,
                         body,
+                        read_us,
                     };
                     let close = head.close;
                     // The reactor must survive a handler panic: one poisoned

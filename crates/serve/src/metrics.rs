@@ -164,6 +164,31 @@ impl Histogram {
     }
 }
 
+/// Appends the `# HELP` / `# TYPE` preamble for a metric family. Every
+/// family in an exposition gets exactly one preamble, before its first
+/// sample line. Public so `fastvg-router` (and ad-hoc lines appended
+/// outside [`Metrics::render`]) emit the same format.
+pub fn family(out: &mut String, name: &str, kind: &str, help: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Appends the `fastvg_build_info` gauge: a constant `1` carrying the
+/// crate version and git revision as labels — the standard Prometheus
+/// idiom for joining fleet telemetry against deploy metadata. `git`
+/// comes from the `FASTVG_GIT` env var each daemon/router `build.rs`
+/// stamps at compile time.
+pub fn render_build_info(out: &mut String, version: &str, git: &str) {
+    family(
+        out,
+        "fastvg_build_info",
+        "gauge",
+        "Build metadata as labels; value is always 1.",
+    );
+    out.push_str(&format!(
+        "fastvg_build_info{{version=\"{version}\",git=\"{git}\"}} 1\n"
+    ));
+}
+
 /// All the daemon's telemetry, shared by every connection worker and the
 /// scheduler.
 #[derive(Debug, Default)]
@@ -224,88 +249,143 @@ impl Metrics {
         }
     }
 
-    /// The `GET /metrics` exposition document.
+    /// The `GET /metrics` exposition document. Each family carries one
+    /// `# HELP` / `# TYPE` preamble ahead of its sample lines, per the
+    /// Prometheus text format.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let counters: [(&str, u64); 11] = [
-            (
-                "fastvg_requests_total{route=\"extract\"}",
-                self.requests_extract.get(),
-            ),
-            (
-                "fastvg_requests_total{route=\"jobs\"}",
-                self.requests_jobs.get(),
-            ),
-            (
-                "fastvg_requests_total{route=\"healthz\"}",
-                self.requests_healthz.get(),
-            ),
-            (
-                "fastvg_requests_total{route=\"metrics\"}",
-                self.requests_metrics.get(),
-            ),
-            (
-                "fastvg_http_responses_total{class=\"4xx\"}",
-                self.http_4xx.get(),
-            ),
-            (
-                "fastvg_http_responses_total{class=\"5xx\"}",
-                self.http_5xx.get(),
-            ),
-            (
-                "fastvg_jobs_total{state=\"submitted\"}",
-                self.jobs_submitted.get(),
-            ),
-            (
-                "fastvg_jobs_total{state=\"completed\"}",
-                self.jobs_completed.get(),
-            ),
-            (
-                "fastvg_jobs_total{state=\"failed\"}",
-                self.jobs_failed.get(),
-            ),
-            (
-                "fastvg_jobs_total{state=\"rejected\"}",
-                self.queue_rejected.get(),
-            ),
-            (
-                "fastvg_cache_requests_total{outcome=\"hit\"}",
-                self.cache_hits.get(),
-            ),
-        ];
-        for (name, value) in counters {
-            out.push_str(&format!("{name} {value}\n"));
+        family(
+            &mut out,
+            "fastvg_requests_total",
+            "counter",
+            "Requests received, by route.",
+        );
+        for (route, value) in [
+            ("extract", self.requests_extract.get()),
+            ("jobs", self.requests_jobs.get()),
+            ("healthz", self.requests_healthz.get()),
+            ("metrics", self.requests_metrics.get()),
+        ] {
+            out.push_str(&format!(
+                "fastvg_requests_total{{route=\"{route}\"}} {value}\n"
+            ));
         }
-        out.push_str(&format!(
-            "fastvg_cache_requests_total{{outcome=\"miss\"}} {}\n",
-            self.cache_misses.get()
-        ));
-        out.push_str(&format!(
-            "fastvg_cache_peer_requests_total{{outcome=\"peer_hit\"}} {}\n",
-            self.cache_peer_hits.get()
-        ));
-        out.push_str(&format!(
-            "fastvg_cache_peer_requests_total{{outcome=\"peer_miss\"}} {}\n",
-            self.cache_peer_misses.get()
-        ));
+        family(
+            &mut out,
+            "fastvg_http_responses_total",
+            "counter",
+            "Error responses sent, by status class.",
+        );
+        for (class, value) in [("4xx", self.http_4xx.get()), ("5xx", self.http_5xx.get())] {
+            out.push_str(&format!(
+                "fastvg_http_responses_total{{class=\"{class}\"}} {value}\n"
+            ));
+        }
+        family(
+            &mut out,
+            "fastvg_jobs_total",
+            "counter",
+            "Job lifecycle events, by state.",
+        );
+        for (state, value) in [
+            ("submitted", self.jobs_submitted.get()),
+            ("completed", self.jobs_completed.get()),
+            ("failed", self.jobs_failed.get()),
+            ("rejected", self.queue_rejected.get()),
+        ] {
+            out.push_str(&format!("fastvg_jobs_total{{state=\"{state}\"}} {value}\n"));
+        }
+        family(
+            &mut out,
+            "fastvg_cache_requests_total",
+            "counter",
+            "Result-cache lookups on the extract path, by outcome.",
+        );
+        for (outcome, value) in [
+            ("hit", self.cache_hits.get()),
+            ("miss", self.cache_misses.get()),
+        ] {
+            out.push_str(&format!(
+                "fastvg_cache_requests_total{{outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        family(
+            &mut out,
+            "fastvg_cache_peer_requests_total",
+            "counter",
+            "Peer cache probes served (GET /cache/<fp>), by outcome.",
+        );
+        for (outcome, value) in [
+            ("peer_hit", self.cache_peer_hits.get()),
+            ("peer_miss", self.cache_peer_misses.get()),
+        ] {
+            out.push_str(&format!(
+                "fastvg_cache_peer_requests_total{{outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        family(
+            &mut out,
+            "fastvg_cache_seeds_total",
+            "counter",
+            "Cache entries planted by peers via PUT /cache/<fp>.",
+        );
         out.push_str(&format!(
             "fastvg_cache_seeds_total {}\n",
             self.cache_seeds.get()
         ));
+        family(
+            &mut out,
+            "fastvg_cache_entries",
+            "gauge",
+            "Entries currently in the result cache.",
+        );
         out.push_str(&format!(
             "fastvg_cache_entries {}\n",
             self.cache_entries.get()
         ));
+        family(
+            &mut out,
+            "fastvg_queue_depth",
+            "gauge",
+            "Jobs waiting in the submission queue.",
+        );
         out.push_str(&format!("fastvg_queue_depth {}\n", self.queue_depth.get()));
+        family(
+            &mut out,
+            "fastvg_jobs_running",
+            "gauge",
+            "Jobs currently running on the extraction pool.",
+        );
         out.push_str(&format!(
             "fastvg_jobs_running {}\n",
             self.jobs_running.get()
         ));
+        family(
+            &mut out,
+            "fastvg_request_latency_seconds",
+            "histogram",
+            "Wall-clock latency of POST /extract handling.",
+        );
         self.request_latency
             .render("fastvg_request_latency_seconds", "", &mut out);
+        family(
+            &mut out,
+            "fastvg_job_latency_seconds",
+            "histogram",
+            "End-to-end job latency, submit to finished.",
+        );
         self.job_latency
             .render("fastvg_job_latency_seconds", "", &mut out);
         let stages = self.stage_latency.lock().expect("metrics poisoned");
+        if !stages.is_empty() {
+            // One preamble for the whole family, not one per label set.
+            family(
+                &mut out,
+                "fastvg_stage_latency_seconds",
+                "histogram",
+                "Per-extraction-stage latency from completed jobs.",
+            );
+        }
         for (stage, histogram) in stages.iter() {
             histogram.render(
                 "fastvg_stage_latency_seconds",

@@ -25,7 +25,8 @@ use fastvg_core::extraction::FastExtractor;
 use fastvg_core::report::Method;
 use fastvg_core::tuning::TuningLoop;
 use fastvg_core::ExtractError;
-use fastvg_wire::Json;
+use fastvg_obs::{SpanId, TraceId, Tracer};
+use fastvg_wire::{Json, TraceContext};
 use mini_rayon::ThreadPool;
 use qd_csd::Csd;
 use qd_dataset::BenchmarkSpec;
@@ -83,6 +84,11 @@ pub struct JobRequest {
     /// The canonical request document (sorted keys, resolved spec,
     /// canonical backend string).
     pub canonical: String,
+    /// Trace context of the originating request (the daemon's request
+    /// span), when the request is being traced. The scheduler parents
+    /// its queue-wait / extract / stage spans to it. Deliberately *not*
+    /// part of the canonical form: tracing never splits cache entries.
+    pub trace: Option<TraceContext>,
 }
 
 /// A finished job's outcome: the serialized, newline-framed result
@@ -443,6 +449,7 @@ pub struct Scheduler {
     metrics: Arc<Metrics>,
     jobs: usize,
     batch_max: usize,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Scheduler {
@@ -466,7 +473,17 @@ impl Scheduler {
                 jobs
             },
             batch_max: batch_max.max(1),
+            tracer: None,
         }
+    }
+
+    /// Attaches the daemon's tracer: jobs carrying a
+    /// [`JobRequest::trace`] context get queue-wait / extract / stage
+    /// spans minted when they finish.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Runs until [`JobQueue::stop`] — the scheduler thread's body.
@@ -584,6 +601,7 @@ impl Scheduler {
                 });
             for (k, outcome) in outcomes.into_iter().enumerate() {
                 let (id, request, submitted) = &batch[group[k].0];
+                let wall = outcome.wall;
                 let (finished, stages) = match outcome.outcome {
                     Ok(report) => {
                         let body = result_body(&report);
@@ -605,8 +623,66 @@ impl Scheduler {
                         None,
                     ),
                 };
+                self.trace_job(request, *submitted, wall, stages.as_deref());
                 self.finish(*id, request, *submitted, finished, stages.as_deref());
             }
+        }
+    }
+
+    /// Mints the scheduler-side spans for one finished traced job:
+    /// `queue_wait` (submit → extraction start) and `extract` (the
+    /// job's in-pipeline wall time), plus one child span per extraction
+    /// stage laid out sequentially inside `extract`. Stage spans are
+    /// re-exported from the Observer-derived [`StageTiming`]s each
+    /// report carries — the pipeline itself is not re-instrumented.
+    /// Spans are backdated from wall-clock "now": the job just finished,
+    /// so `extract` ended now and started `wall` ago, and `queue_wait`
+    /// covers the remainder back to the submit instant.
+    fn trace_job(
+        &self,
+        request: &JobRequest,
+        submitted: Instant,
+        wall: Duration,
+        stages: Option<&[fastvg_core::api::StageTiming]>,
+    ) {
+        let (Some(tracer), Some(ctx)) = (self.tracer.as_ref(), request.trace) else {
+            return;
+        };
+        let trace = TraceId(ctx.trace);
+        let parent = Some(SpanId(ctx.span));
+        let now_us = fastvg_obs::unix_us();
+        let total_us = submitted.elapsed().as_micros() as u64;
+        let wall_us = (wall.as_micros() as u64).min(total_us);
+        let submit_us = now_us.saturating_sub(total_us);
+        let extract_start_us = now_us.saturating_sub(wall_us);
+        tracer.emit(
+            trace,
+            parent,
+            "queue_wait",
+            submit_us,
+            total_us - wall_us,
+            Vec::new(),
+        );
+        let extract = tracer.emit(
+            trace,
+            parent,
+            "extract",
+            extract_start_us,
+            wall_us,
+            vec![("method", request.method.wire_name().to_string())],
+        );
+        let mut cursor = extract_start_us;
+        for timing in stages.unwrap_or(&[]) {
+            let dur = timing.elapsed.as_micros() as u64;
+            tracer.emit(
+                trace,
+                Some(extract),
+                timing.stage.name(),
+                cursor,
+                dur,
+                vec![("probes", timing.probes.to_string())],
+            );
+            cursor += dur;
         }
     }
 
@@ -694,6 +770,7 @@ mod tests {
             scenario: Scenario::Spec(spec),
             method: Method::FastExtraction,
             backend: Arc::new(qd_instrument::SimBackend),
+            trace: None,
         }
     }
 
@@ -899,6 +976,7 @@ mod tests {
                 scenario: Scenario::Spec(spec),
                 method: Method::FastExtraction,
                 backend: Arc::new(qd_instrument::SimBackend),
+                trace: None,
             })
             .unwrap();
 

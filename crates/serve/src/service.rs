@@ -23,13 +23,16 @@ use crate::http::{
 use crate::metrics::Metrics;
 use crate::queue::{FinishedJob, JobQueue, JobRequest, JobState, Scenario, Scheduler};
 use fastvg_core::report::Method;
-use fastvg_wire::{request_canonical, request_fingerprint, Json};
+use fastvg_obs::{ActiveSpan, FlusherHandle, SpanId, TraceId, Tracer};
+use fastvg_wire::{request_canonical, request_fingerprint, Json, TraceContext, TRACE_HEADER};
 use qd_csd::{Csd, VoltageGrid};
 use qd_dataset::wire::MAX_SPEC_SIZE;
 use qd_dataset::BenchmarkSpec;
 use qd_instrument::{BackendError, BackendRegistry, SourceBackend};
 use std::net::SocketAddr;
-use std::sync::{Arc, OnceLock};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Largest dwell a request-supplied `throttled:<dwell>` backend may ask
@@ -86,6 +89,17 @@ pub struct ServeConfig {
     /// standalone daemons exposed to untrusted clients may turn it off
     /// (`PUT` lets a peer seed arbitrary cache entries).
     pub cache_peering: bool,
+    /// Where to export finished spans as newline-JSON (`--trace-out`).
+    /// Setting it also makes the daemon trace *every* request; without
+    /// it only requests carrying an `x-fastvg-trace` header are traced
+    /// (and their spans reach `GET /trace/recent` only).
+    pub trace_out: Option<PathBuf>,
+    /// Fixed span/trace id seed (`--trace-seed`) for reproducible id
+    /// sequences in replay tests; `None` seeds from entropy.
+    pub trace_seed: Option<u64>,
+    /// Emit a rate-limited structured log line (JSON on stderr) for any
+    /// request slower than this (`--slow-ms`). `None` (default) is off.
+    pub slow_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +118,9 @@ impl Default for ServeConfig {
             drain_deadline: Duration::from_secs(30),
             backend: "sim".to_string(),
             cache_peering: true,
+            trace_out: None,
+            trace_seed: None,
+            slow_threshold: None,
         }
     }
 }
@@ -165,6 +182,9 @@ impl ServeConfig {
         duration("request_read_deadline", self.request_read_deadline)?;
         duration("idle_timeout", self.idle_timeout)?;
         duration("drain_deadline", self.drain_deadline)?;
+        if let Some(slow) = self.slow_threshold {
+            duration("slow_threshold", slow)?;
+        }
         BackendRegistry::standard()
             .resolve(&self.backend)
             .map_err(|e| ConfigError::new("backend", e.to_string()))?;
@@ -259,6 +279,25 @@ impl ServeConfigBuilder {
     /// (`GET`/`PUT /cache/<fingerprint>`).
     pub fn cache_peering(mut self, enabled: bool) -> Self {
         self.config.cache_peering = enabled;
+        self
+    }
+
+    /// Newline-JSON span export path (also turns on tracing of every
+    /// request, not only those carrying `x-fastvg-trace`).
+    pub fn trace_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.trace_out = Some(path.into());
+        self
+    }
+
+    /// Fixed trace/span id seed for reproducible replay tests.
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.config.trace_seed = Some(seed);
+        self
+    }
+
+    /// Slow-request log threshold (off by default).
+    pub fn slow_threshold(mut self, threshold: Duration) -> Self {
+        self.config.slow_threshold = Some(threshold);
         self
     }
 
@@ -364,6 +403,74 @@ pub struct ExtractService {
     server_stats: OnceLock<Arc<ServerStats>>,
     started: Instant,
     parser: ExtractParser,
+    tracer: Arc<Tracer>,
+    /// Trace every request (true when `trace_out` is configured), not
+    /// only those that arrive with an `x-fastvg-trace` header.
+    trace_all: bool,
+    slow: Option<Arc<SlowLog>>,
+}
+
+/// Rate-limited slow-request logger: at most one structured line per
+/// second; requests suppressed in between are counted and reported on
+/// the next line.
+#[derive(Debug)]
+struct SlowLog {
+    threshold: Duration,
+    last: Mutex<Option<Instant>>,
+    suppressed: AtomicU64,
+}
+
+impl SlowLog {
+    const MIN_GAP: Duration = Duration::from_secs(1);
+
+    fn new(threshold: Duration) -> Self {
+        Self {
+            threshold,
+            last: Mutex::new(None),
+            suppressed: AtomicU64::new(0),
+        }
+    }
+
+    /// Logs one finished request if it crossed the threshold. The line
+    /// is a single JSON object on stderr carrying the trace id (when
+    /// the request was traced) and the top span name, so a waterfall
+    /// can be pulled from the trace file by id.
+    fn observe(&self, elapsed: Duration, outcome: &str, trace: Option<&str>) {
+        if elapsed < self.threshold {
+            return;
+        }
+        {
+            let mut last = self.last.lock().expect("slow log poisoned");
+            let now = Instant::now();
+            if last.is_some_and(|at| now.duration_since(at) < Self::MIN_GAP) {
+                self.suppressed.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            *last = Some(now);
+        }
+        let suppressed = self.suppressed.swap(0, Ordering::Relaxed);
+        let line = Json::object()
+            .field("event", "slow_request")
+            .field("top_span", "request")
+            .field("route", "extract")
+            .field("outcome", outcome)
+            .field("dur_ms", Json::num(elapsed.as_secs_f64() * 1e3))
+            .field(
+                "threshold_ms",
+                Json::num(self.threshold.as_secs_f64() * 1e3),
+            )
+            .field(
+                "trace",
+                match trace {
+                    Some(hex) => Json::from(hex),
+                    None => Json::Null,
+                },
+            )
+            .field("suppressed", suppressed)
+            .build()
+            .dump();
+        eprintln!("{line}");
+    }
 }
 
 impl std::fmt::Debug for ExtractService {
@@ -488,7 +595,16 @@ impl ExtractParser {
 }
 
 impl ExtractService {
-    fn new(config: &ServeConfig) -> Result<Self, BackendError> {
+    fn new(config: &ServeConfig) -> Result<Self, ServeError> {
+        let tracer = Tracer::new(
+            "daemon",
+            config
+                .trace_seed
+                .unwrap_or_else(|| fastvg_obs::IdGen::from_entropy().next_id()),
+        );
+        if let Some(path) = &config.trace_out {
+            tracer.set_file(path)?;
+        }
         Ok(Self {
             queue: Arc::new(JobQueue::new(config.queue_capacity, 4096)),
             cache: Arc::new(ResultCache::new(config.cache)),
@@ -500,12 +616,21 @@ impl ExtractService {
             server_stats: OnceLock::new(),
             started: Instant::now(),
             parser: ExtractParser::new(&config.backend)?,
+            tracer,
+            trace_all: config.trace_out.is_some(),
+            slow: config.slow_threshold.map(|t| Arc::new(SlowLog::new(t))),
         })
     }
 
     /// The service telemetry (shared with the scheduler).
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The daemon's tracer (span source for `/trace/recent` and the
+    /// `--trace-out` export).
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
     }
 
     fn error_response(&self, rejection: &RequestError) -> Response {
@@ -630,19 +755,93 @@ impl ExtractParser {
                 scenario,
                 method,
                 backend,
+                trace: None,
             },
             wait,
         ))
     }
 }
 
+/// Emits a child span of `span` that *ends now* and lasted `dur` — the
+/// shape of every phase the handler measures after the fact (socket
+/// read, body parse, response serialization).
+fn emit_child(tracer: &Tracer, span: &ActiveSpan, name: &'static str, dur: Duration) {
+    let ctx = span.context();
+    let dur_us = dur.as_micros() as u64;
+    tracer.emit(
+        ctx.trace,
+        Some(ctx.span),
+        name,
+        fastvg_obs::unix_us().saturating_sub(dur_us),
+        dur_us,
+        Vec::new(),
+    );
+}
+
 impl ExtractService {
+    /// Opens the daemon's request span for one `/extract` request —
+    /// parented to the incoming `x-fastvg-trace` context when present,
+    /// a fresh root otherwise — or `None` when the request is untraced
+    /// (no header and no `--trace-out`). The span is backdated to the
+    /// first byte and gets a `read` child covering the socket read.
+    fn request_span(&self, request: &Request) -> Option<ActiveSpan> {
+        let incoming = request.header(TRACE_HEADER).and_then(TraceContext::parse);
+        if incoming.is_none() && !self.trace_all {
+            return None;
+        }
+        let mut span = match incoming {
+            Some(ctx) => self
+                .tracer
+                .start(TraceId(ctx.trace), Some(SpanId(ctx.span)), "request"),
+            None => self.tracer.root("request"),
+        };
+        let read = Duration::from_micros(request.read_us);
+        if !read.is_zero() {
+            span.backdate(Instant::now() - read);
+        }
+        emit_child(&self.tracer, &span, "read", read);
+        Some(span)
+    }
+
+    /// Closes a request span (attaching the outcome) and runs the
+    /// slow-request check — the one exit point every `/extract` answer
+    /// funnels through, inline or deferred.
+    fn finish_request(&self, span: Option<ActiveSpan>, started: Instant, outcome: &'static str) {
+        let elapsed = started.elapsed();
+        let trace_hex = span.as_ref().map(|s| s.context().trace.to_hex());
+        if let Some(mut span) = span {
+            span.attr("outcome", outcome);
+            span.finish();
+        }
+        if let Some(slow) = &self.slow {
+            slow.observe(elapsed, outcome, trace_hex.as_deref());
+        }
+    }
+
     fn handle_extract(&self, request: &Request) -> Outcome {
         self.metrics.requests_extract.inc();
         let started = Instant::now();
-        let outcome = match self.parser.parse(request) {
-            Err(rejection) => Outcome::Ready(self.error_response(&rejection)),
-            Ok((job, wait)) => self.dispatch(job, wait, started),
+        let span = self.request_span(request);
+        let parse_started = Instant::now();
+        let parsed = self.parser.parse(request);
+        if let Some(span) = &span {
+            emit_child(&self.tracer, span, "parse", parse_started.elapsed());
+        }
+        let outcome = match parsed {
+            Err(rejection) => {
+                self.finish_request(span, started, "rejected");
+                Outcome::Ready(self.error_response(&rejection))
+            }
+            Ok((mut job, wait)) => {
+                if let Some(span) = &span {
+                    let ctx = span.context();
+                    job.trace = Some(TraceContext {
+                        trace: ctx.trace.0,
+                        span: ctx.span.0,
+                    });
+                }
+                self.dispatch(job, wait, started, span)
+            }
         };
         // Pending outcomes observe their latency when the completion
         // fires; everything answered inline observes here.
@@ -652,7 +851,13 @@ impl ExtractService {
         outcome
     }
 
-    fn dispatch(&self, job: JobRequest, wait: bool, started: Instant) -> Outcome {
+    fn dispatch(
+        &self,
+        job: JobRequest,
+        wait: bool,
+        started: Instant,
+        span: Option<ActiveSpan>,
+    ) -> Outcome {
         // Cache front: a hit never touches the queue or the pool, and it
         // replays the stored bytes verbatim (outcome flag travels with
         // the entry — it is never re-derived from the bytes).
@@ -665,11 +870,17 @@ impl ExtractService {
             };
             let status = finished.status_name();
             let id = self.queue.insert_finished(finished.clone());
-            return Outcome::Ready(if wait {
+            let respond_started = Instant::now();
+            let response = if wait {
                 finished_response(id, &finished, "hit")
             } else {
                 job_status_response(202, id, status, true)
-            });
+            };
+            if let Some(span) = &span {
+                emit_child(&self.tracer, span, "respond", respond_started.elapsed());
+            }
+            self.finish_request(span, started, "cache_hit");
+            return Outcome::Ready(response);
         }
         self.metrics.cache_misses.inc();
 
@@ -677,6 +888,7 @@ impl ExtractService {
             Ok(id) => id,
             Err(_) => {
                 self.metrics.queue_rejected.inc();
+                self.finish_request(span, started, "queue_full");
                 return Outcome::Ready(self.error_response(&reject(503, "job queue at capacity")));
             }
         };
@@ -684,6 +896,10 @@ impl ExtractService {
         self.metrics.queue_depth.set(self.queue.depth() as u64);
 
         if !wait {
+            // The job's queue-wait/extract spans still parent to this
+            // request span by id after it closes — links are by id, not
+            // by lifetime.
+            self.finish_request(span, started, "queued");
             return Outcome::Ready(job_status_response(202, id, "queued", false));
         }
 
@@ -693,16 +909,28 @@ impl ExtractService {
         // `202 queued` instead and the (eventual) completion is dropped.
         let (deferred, completer) = deferred();
         let metrics = Arc::clone(&self.metrics);
+        let tracer = Arc::clone(&self.tracer);
+        let slow = self.slow.clone();
         self.queue.on_finished(
             id,
             Box::new(move |finished| {
                 metrics.request_latency.observe(started.elapsed());
-                let response = match finished {
-                    Some(finished) => finished_response(id, &finished, "miss"),
+                let respond_started = Instant::now();
+                let (response, outcome) = match finished {
+                    Some(finished) => (finished_response(id, &finished, "miss"), "done"),
                     // Queue stopped before the job ran: hand back the id
                     // so the client can still poll a draining daemon.
-                    None => job_status_response(202, id, "queued", false),
+                    None => (job_status_response(202, id, "queued", false), "stopped"),
                 };
+                let trace_hex = span.as_ref().map(|s| s.context().trace.to_hex());
+                if let Some(mut span) = span {
+                    emit_child(&tracer, &span, "respond", respond_started.elapsed());
+                    span.attr("outcome", outcome);
+                    span.finish();
+                }
+                if let Some(slow) = &slow {
+                    slow.observe(started.elapsed(), outcome, trace_hex.as_deref());
+                }
                 completer.complete(response);
             }),
         );
@@ -739,6 +967,7 @@ impl ExtractService {
         let mut body = Json::object()
             .field("ok", true)
             .field("version", env!("CARGO_PKG_VERSION"))
+            .field("git", env!("FASTVG_GIT"))
             .field("backend", self.parser.default_backend().describe())
             .field(
                 "backends",
@@ -771,8 +1000,31 @@ impl ExtractService {
     fn handle_metrics(&self) -> Response {
         self.metrics.requests_metrics.inc();
         let mut text = self.metrics.render();
+        crate::metrics::render_build_info(&mut text, env!("CARGO_PKG_VERSION"), env!("FASTVG_GIT"));
+        crate::metrics::family(
+            &mut text,
+            "fastvg_trace_spans_dropped_total",
+            "counter",
+            "Spans dropped on span-collector overflow.",
+        );
+        text.push_str(&format!(
+            "fastvg_trace_spans_dropped_total {}\n",
+            self.tracer.dropped()
+        ));
         if let Some(stats) = self.server_stats.get() {
+            crate::metrics::family(
+                &mut text,
+                "fastvg_connections_open",
+                "gauge",
+                "Connections currently open on the reactor.",
+            );
             text.push_str(&format!("fastvg_connections_open {}\n", stats.open()));
+            crate::metrics::family(
+                &mut text,
+                "fastvg_connections_total",
+                "counter",
+                "Connection lifecycle events, by kind.",
+            );
             for (event, value) in [
                 ("accepted", stats.accepted()),
                 ("rejected", stats.rejected()),
@@ -785,6 +1037,16 @@ impl ExtractService {
             }
         }
         Response::text(200, text)
+    }
+
+    /// `GET /trace/recent` — the last few hundred finished spans as
+    /// newline-JSON, for debugging without a `--trace-out` file.
+    fn handle_trace_recent(&self) -> Response {
+        let mut body = self.tracer.recent().join("\n");
+        if !body.is_empty() {
+            body.push('\n');
+        }
+        Response::text(200, body)
     }
 
     fn handle_shutdown(&self) -> Response {
@@ -915,6 +1177,7 @@ impl Handler for ExtractService {
             ("POST", "/extract") => self.handle_extract(request),
             ("GET", "/healthz") => Outcome::Ready(self.handle_healthz()),
             ("GET", "/metrics") => Outcome::Ready(self.handle_metrics()),
+            ("GET", "/trace/recent") => Outcome::Ready(self.handle_trace_recent()),
             ("POST", "/shutdown") => Outcome::Ready(self.handle_shutdown()),
             (method, path) => {
                 if let Some(id) = path.strip_prefix("/jobs/") {
@@ -935,7 +1198,7 @@ impl Handler for ExtractService {
                 }
                 let known = matches!(
                     request.path.as_str(),
-                    "/extract" | "/healthz" | "/metrics" | "/shutdown"
+                    "/extract" | "/healthz" | "/metrics" | "/trace/recent" | "/shutdown"
                 ) || request.path.starts_with("/jobs/")
                     || (self.cache_peering && request.path.starts_with("/cache/"));
                 Outcome::Ready(if known {
@@ -1030,6 +1293,10 @@ pub struct ServiceHandle {
     service: Arc<ExtractService>,
     server: HttpServer,
     scheduler: Option<std::thread::JoinHandle<()>>,
+    /// Keeps the trace flusher thread alive for the daemon's lifetime;
+    /// dropping the handle (when the daemon is torn down) performs the
+    /// final flush to `--trace-out`.
+    flusher: Option<FlusherHandle>,
 }
 
 impl ServiceHandle {
@@ -1067,6 +1334,9 @@ impl ServiceHandle {
             let _ = scheduler.join();
         }
         self.server.join();
+        // Stop the flusher last so spans minted during drain still land
+        // in the trace file.
+        drop(self.flusher.take());
     }
 }
 
@@ -1101,13 +1371,22 @@ pub fn start(config: ServeConfig) -> Result<ServiceHandle, ServeError> {
         Arc::clone(&service.metrics),
         config.extract_jobs,
         config.batch_max,
-    );
+    )
+    .with_tracer(Arc::clone(&service.tracer));
     let scheduler = std::thread::spawn(move || scheduler.run());
+
+    // A background flusher is only worth a thread when spans leave the
+    // process; `/trace/recent` drains the collector on demand otherwise.
+    let flusher = config
+        .trace_out
+        .is_some()
+        .then(|| service.tracer.spawn_flusher(Duration::from_millis(50)));
 
     Ok(ServiceHandle {
         service,
         server,
         scheduler: Some(scheduler),
+        flusher,
     })
 }
 

@@ -403,6 +403,7 @@ fn fingerprint_of(body: &[u8]) -> (u64, String) {
         query: "wait".into(),
         headers: Vec::new(),
         body: body.to_vec(),
+        read_us: 0,
     };
     let (job, _wait) = parser.parse(&request).expect("valid extract body");
     (job.fingerprint, job.canonical)

@@ -740,6 +740,49 @@ pub fn request_fingerprint(canonical: &str) -> u64 {
     fnv1a64(canonical.as_bytes())
 }
 
+/// HTTP header carrying trace context between fastvg processes.
+/// Value format: `<trace>/<span>`, both 16-char lowercase hex.
+pub const TRACE_HEADER: &str = "x-fastvg-trace";
+
+/// Trace context as it travels on the wire: which end-to-end trace a
+/// request belongs to and which span in the sender is its parent.
+///
+/// This is the *codec* only — plain ids, no tracing behaviour — so the
+/// wire crate stays independent of `fastvg-obs` and vice versa. Each
+/// layer converts to its tracer's native context type at the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace id shared by every span of the request.
+    pub trace: u64,
+    /// Parent span id in the sending process.
+    pub span: u64,
+}
+
+impl TraceContext {
+    /// Renders the `x-fastvg-trace` header value: `<trace>/<span>`.
+    pub fn encode(&self) -> String {
+        format!("{:016x}/{:016x}", self.trace, self.span)
+    }
+
+    /// Parses a header value; `None` on any malformation (wrong length,
+    /// missing separator, non-hex). Malformed context is dropped, never
+    /// an error — tracing must not affect request outcomes.
+    pub fn parse(value: &str) -> Option<TraceContext> {
+        let (trace, span) = value.split_once('/')?;
+        Some(TraceContext {
+            trace: parse_hex16(trace)?,
+            span: parse_hex16(span)?,
+        })
+    }
+}
+
+fn parse_hex16(s: &str) -> Option<u64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -955,5 +998,36 @@ mod tests {
         let err = Json::parse("{\"a\": 1x}").unwrap_err();
         assert_eq!(err.offset, 7, "{err}");
         assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn trace_context_round_trips() {
+        let ctx = TraceContext {
+            trace: 0x0123_4567_89ab_cdef,
+            span: 0xfedc_ba98_7654_3210,
+        };
+        let encoded = ctx.encode();
+        assert_eq!(encoded, "0123456789abcdef/fedcba9876543210");
+        assert_eq!(TraceContext::parse(&encoded), Some(ctx));
+        // Zero ids are representable (the codec does not police them).
+        let zero = TraceContext { trace: 0, span: 0 };
+        assert_eq!(TraceContext::parse(&zero.encode()), Some(zero));
+    }
+
+    #[test]
+    fn trace_context_rejects_malformed() {
+        for bad in [
+            "",
+            "/",
+            "0123456789abcdef",
+            "0123456789abcdef/",
+            "/0123456789abcdef",
+            "0123456789abcdef/0123456789abcde",   // short span
+            "0123456789abcdef/0123456789abcdef0", // long span
+            "0123456789abcdeg/0123456789abcdef",  // non-hex
+            "0123456789abcdef/0123456789abcdef/0",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?}");
+        }
     }
 }
