@@ -18,6 +18,7 @@
 //! | `record:<tape>` | `sim`, taping every probe to `<tape>` ([`RecordingSource`]) |
 //! | `record:<tape>+<inner>` | any inner spec, taped |
 //! | `hwsim:<profile>` | the diagram behind a register-level DAC model ([`crate::hwsim`]) |
+//! | `multiplexed:<N>[+<inner>]` | any inner spec behind `N` shared probe channels ([`crate::mux`]) |
 //!
 //! `<dwell>` is an integer with a unit (`50us`, `2ms`, `1s`, `0`),
 //! validated and capped at the door like `qd-dataset`'s wire specs.
@@ -74,6 +75,16 @@ pub enum BackendError {
         /// What was wrong.
         message: String,
     },
+    /// The same knob appeared twice in one spec. Last-wins would let a
+    /// typo silently override an earlier value
+    /// (`hwsim:nominal,xt=0.1,xt=0.9`), so duplicates are a named,
+    /// matchable rejection instead.
+    DuplicateOption {
+        /// The scheme whose arguments repeated the knob.
+        scheme: String,
+        /// The repeated key.
+        key: String,
+    },
     /// A tape could not be read, written or parsed.
     Tape(TapeError),
 }
@@ -88,6 +99,9 @@ impl std::fmt::Display for BackendError {
             ),
             BackendError::InvalidSpec { message } => {
                 write!(f, "invalid backend spec: {message}")
+            }
+            BackendError::DuplicateOption { scheme, key } => {
+                write!(f, "duplicate {scheme} option {key:?}")
             }
             BackendError::Tape(e) => write!(f, "backend tape error: {e}"),
         }
@@ -200,6 +214,15 @@ pub trait SourceBackend: Send + Sync {
         scenario: SourceScenario,
     ) -> Result<MeasurementSession<BoxedSource>, BackendError> {
         Ok(MeasurementSession::new(self.open(scenario)?))
+    }
+
+    /// The shared [`crate::mux::ChannelPool`] behind this backend, if it
+    /// multiplexes its sources over one — `None` for everything else.
+    /// Lets observers (the serve daemon's `/metrics`, trace spans) read
+    /// contention counters through the object-safe seam without
+    /// downcasting.
+    fn channel_pool(&self) -> Option<&crate::mux::ChannelPool> {
+        None
     }
 }
 
@@ -500,7 +523,7 @@ impl BackendRegistry {
     }
 
     /// The built-in schemes: `sim`, `throttled`, `replay`, `record`,
-    /// `hwsim`.
+    /// `hwsim`, `multiplexed`.
     pub fn standard() -> Self {
         let mut registry = Self::empty();
         registry.register("sim", |args, _| {
@@ -536,6 +559,14 @@ impl BackendRegistry {
         registry.register("hwsim", |args, _| {
             let profile = crate::hwsim::HwSimProfile::parse(args)?;
             Ok(Arc::new(crate::hwsim::HwSimBackend::new(profile)) as _)
+        });
+        registry.register("multiplexed", |args, registry| {
+            let (config, inner) = match args.split_once('+') {
+                Some((config, inner)) => (config, registry.resolve(inner)?),
+                None => (args, Arc::new(SimBackend) as Arc<dyn SourceBackend>),
+            };
+            let config = crate::mux::MuxConfig::parse(config)?;
+            Ok(Arc::new(crate::mux::MultiplexedBackend::new(config, inner)?) as _)
         });
         registry
     }

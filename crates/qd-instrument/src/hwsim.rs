@@ -303,7 +303,8 @@ impl HwSimProfile {
     /// # Errors
     ///
     /// Returns [`BackendError::InvalidSpec`] on an unknown preset or
-    /// key, a duplicate key, or an out-of-range value.
+    /// key or an out-of-range value, and
+    /// [`BackendError::DuplicateOption`] on a repeated key.
     pub fn parse(args: &str) -> Result<Self, BackendError> {
         let args = args.trim();
         if args.is_empty() {
@@ -329,7 +330,10 @@ impl HwSimProfile {
                 .split_once('=')
                 .ok_or_else(|| invalid(format!("hwsim option {part:?} must be <key>=<value>")))?;
             if seen.contains(&key) {
-                return Err(invalid(format!("duplicate hwsim option {key:?}")));
+                return Err(BackendError::DuplicateOption {
+                    scheme: "hwsim".to_string(),
+                    key: key.to_string(),
+                });
             }
             seen.push(key);
             let f64_in = |name: &str, lo: f64, hi: f64| -> Result<f64, BackendError> {
@@ -675,20 +679,19 @@ mod tests {
     #[test]
     fn hostile_profiles_are_rejected_at_the_door() {
         for bad in [
-            "",                          // no preset
-            "qpu0",                      // unknown preset
-            "nominal,dead=0.6",          // over the cap
-            "nominal,dead=-0.1",         // negative
-            "nominal,dead=NaN",          // not finite
-            "nominal,bits=4",            // too coarse
-            "nominal,bits=17",           // wider than the bus data field
-            "nominal,xt=0.5",            // over the cap
-            "nominal,slew=0",            // no slew
-            "nominal,warp=9",            // unknown key
-            "nominal,dead",              // not key=value
-            "nominal,dead=0.1,dead=0.2", // duplicate
-            "nominal,tsettle=50",        // dwell without unit
-            "nominal,tsettle=11s",       // dwell over the cap
+            "",                    // no preset
+            "qpu0",                // unknown preset
+            "nominal,dead=0.6",    // over the cap
+            "nominal,dead=-0.1",   // negative
+            "nominal,dead=NaN",    // not finite
+            "nominal,bits=4",      // too coarse
+            "nominal,bits=17",     // wider than the bus data field
+            "nominal,xt=0.5",      // over the cap
+            "nominal,slew=0",      // no slew
+            "nominal,warp=9",      // unknown key
+            "nominal,dead",        // not key=value
+            "nominal,tsettle=50",  // dwell without unit
+            "nominal,tsettle=11s", // dwell over the cap
         ] {
             let err = HwSimProfile::parse(bad).unwrap_err();
             assert!(
@@ -696,6 +699,17 @@ mod tests {
                 "{bad:?} -> {err}"
             );
         }
+        // A repeated knob is its own named, matchable rejection — not a
+        // silent last-wins, and not a generic InvalidSpec.
+        let err = HwSimProfile::parse("nominal,dead=0.1,dead=0.2").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                BackendError::DuplicateOption { scheme, key }
+                    if scheme == "hwsim" && key == "dead"
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -602,7 +602,14 @@ impl Scheduler {
             for (k, outcome) in outcomes.into_iter().enumerate() {
                 let (id, request, submitted) = &batch[group[k].0];
                 let wall = outcome.wall;
-                let (finished, stages) = match outcome.outcome {
+                // Drain the job's shared-channel stall summary (if its
+                // backend multiplexes) whether it succeeded or not, so
+                // the pool's finished-session ledger stays tidy.
+                let channel_wait = request
+                    .backend
+                    .channel_pool()
+                    .and_then(|pool| pool.take_session_wait(&format!("job{id}")));
+                let (finished, mut stages) = match outcome.outcome {
                     Ok(report) => {
                         let body = result_body(&report);
                         (
@@ -623,6 +630,17 @@ impl Scheduler {
                         None,
                     ),
                 };
+                // Appended *after* `result_body(&report)` serialized the
+                // response: the synthetic stage feeds metrics histograms
+                // and trace waterfalls only — cached and wire bytes stay
+                // bit-identical to an unmultiplexed run.
+                if let (Some(stages), Some(wait)) = (stages.as_mut(), channel_wait) {
+                    stages.push(fastvg_core::api::StageTiming {
+                        stage: fastvg_core::api::Stage::ChannelWait,
+                        probes: wait.stalled as usize,
+                        elapsed: wait.wait,
+                    });
+                }
                 self.trace_job(request, *submitted, wall, stages.as_deref());
                 self.finish(*id, request, *submitted, finished, stages.as_deref());
             }
@@ -674,6 +692,21 @@ impl Scheduler {
         let mut cursor = extract_start_us;
         for timing in stages.unwrap_or(&[]) {
             let dur = timing.elapsed.as_micros() as u64;
+            // Channel-wait is virtual time overlapping the real stages
+            // (the session stalls *inside* its sweeps), so its span is
+            // an overlay child at the extract start, not a slice of the
+            // sequential stage tiling.
+            if timing.stage == fastvg_core::api::Stage::ChannelWait {
+                tracer.emit(
+                    trace,
+                    Some(extract),
+                    timing.stage.name(),
+                    extract_start_us,
+                    dur,
+                    vec![("stalled_probes", timing.probes.to_string())],
+                );
+                continue;
+            }
             tracer.emit(
                 trace,
                 Some(extract),

@@ -28,7 +28,14 @@ fn registry_resolves_every_shipped_scheme_and_rejects_hostile_specs() {
     let registry = BackendRegistry::standard();
     assert_eq!(
         registry.schemes(),
-        vec!["sim", "throttled", "replay", "record", "hwsim"]
+        vec![
+            "sim",
+            "throttled",
+            "replay",
+            "record",
+            "hwsim",
+            "multiplexed"
+        ]
     );
 
     for good in [

@@ -172,13 +172,19 @@ fn nominal_hwsim_is_bitwise_the_plain_simulator() {
 #[test]
 fn hostile_hwsim_profiles_are_rejected_with_invalid_spec() {
     let registry = BackendRegistry::standard();
+    // Duplicate knobs get the *named* rejection, so callers can tell a
+    // contradictory spec from a malformed one.
+    match registry.resolve("hwsim:nominal,bits=12,bits=10") {
+        Err(BackendError::DuplicateOption { scheme, key })
+            if scheme == "hwsim" && key == "bits" => {}
+        other => panic!("duplicate key must be DuplicateOption, got {other:?}"),
+    }
     for bad in [
-        "hwsim:nominal,bits=12,bits=10", // duplicate key
-        "hwsim:nominal,slew=0",          // settling never finishes
-        "hwsim:nominal,twrite=11s",      // bus write over the dwell cap
-        "hwsim:nominal,xt=0.5",          // crosstalk out of range
-        "hwsim:nominal,gain=2",          // unknown key
-        "hwsim:NOMINAL",                 // presets are case-sensitive
+        "hwsim:nominal,slew=0",     // settling never finishes
+        "hwsim:nominal,twrite=11s", // bus write over the dwell cap
+        "hwsim:nominal,xt=0.5",     // crosstalk out of range
+        "hwsim:nominal,gain=2",     // unknown key
+        "hwsim:NOMINAL",            // presets are case-sensitive
     ] {
         match registry.resolve(bad) {
             Err(BackendError::InvalidSpec { .. }) => {}

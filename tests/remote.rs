@@ -97,7 +97,14 @@ fn healthz_reports_build_and_backend_info() {
         .collect();
     assert_eq!(
         schemes,
-        vec!["sim", "throttled", "replay", "record", "hwsim"]
+        vec![
+            "sim",
+            "throttled",
+            "replay",
+            "record",
+            "hwsim",
+            "multiplexed"
+        ]
     );
     let request_schemes: Vec<&str> = doc
         .get("request_backends")
@@ -166,10 +173,27 @@ fn request_backends_are_validated_at_the_door() {
     assert_eq!(a.slope_h.to_bits(), c.slope_h.to_bits());
     assert_eq!(a.probes, c.probes);
 
+    // A request-selected multiplexed pool is wire-reachable, including
+    // the inner-spec carve-out (`+inner` is only legal under the
+    // `multiplexed:` scheme, and the inner spec re-enters the same
+    // allowlist), and reads bit-identically to sim.
+    let muxed = client
+        .post(
+            "/extract?wait",
+            br#"{"benchmark": 6, "backend": "multiplexed:1+throttled:100us"}"#,
+        )
+        .expect("multiplexed request");
+    assert_eq!(muxed.status, 200);
+    assert_eq!(muxed.header("x-fastvg-cache"), Some("miss"));
+    let d = report(&muxed);
+    assert_eq!(a.slope_h.to_bits(), d.slope_h.to_bits());
+    assert_eq!(a.probes, d.probes);
+
     // Hostile backends bounce with 400 at the door: tape schemes touch
-    // the server's filesystem, compositions smuggle them in, huge
-    // dwells park workers, unknown schemes don't exist, and malformed
-    // hwsim profiles die in the registry's range checks.
+    // the server's filesystem, compositions smuggle them in (directly
+    // or through a multiplexed inner spec), huge dwells park workers,
+    // unknown schemes don't exist, and malformed hwsim or mux specs die
+    // in the registry's range checks.
     for hostile in [
         r#"{"benchmark": 6, "backend": "record:/tmp/evil.tape"}"#,
         r#"{"benchmark": 6, "backend": "replay:/etc/passwd"}"#,
@@ -182,6 +206,10 @@ fn request_backends_are_validated_at_the_door() {
         r#"{"benchmark": 6, "backend": "hwsim:warp"}"#,
         r#"{"benchmark": 6, "backend": "hwsim:nominal,dead=2.0"}"#,
         r#"{"benchmark": 6, "backend": "hwsim:nominal,bits=4"}"#,
+        r#"{"benchmark": 6, "backend": "multiplexed:0"}"#,
+        r#"{"benchmark": 6, "backend": "multiplexed:1,cap=4,cap=8"}"#,
+        r#"{"benchmark": 6, "backend": "multiplexed:1+record:/tmp/evil.tape"}"#,
+        r#"{"benchmark": 6, "backend": "multiplexed:1+throttled:10s"}"#,
         r#"{"benchmark": 6, "backend": 3}"#,
     ] {
         let response = client
